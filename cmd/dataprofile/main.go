@@ -1,0 +1,41 @@
+// Command dataprofile regenerates the paper's §2 enterprise data analyses
+// (Figures 1-4) from the synthetic SAP-customer-system profiles.
+//
+// Usage:
+//
+//	dataprofile          # all four figures
+//	dataprofile -fig 2   # only Figure 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyrise/internal/bench"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number 1-4 (0 = all)")
+	flag.Parse()
+
+	ids := []string{"fig1", "fig2", "fig3", "fig4"}
+	if *fig != 0 {
+		if *fig < 1 || *fig > 4 {
+			fmt.Fprintln(os.Stderr, "dataprofile: -fig must be 1..4")
+			os.Exit(2)
+		}
+		ids = []string{fmt.Sprintf("fig%d", *fig)}
+	}
+	scale := bench.Scale{}.Defaults()
+	for i, id := range ids {
+		e, _ := bench.ByID(id)
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := e.Run(os.Stdout, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "dataprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

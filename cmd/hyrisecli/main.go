@@ -1,0 +1,479 @@
+// Command hyrisecli is a small interactive shell over the hyrise library:
+// create tables, insert and query rows, trigger merges, inspect storage
+// statistics and save/load snapshots.
+//
+//	$ hyrisecli
+//	> create sales id:uint64 qty:uint32 product:string
+//	> insert sales 1 3 widget
+//	> lookup sales id 1
+//	> merge sales
+//	> stats sales
+//	> save sales /tmp/sales.hyr
+//	> quit
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hyrise"
+)
+
+type shell struct {
+	tables map[string]*hyrise.Table
+	out    *bufio.Writer
+}
+
+func main() {
+	sh := &shell{tables: map[string]*hyrise.Table{}, out: bufio.NewWriter(os.Stdout)}
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println("hyrise delta-merge column store — type 'help'")
+	for {
+		fmt.Print("> ")
+		os.Stdout.Sync()
+		if !in.Scan() {
+			break
+		}
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			break
+		}
+		if err := sh.exec(line); err != nil {
+			fmt.Printf("error: %v\n", err)
+		}
+		sh.out.Flush()
+	}
+}
+
+func (s *shell) exec(line string) error {
+	args := strings.Fields(line)
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "help":
+		s.help()
+		return nil
+	case "create":
+		return s.create(rest)
+	case "insert":
+		return s.insert(rest)
+	case "update":
+		return s.update(rest)
+	case "delete":
+		return s.del(rest)
+	case "lookup":
+		return s.lookup(rest)
+	case "range":
+		return s.rng(rest)
+	case "sum":
+		return s.sum(rest)
+	case "merge":
+		return s.merge(rest)
+	case "stats":
+		return s.stats(rest)
+	case "save":
+		return s.save(rest)
+	case "load":
+		return s.load(rest)
+	case "loadcsv":
+		return s.loadcsv(rest)
+	case "workload":
+		return s.workload(rest)
+	default:
+		return fmt.Errorf("unknown command %q (try 'help')", cmd)
+	}
+}
+
+func (s *shell) help() {
+	fmt.Fprint(s.out, `commands:
+  create <table> <col:type>...    types: uint32 uint64 string
+  insert <table> <values>...      one value per column
+  update <table> <row> <col>=<v>  insert-only update (new version)
+  delete <table> <row>            invalidate a row
+  lookup <table> <col> <value>    key lookup
+  range  <table> <col> <lo> <hi>  range select (numeric columns)
+  sum    <table> <col>            aggregate a numeric column
+  merge  <table> [naive]          run the merge process
+  stats  <table>                  storage statistics
+  save   <table> <path>           write binary snapshot
+  load   <name> <path>            read binary snapshot
+  loadcsv <name> <path.csv>       import CSV (header row, types inferred)
+  workload <table> <col> <mix> <n>  run n ops of mix oltp|olap|tpcc
+  quit
+`)
+}
+
+func (s *shell) table(name string) (*hyrise.Table, error) {
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("no table %q", name)
+	}
+	return t, nil
+}
+
+func (s *shell) create(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: create <table> <col:type>...")
+	}
+	var schema hyrise.Schema
+	for _, spec := range args[1:] {
+		name, typ, ok := strings.Cut(spec, ":")
+		if !ok {
+			return fmt.Errorf("bad column spec %q", spec)
+		}
+		var ct hyrise.Type
+		switch typ {
+		case "uint32":
+			ct = hyrise.Uint32
+		case "uint64":
+			ct = hyrise.Uint64
+		case "string":
+			ct = hyrise.String
+		default:
+			return fmt.Errorf("unknown type %q", typ)
+		}
+		schema = append(schema, hyrise.ColumnDef{Name: name, Type: ct})
+	}
+	t, err := hyrise.NewTable(args[0], schema)
+	if err != nil {
+		return err
+	}
+	s.tables[args[0]] = t
+	fmt.Fprintf(s.out, "created %s with %d columns\n", args[0], len(schema))
+	return nil
+}
+
+func (s *shell) parseValue(t *hyrise.Table, col int, raw string) (any, error) {
+	switch t.Schema()[col].Type {
+	case hyrise.Uint32:
+		v, err := strconv.ParseUint(raw, 10, 32)
+		return uint32(v), err
+	case hyrise.Uint64:
+		v, err := strconv.ParseUint(raw, 10, 64)
+		return v, err
+	default:
+		return raw, nil
+	}
+}
+
+func (s *shell) insert(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: insert <table> <values>...")
+	}
+	t, err := s.table(args[0])
+	if err != nil {
+		return err
+	}
+	if len(args)-1 != len(t.Schema()) {
+		return fmt.Errorf("need %d values", len(t.Schema()))
+	}
+	row := make([]any, len(t.Schema()))
+	for i, raw := range args[1:] {
+		if row[i], err = s.parseValue(t, i, raw); err != nil {
+			return err
+		}
+	}
+	id, err := t.Insert(row)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "row %d\n", id)
+	return nil
+}
+
+func (s *shell) update(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: update <table> <row> <col>=<value>")
+	}
+	t, err := s.table(args[0])
+	if err != nil {
+		return err
+	}
+	row, err := strconv.Atoi(args[1])
+	if err != nil {
+		return err
+	}
+	col, raw, ok := strings.Cut(args[2], "=")
+	if !ok {
+		return fmt.Errorf("usage: update <table> <row> <col>=<value>")
+	}
+	ci := -1
+	for i, def := range t.Schema() {
+		if def.Name == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return fmt.Errorf("no column %q", col)
+	}
+	v, err := s.parseValue(t, ci, raw)
+	if err != nil {
+		return err
+	}
+	nr, err := t.Update(row, map[string]any{col: v})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "row %d -> %d\n", row, nr)
+	return nil
+}
+
+func (s *shell) del(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: delete <table> <row>")
+	}
+	t, err := s.table(args[0])
+	if err != nil {
+		return err
+	}
+	row, err := strconv.Atoi(args[1])
+	if err != nil {
+		return err
+	}
+	return t.Delete(row)
+}
+
+func (s *shell) lookup(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: lookup <table> <col> <value>")
+	}
+	t, err := s.table(args[0])
+	if err != nil {
+		return err
+	}
+	rows, err := lookupAny(t, args[1], args[2])
+	if err != nil {
+		return err
+	}
+	return s.printRows(t, rows)
+}
+
+func lookupAny(t *hyrise.Table, col, raw string) ([]int, error) {
+	for _, def := range t.Schema() {
+		if def.Name != col {
+			continue
+		}
+		switch def.Type {
+		case hyrise.Uint32:
+			h, err := hyrise.ColumnOf[uint32](t, col)
+			if err != nil {
+				return nil, err
+			}
+			v, err := strconv.ParseUint(raw, 10, 32)
+			if err != nil {
+				return nil, err
+			}
+			return h.Lookup(uint32(v)), nil
+		case hyrise.Uint64:
+			h, err := hyrise.ColumnOf[uint64](t, col)
+			if err != nil {
+				return nil, err
+			}
+			v, err := strconv.ParseUint(raw, 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			return h.Lookup(v), nil
+		default:
+			h, err := hyrise.ColumnOf[string](t, col)
+			if err != nil {
+				return nil, err
+			}
+			return h.Lookup(raw), nil
+		}
+	}
+	return nil, fmt.Errorf("no column %q", col)
+}
+
+func (s *shell) rng(args []string) error {
+	if len(args) != 4 {
+		return fmt.Errorf("usage: range <table> <col> <lo> <hi>")
+	}
+	t, err := s.table(args[0])
+	if err != nil {
+		return err
+	}
+	h, err := hyrise.ColumnOf[uint64](t, args[1])
+	if err != nil {
+		return err
+	}
+	lo, err := strconv.ParseUint(args[2], 10, 64)
+	if err != nil {
+		return err
+	}
+	hi, err := strconv.ParseUint(args[3], 10, 64)
+	if err != nil {
+		return err
+	}
+	return s.printRows(t, h.Range(lo, hi))
+}
+
+func (s *shell) printRows(t *hyrise.Table, rows []int) error {
+	for _, r := range rows {
+		vals, err := t.Row(r)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "%6d  %v\n", r, vals)
+	}
+	fmt.Fprintf(s.out, "%d row(s)\n", len(rows))
+	return nil
+}
+
+func (s *shell) sum(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: sum <table> <col>")
+	}
+	t, err := s.table(args[0])
+	if err != nil {
+		return err
+	}
+	for _, def := range t.Schema() {
+		if def.Name != args[1] {
+			continue
+		}
+		switch def.Type {
+		case hyrise.Uint32:
+			h, err := hyrise.NumericColumnOf[uint32](t, args[1])
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(s.out, "%d\n", h.Sum())
+		case hyrise.Uint64:
+			h, err := hyrise.NumericColumnOf[uint64](t, args[1])
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(s.out, "%d\n", h.Sum())
+		default:
+			return fmt.Errorf("sum needs a numeric column")
+		}
+		return nil
+	}
+	return fmt.Errorf("no column %q", args[1])
+}
+
+func (s *shell) merge(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: merge <table> [naive]")
+	}
+	t, err := s.table(args[0])
+	if err != nil {
+		return err
+	}
+	opts := hyrise.MergeOptions{}
+	if len(args) > 1 && args[1] == "naive" {
+		opts.Algorithm = hyrise.Naive
+	}
+	rep, err := t.Merge(context.Background(), opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "merged %d delta rows into %d main rows in %s (%v, %d threads)\n",
+		rep.RowsMerged, rep.MainRowsAfter, rep.Wall, rep.Algorithm, rep.Threads)
+	return nil
+}
+
+func (s *shell) stats(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: stats <table>")
+	}
+	t, err := s.table(args[0])
+	if err != nil {
+		return err
+	}
+	st := t.Stats()
+	fmt.Fprintf(s.out, "table %s: %d rows (%d valid), main %d, delta %d, %d bytes\n",
+		st.Name, st.Rows, st.ValidRows, st.MainRows, st.DeltaRows, st.SizeBytes)
+	for _, c := range st.Columns {
+		fmt.Fprintf(s.out, "  %-16s %-7v main=%d delta=%d uniq=%d/%d bits=%d size=%d\n",
+			c.Def.Name, c.Def.Type, c.MainRows, c.DeltaRows,
+			c.UniqueMain, c.UniqueDelta, c.Bits, c.SizeBytes)
+	}
+	return nil
+}
+
+func (s *shell) save(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: save <table> <path>")
+	}
+	t, err := s.table(args[0])
+	if err != nil {
+		return err
+	}
+	if err := hyrise.SaveFile(t, args[1]); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "saved %s\n", args[1])
+	return nil
+}
+
+func (s *shell) load(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: load <name> <path>")
+	}
+	t, err := hyrise.LoadFile(args[1])
+	if err != nil {
+		return err
+	}
+	s.tables[args[0]] = t
+	fmt.Fprintf(s.out, "loaded %s: %d rows\n", args[0], t.Rows())
+	return nil
+}
+
+func (s *shell) loadcsv(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: loadcsv <name> <path.csv>")
+	}
+	t, n, err := hyrise.LoadCSVFile(args[1], hyrise.CSVOptions{TableName: args[0]})
+	if err != nil {
+		return err
+	}
+	s.tables[args[0]] = t
+	fmt.Fprintf(s.out, "imported %d rows into %s (%d columns)\n", n, args[0], len(t.Schema()))
+	return nil
+}
+
+func (s *shell) workload(args []string) error {
+	if len(args) != 4 {
+		return fmt.Errorf("usage: workload <table> <col> oltp|olap|tpcc <n>")
+	}
+	t, err := s.table(args[0])
+	if err != nil {
+		return err
+	}
+	var mix hyrise.Mix
+	switch args[2] {
+	case "oltp":
+		mix = hyrise.OLTPMix
+	case "olap":
+		mix = hyrise.OLAPMix
+	case "tpcc":
+		mix = hyrise.TPCCMix
+	default:
+		return fmt.Errorf("unknown mix %q", args[2])
+	}
+	n, err := strconv.Atoi(args[3])
+	if err != nil {
+		return err
+	}
+	drv, err := hyrise.NewDriver(t, args[1], mix, hyrise.NewUniformGenerator(10000, 1), 1)
+	if err != nil {
+		return err
+	}
+	c, err := drv.Run(n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "%d ops in %s (%.0f ops/s): %d reads, %d writes\n",
+		c.Total(), c.Duration, float64(c.Total())/c.Duration.Seconds(),
+		c.Reads(), c.Writes())
+	return nil
+}

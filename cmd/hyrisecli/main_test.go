@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hyrise"
+)
+
+func newShell() (*shell, *bytes.Buffer) {
+	var buf bytes.Buffer
+	return &shell{tables: map[string]*hyrise.Table{}, out: bufio.NewWriter(&buf)}, &buf
+}
+
+func run(t *testing.T, sh *shell, buf *bytes.Buffer, lines ...string) string {
+	t.Helper()
+	for _, line := range lines {
+		if err := sh.exec(line); err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+	}
+	sh.out.Flush()
+	return buf.String()
+}
+
+func TestShellLifecycle(t *testing.T) {
+	sh, buf := newShell()
+	out := run(t, sh, buf,
+		"create sales id:uint64 qty:uint32 product:string",
+		"insert sales 1 3 widget",
+		"insert sales 2 5 gadget",
+		"lookup sales id 1",
+		"merge sales",
+		"lookup sales product gadget",
+		"stats sales",
+		"sum sales qty",
+	)
+	for _, want := range []string{
+		"created sales with 3 columns",
+		"row 0",
+		"1 row(s)",
+		"merged 2 delta rows",
+		"table sales: 2 rows",
+		"8", // sum(qty) = 3+5
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellUpdateDelete(t *testing.T) {
+	sh, buf := newShell()
+	out := run(t, sh, buf,
+		"create t a:uint64",
+		"insert t 7",
+		"update t 0 a=9",
+		"lookup t a 9",
+		"delete t 1",
+		"lookup t a 9",
+	)
+	if !strings.Contains(out, "row 0 -> 1") {
+		t.Errorf("update output:\n%s", out)
+	}
+	// After delete, the lookup returns 0 rows.
+	if !strings.Contains(out, "0 row(s)") {
+		t.Errorf("delete not observed:\n%s", out)
+	}
+}
+
+func TestShellRange(t *testing.T) {
+	sh, buf := newShell()
+	out := run(t, sh, buf,
+		"create t a:uint64",
+		"insert t 10",
+		"insert t 20",
+		"insert t 30",
+		"range t a 15 30",
+	)
+	if !strings.Contains(out, "2 row(s)") {
+		t.Errorf("range output:\n%s", out)
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	sh, _ := newShell()
+	for _, line := range []string{
+		"bogus",
+		"create",
+		"create t a:floatz",
+		"insert missing 1",
+		"lookup t a 1", // table does not exist
+		"merge nope",
+		"sum t a",
+		"workload t a badmix 1",
+	} {
+		if err := sh.exec(line); err == nil {
+			t.Errorf("%q: expected error", line)
+		}
+	}
+}
+
+func TestShellSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.hyr")
+	sh, buf := newShell()
+	out := run(t, sh, buf,
+		"create t a:uint64 b:string",
+		"insert t 1 x",
+		"insert t 2 y",
+		"save t "+path,
+		"load t2 "+path,
+		"lookup t2 b y",
+	)
+	if !strings.Contains(out, "loaded t2: 2 rows") {
+		t.Errorf("load output:\n%s", out)
+	}
+	if !strings.Contains(out, "1 row(s)") {
+		t.Errorf("query on loaded table:\n%s", out)
+	}
+}
+
+func TestShellLoadCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "orders.csv")
+	csv := "id,product\n1,widget\n2,gadget\n3,widget\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sh, buf := newShell()
+	out := run(t, sh, buf,
+		"loadcsv orders "+path,
+		"lookup orders product widget",
+		"merge orders",
+		"lookup orders product widget",
+	)
+	if !strings.Contains(out, "imported 3 rows into orders") {
+		t.Errorf("import output:\n%s", out)
+	}
+	if strings.Count(out, "2 row(s)") != 2 {
+		t.Errorf("lookup before/after merge:\n%s", out)
+	}
+}
+
+func TestShellWorkload(t *testing.T) {
+	sh, buf := newShell()
+	out := run(t, sh, buf,
+		"create t k:uint64",
+		"insert t 1",
+		"workload t k oltp 200",
+	)
+	if !strings.Contains(out, "200 ops in") {
+		t.Errorf("workload output:\n%s", out)
+	}
+}

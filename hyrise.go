@@ -1,0 +1,309 @@
+// Package hyrise is a Go reproduction of the delta-merge architecture of
+// "Fast Updates on Read-Optimized Databases Using Multi-Core CPUs"
+// (Krueger et al., VLDB 2011): an in-memory, dictionary-compressed column
+// store that sustains transactional update rates by accumulating writes in
+// per-column uncompressed delta partitions and periodically folding them
+// into the compressed main partitions with a linear-time, multi-core merge.
+//
+// # Quick start
+//
+//	t, _ := hyrise.NewTable("sales", hyrise.Schema{
+//		{Name: "order_id", Type: hyrise.Uint64},
+//		{Name: "qty", Type: hyrise.Uint32},
+//		{Name: "product", Type: hyrise.String},
+//	})
+//	t.Insert([]any{uint64(1), uint32(3), "widget"})
+//	rep, _ := t.Merge(context.Background(), hyrise.MergeOptions{})
+//	h, _ := hyrise.ColumnOf[uint64](t, "order_id")
+//	rows := h.Lookup(1)
+//
+// Tables are insert-only (paper §3): updates append new row versions and
+// invalidate the old ones, deletes only invalidate, and the full version
+// history remains queryable.  The merge runs online — writes accumulate in
+// a second delta while it runs, and the merged table is committed
+// atomically under a brief lock.
+//
+// The subpackages under internal implement the paper's substrate systems
+// (bit-packed vectors, sorted dictionaries, CSB+ trees, the merge itself,
+// the analytical cost model, workload generators and the experiment
+// harness); this package re-exports the surface a downstream application
+// needs.
+package hyrise
+
+import (
+	"cmp"
+	"io"
+
+	"hyrise/internal/bench"
+	"hyrise/internal/core"
+	"hyrise/internal/csvload"
+	"hyrise/internal/membench"
+	"hyrise/internal/model"
+	"hyrise/internal/persist"
+	"hyrise/internal/query"
+	"hyrise/internal/sched"
+	"hyrise/internal/table"
+	"hyrise/internal/workload"
+)
+
+// Value is the constraint on column value types: any ordered type; the
+// built-in column types use uint32, uint64 and string.
+type Value interface{ cmp.Ordered }
+
+// Column types.
+const (
+	// Uint32 stores 4-byte integers (the paper's E_j = 4 configuration).
+	Uint32 = table.Uint32
+	// Uint64 stores 8-byte integers (E_j = 8, the common case).
+	Uint64 = table.Uint64
+	// String stores strings, modelled as E_j = 16 fixed-length values.
+	String = table.String
+)
+
+// Type identifies a column's value type.
+type Type = table.Type
+
+// ColumnDef declares one column.
+type ColumnDef = table.ColumnDef
+
+// Schema is an ordered list of column definitions.
+type Schema = table.Schema
+
+// Table is a column-store table with main/delta partitions per column.
+type Table = table.Table
+
+// NewTable creates an empty table.
+func NewTable(name string, schema Schema) (*Table, error) {
+	return table.New(name, schema)
+}
+
+// TableStats summarizes a table's storage (see Table.Stats).
+type TableStats = table.Stats
+
+// ColumnStats summarizes one column's storage.
+type ColumnStats = table.ColumnStats
+
+// Merge configuration and results.
+type (
+	// MergeOptions configures Table.Merge.
+	MergeOptions = table.MergeOptions
+	// MergeReport summarizes a completed table merge.
+	MergeReport = table.Report
+	// MergeStats holds one column's per-step merge timings.
+	MergeStats = core.Stats
+	// Algorithm selects the merge variant.
+	Algorithm = core.Algorithm
+	// MergeStrategy distributes threads across or within columns.
+	MergeStrategy = table.Strategy
+)
+
+// Merge algorithm variants.
+const (
+	// Optimized is the paper's linear-time merge with auxiliary
+	// translation tables (§5.3) — the default.
+	Optimized = core.Optimized
+	// Naive is the baseline merge whose Step 2 binary-searches the merged
+	// dictionary per tuple (§5.2).
+	Naive = core.Naive
+)
+
+// Merge strategies (§6.2.1).
+const (
+	// AutoStrategy picks based on column count vs thread count.
+	AutoStrategy = table.Auto
+	// ColumnTasks parallelizes across columns via a task queue.
+	ColumnTasks = table.ColumnTasks
+	// IntraColumn parallelizes within each column.
+	IntraColumn = table.IntraColumn
+)
+
+// Errors re-exported from the table layer.
+var (
+	ErrRowRange        = table.ErrRowRange
+	ErrRowInvalid      = table.ErrRowInvalid
+	ErrMergeInProgress = table.ErrMergeInProgress
+	ErrNoColumn        = table.ErrNoColumn
+	ErrArity           = table.ErrArity
+)
+
+// Handle is a typed single-column view supporting lookups, range selects
+// and scans.
+type Handle[V Value] = table.Handle[V]
+
+// NumericHandle adds Sum/Min/Max aggregation to integer columns.
+type NumericHandle[V interface{ ~uint32 | ~uint64 }] = table.NumericHandle[V]
+
+// ColumnOf returns a typed handle for the named column.
+func ColumnOf[V Value](t *Table, name string) (*Handle[V], error) {
+	return table.ColumnOf[V](t, name)
+}
+
+// NumericColumnOf returns a handle with aggregation support.
+func NumericColumnOf[V interface{ ~uint32 | ~uint64 }](t *Table, name string) (*NumericHandle[V], error) {
+	return table.NumericColumnOf[V](t, name)
+}
+
+// Scheduler triggers merges when the delta grows past a threshold.
+type (
+	Scheduler       = sched.Scheduler
+	SchedulerConfig = sched.Config
+)
+
+// Scheduler strategies (§3).
+const (
+	// AllResources merges with every available thread.
+	AllResources = sched.AllResources
+	// Background merges with a single thread.
+	Background = sched.Background
+)
+
+// NewScheduler supervises t, merging when N_D exceeds cfg.Fraction * N_M.
+func NewScheduler(t *Table, cfg SchedulerConfig) *Scheduler {
+	return sched.New(t, cfg)
+}
+
+// Workload generation (paper §2).
+type (
+	// Mix is a query-kind distribution (Figure 1).
+	Mix = workload.Mix
+	// QueryKind enumerates lookup/scan/range/insert/modification/delete.
+	QueryKind = workload.QueryKind
+	// Generator produces column values with a controlled distribution.
+	Generator = workload.Generator
+	// Driver executes a Mix against a table.
+	Driver = workload.Driver
+	// DriverCounts tallies a driver run.
+	DriverCounts = workload.Counts
+)
+
+// Built-in mixes (Figure 1).
+var (
+	OLTPMix = workload.OLTPMix
+	OLAPMix = workload.OLAPMix
+	TPCCMix = workload.TPCCMix
+)
+
+// NewUniformGenerator draws uniformly from a domain of the given size.
+func NewUniformGenerator(domain uint64, seed int64) Generator {
+	return workload.NewUniform(domain, seed)
+}
+
+// NewUniqueGenerator produces a never-repeating value stream (100% unique).
+func NewUniqueGenerator(seed int64) Generator { return workload.NewUnique(seed) }
+
+// NewGeneratorForUniqueFraction sizes a uniform domain so n draws contain
+// about frac*n distinct values (the paper's λ parameter).
+func NewGeneratorForUniqueFraction(n int, frac float64, seed int64) Generator {
+	return workload.NewUniformForUniqueFraction(n, frac, seed)
+}
+
+// NewZipfGenerator draws from a skewed (Zipf) distribution.
+func NewZipfGenerator(domain uint64, skew float64, seed int64) Generator {
+	return workload.NewZipf(domain, skew, seed)
+}
+
+// NewDriver builds a workload driver over the named uint64 column.
+func NewDriver(t *Table, column string, mix Mix, gen Generator, seed int64) (*Driver, error) {
+	return workload.NewDriver(t, column, mix, gen, seed)
+}
+
+// Multi-column queries (conjunctive predicates, positional refinement).
+type (
+	// Filter is one predicate of a conjunctive query.
+	Filter = query.Filter
+	// FilterOp is the predicate operator.
+	FilterOp = query.Op
+	// QueryResult holds matching rows and projected values.
+	QueryResult = query.Result
+)
+
+// Filter operators.
+const (
+	// FilterEq matches rows equal to Filter.Value.
+	FilterEq = query.Eq
+	// FilterBetween matches rows in [Filter.Value, Filter.Hi].
+	FilterBetween = query.Between
+)
+
+// Query evaluates the conjunction of filters column-at-a-time and projects
+// the named columns (nil projects nothing).
+func Query(t *Table, filters []Filter, project []string) (*QueryResult, error) {
+	return query.Run(t, filters, project)
+}
+
+// CSVOptions configures CSV import.
+type CSVOptions = csvload.Options
+
+// LoadCSV imports CSV data (header row required) into a new table; column
+// types are inferred unless fixed via CSVOptions.Types.  Rows land in the
+// delta partitions; merge when convenient.
+func LoadCSV(r io.Reader, opts CSVOptions) (*Table, int, error) {
+	return csvload.Load(r, opts)
+}
+
+// LoadCSVFile imports a CSV file.
+func LoadCSVFile(path string, opts CSVOptions) (*Table, int, error) {
+	return csvload.LoadFile(path, opts)
+}
+
+// Persistence.
+
+// Save writes a binary snapshot of t.
+func Save(t *Table, w io.Writer) error { return persist.Save(t, w) }
+
+// Load reads a snapshot written by Save.
+func Load(r io.Reader) (*Table, error) { return persist.Load(r) }
+
+// SaveFile and LoadFile are file-path conveniences.
+func SaveFile(t *Table, path string) error { return persist.SaveFile(t, path) }
+
+// LoadFile reads a snapshot file.
+func LoadFile(path string) (*Table, error) { return persist.LoadFile(path) }
+
+// Analytical model (paper §6.1, §7.4).
+type (
+	// ModelArch holds architecture constants for the cost model.
+	ModelArch = model.Arch
+	// ModelWorkload describes one column merge in model terms.
+	ModelWorkload = model.Workload
+	// ModelPrediction is the model's per-step cost estimate.
+	ModelPrediction = model.Prediction
+)
+
+// PaperArch returns the paper's evaluation-machine constants.
+func PaperArch() ModelArch { return model.PaperArch() }
+
+// Predict evaluates the analytical model for one column merge.
+func Predict(w ModelWorkload, a ModelArch, parallel bool) ModelPrediction {
+	return model.Predict(w, a, parallel)
+}
+
+// CalibrateArch measures this host's streaming and random bandwidth and
+// returns a ModelArch for Predict.  hz is the clock used for cycle
+// conversion (e.g. 3.3e9); threads <= 0 uses GOMAXPROCS.
+func CalibrateArch(hz float64, threads int) ModelArch {
+	r := membench.Calibrate(membench.Options{Threads: threads})
+	return model.Arch{
+		LineBytes:   64,
+		LLCBytes:    bench.DetectLLCBytes(),
+		StreamBPC:   membench.BytesPerCycle(r.StreamBytesPerSec, hz),
+		RandomBPC:   membench.BytesPerCycle(r.RandomBytesPerSec, hz),
+		OpsPerCycle: 1,
+		Threads:     r.Threads,
+		HZ:          hz,
+	}
+}
+
+// Experiments exposes the paper-reproduction harness.
+type (
+	// Experiment regenerates one paper figure or table.
+	Experiment = bench.Experiment
+	// ExperimentScale sets experiment sizes relative to the paper.
+	ExperimentScale = bench.Scale
+)
+
+// Experiments lists all registered paper reproductions.
+func Experiments() []Experiment { return bench.Registry() }
+
+// ExperimentByID resolves one experiment (e.g. "fig7").
+func ExperimentByID(id string) (Experiment, bool) { return bench.ByID(id) }

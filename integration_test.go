@@ -1,0 +1,177 @@
+package hyrise_test
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hyrise"
+)
+
+// TestIntegrationCSVToQueries drives the full ingest path: CSV import →
+// multi-column queries → merge → identical answers → snapshot round trip.
+func TestIntegrationCSVToQueries(t *testing.T) {
+	var csv strings.Builder
+	csv.WriteString("order_id,customer,qty,product\n")
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&csv, "%d,%d,%d,%s\n", i, i%40, i%15,
+			[]string{"widget", "gadget", "sprocket"}[i%3])
+	}
+	tb, n, err := hyrise.LoadCSV(strings.NewReader(csv.String()), hyrise.CSVOptions{
+		TableName: "orders",
+		Types:     map[string]hyrise.Type{"qty": hyrise.Uint32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2000 {
+		t.Fatalf("imported %d", n)
+	}
+
+	filters := []hyrise.Filter{
+		{Column: "product", Op: hyrise.FilterEq, Value: "widget"},
+		{Column: "customer", Op: hyrise.FilterBetween, Value: uint64(0), Hi: uint64(19)},
+		{Column: "qty", Op: hyrise.FilterBetween, Value: uint32(5), Hi: uint32(9)},
+	}
+	before, err := hyrise.Query(tb, filters, []string{"order_id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Count() == 0 {
+		t.Fatal("query matched nothing")
+	}
+
+	if _, err := tb.Merge(context.Background(), hyrise.MergeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := hyrise.Query(tb, filters, []string{"order_id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Count() != before.Count() {
+		t.Fatalf("merge changed query: %d vs %d", after.Count(), before.Count())
+	}
+	for i := range before.Rows {
+		if before.Rows[i] != after.Rows[i] || before.Values[i][0] != after.Values[i][0] {
+			t.Fatalf("row %d diverged across merge", i)
+		}
+	}
+
+	// Snapshot round trip preserves query results.
+	path := filepath.Join(t.TempDir(), "orders.hyr")
+	if err := hyrise.SaveFile(tb, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := hyrise.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := hyrise.Query(loaded, filters, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Count() != before.Count() {
+		t.Fatalf("snapshot changed query: %d vs %d", again.Count(), before.Count())
+	}
+}
+
+// TestIntegrationSchedulerUnderLoad runs the scheduler against concurrent
+// writers and checks the §4 invariant it exists to maintain: the delta
+// fraction stays bounded while no writes are lost.
+func TestIntegrationSchedulerUnderLoad(t *testing.T) {
+	tb, err := hyrise.NewTable("t", hyrise.Schema{{Name: "k", Type: hyrise.Uint64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100_000; i++ {
+		tb.Insert([]any{uint64(i % 1000)})
+	}
+	if _, err := tb.Merge(context.Background(), hyrise.MergeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	s := hyrise.NewScheduler(tb, hyrise.SchedulerConfig{
+		Fraction:     0.05,
+		MinDeltaRows: 100,
+		Interval:     2 * time.Millisecond,
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const writers, perWriter = 4, 20_000
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := tb.Insert([]any{uint64(i % 997)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.Stop()
+	if s.LastErr() != nil {
+		t.Fatal(s.LastErr())
+	}
+	want := 100_000 + writers*perWriter
+	if tb.Rows() != want {
+		t.Fatalf("rows %d want %d", tb.Rows(), want)
+	}
+	if got := tb.MainRows() + tb.DeltaRows(); got != want {
+		t.Fatalf("main+delta %d want %d", got, want)
+	}
+	if s.Merges() == 0 {
+		t.Fatal("scheduler never merged under sustained load")
+	}
+	// One final manual merge leaves a clean state.
+	if _, err := tb.Merge(context.Background(), hyrise.MergeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.DeltaRows() != 0 || tb.MainRows() != want {
+		t.Fatalf("final state main=%d delta=%d", tb.MainRows(), tb.DeltaRows())
+	}
+}
+
+// TestIntegrationNaiveOptimizedEquivalence merges two identical tables
+// with the two algorithms and diffs the full contents.
+func TestIntegrationNaiveOptimizedEquivalence(t *testing.T) {
+	build := func() *hyrise.Table {
+		tb, _ := hyrise.NewTable("t", hyrise.Schema{
+			{Name: "a", Type: hyrise.Uint64},
+			{Name: "b", Type: hyrise.String},
+		})
+		gen := hyrise.NewUniformGenerator(200, 1)
+		for i := 0; i < 5000; i++ {
+			v := gen.Next()
+			tb.Insert([]any{v, fmt.Sprintf("s%03d", v%97)})
+		}
+		return tb
+	}
+	t1, t2 := build(), build()
+	if _, err := t1.Merge(context.Background(), hyrise.MergeOptions{Algorithm: hyrise.Naive}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Merge(context.Background(), hyrise.MergeOptions{Algorithm: hyrise.Optimized}); err != nil {
+		t.Fatal(err)
+	}
+	if t1.Rows() != t2.Rows() {
+		t.Fatal("row counts differ")
+	}
+	for r := 0; r < t1.Rows(); r++ {
+		r1, _ := t1.Row(r)
+		r2, _ := t2.Row(r)
+		for c := range r1 {
+			if r1[c] != r2[c] {
+				t.Fatalf("row %d col %d: %v vs %v", r, c, r1[c], r2[c])
+			}
+		}
+	}
+}

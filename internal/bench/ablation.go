@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"hyrise/internal/core"
+	"hyrise/internal/delta"
+	"hyrise/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-dist",
+		Title: "Ablation: value distribution",
+		Description: "Tests the paper's §7 claim that uniform random values are the worst case " +
+			"for merge cache utilization and that skewed distributions only improve merge times.",
+		Run: runAblationDist,
+	})
+	register(Experiment{
+		ID:    "ablation-delta",
+		Title: "Ablation: delta structure",
+		Description: "Explores the paper's §9 future work — balancing insert vs merge cost with a " +
+			"different delta structure: CSB+-indexed delta (merge-ready) vs plain append log " +
+			"(cheapest insert, dictionary sorted at merge time).",
+		Run: runAblationDelta,
+	})
+}
+
+// runAblationDist merges identical-size columns whose values follow
+// uniform vs Zipf distributions.  Expectation (paper §7): "different value
+// distributions can only improve cache utilization, leading to better
+// merge times", and the difference is small.
+func runAblationDist(w io.Writer, s Scale) error {
+	s = s.Defaults()
+	nm := s.N(20_000_000)
+	nd := nm / 20
+	fmt.Fprintf(w, "Ablation: merge cost under value distributions (NM=%s, ND=%s, Ej=8B)\n\n",
+		human(nm), human(nd))
+	tw := newTable(w, 22, 10, 12, 12, 12)
+	tw.row("distribution", "uniq(M)", "step1 cpt", "step2 cpt", "total cpt")
+	tw.rule()
+	run := func(name string, gen workload.Generator) {
+		mainVals := workload.Fill(gen, nm)
+		m := mustMain(mainVals)
+		d, _ := deltaFromValues(workload.Fill(gen, nd))
+		core.MergeColumn(m, d, optionsOpt(s.Threads)) // warm-up
+		_, st := core.MergeColumn(m, d, optionsOpt(s.Threads))
+		tw.row(name,
+			human(st.UniqueMain),
+			f2(st.CyclesPerTuple(st.Step1(), s.HZ)),
+			f2(st.CyclesPerTuple(st.Step2, s.HZ)),
+			f2(st.CyclesPerTuple(st.Total(), s.HZ)))
+	}
+	domain := uint64(nm / 10)
+	run("uniform (paper)", workload.NewUniform(domain, 1))
+	run("zipf s=1.2", workload.NewZipf(domain, 1.2, 1))
+	run("zipf s=2.0", workload.NewZipf(domain, 2.0, 1))
+	run("sequential clustered", &seqGen{})
+	tw.rule()
+	fmt.Fprintln(w, "expectation (§7): uniform is the worst case; skew concentrates codes and")
+	fmt.Fprintln(w, "shrinks dictionaries, so merge cost only falls — the design need not tune for it")
+	return tw.err
+}
+
+// seqGen emits a slowly increasing sequence: perfectly clustered codes.
+type seqGen struct{ n uint64 }
+
+func (g *seqGen) Next() uint64 { g.n++; return g.n / 8 }
+func (g *seqGen) Reset()       { g.n = 0 }
+
+// runAblationDelta compares the insert and Step 1(a) costs of the CSB+
+// indexed delta against a plain append log whose dictionary is built by
+// sorting at merge time (§9: "investigate other delta partition structures
+// to balance the insert/merge costs").
+func runAblationDelta(w io.Writer, s Scale) error {
+	s = s.Defaults()
+	nd := s.N(8_000_000)
+	fmt.Fprintf(w, "Ablation: delta structure — indexed vs plain append (ND=%s, 10%% unique)\n\n", human(nd))
+	vals := workload.Fill(workload.NewUniformForUniqueFraction(nd, 0.10, 3), nd)
+
+	// CSB+ indexed delta: paper design.  Inserts pay the tree; Step 1(a)
+	// is a linear leaf traversal.
+	indexed := delta.New[uint64]()
+	t0 := time.Now()
+	for _, v := range vals {
+		indexed.Insert(v)
+	}
+	indexedInsert := time.Since(t0)
+	t0 = time.Now()
+	_, codes := indexed.ExtractDict()
+	indexedExtract := time.Since(t0)
+	_ = codes
+
+	// Plain append log: O(1) insert; merge-time sort builds the
+	// dictionary and codes.
+	plain := make([]uint64, 0, nd)
+	t0 = time.Now()
+	plain = append(plain, vals...)
+	plainInsert := time.Since(t0)
+	t0 = time.Now()
+	sorted := make([]uint64, len(plain))
+	copy(sorted, plain)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	uniq := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	// Code assignment for every tuple: binary search (no posting lists).
+	plainCodes := make([]uint32, len(plain))
+	for i, v := range plain {
+		lo, hi := 0, len(uniq)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if uniq[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		plainCodes[i] = uint32(lo)
+	}
+	plainExtract := time.Since(t0)
+
+	perTuple := func(d time.Duration) string {
+		return f1(d.Seconds() * s.HZ / float64(nd))
+	}
+	tw := newTable(w, 24, 14, 16, 16)
+	tw.row("structure", "insert cpt", "step1a cpt", "reads during fill")
+	tw.rule()
+	tw.row("CSB+ indexed (paper)", perTuple(indexedInsert), perTuple(indexedExtract), "indexed lookups")
+	tw.row("plain append log", perTuple(plainInsert), perTuple(plainExtract), "full scans only")
+	tw.rule()
+	fmt.Fprintln(w, "trade-off: the plain log inserts far cheaper but shifts an O(ND log ND) sort +")
+	fmt.Fprintln(w, "per-tuple binary search into the merge and loses indexed point reads on the")
+	fmt.Fprintln(w, "delta — the balance §9 proposes exploring; the CSB+ delta keeps Step 1(a) linear")
+	return tw.err
+}

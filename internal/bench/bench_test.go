@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps experiment tests fast: ~50k-tuple mains.
+func tinyScale() Scale {
+	return Scale{Factor: 0.0005, Threads: 2, HZ: 3.3e9, NC: 300, LLCBytes: 32 << 20}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9",
+		"table2", "sec2merge", "model", "ablation-dist", "ablation-delta",
+		"sec4readcost"}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(Registry()) != len(want) {
+		t.Errorf("registry has %d entries want %d", len(Registry()), len(want))
+	}
+	ids := IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatal("IDs not sorted")
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestScaleDefaults(t *testing.T) {
+	s := Scale{}.Defaults()
+	if s.Factor != 0.05 || s.HZ != 3.3e9 || s.NC != 300 || s.Threads < 1 || s.LLCBytes <= 0 {
+		t.Fatalf("defaults %+v", s)
+	}
+	if got := s.N(100); got != 1000 {
+		t.Fatalf("N floor: %d", got)
+	}
+	if got := s.N(10_000_000); got != 500_000 {
+		t.Fatalf("N: %d", got)
+	}
+}
+
+func TestDetectLLCBytes(t *testing.T) {
+	if got := DetectLLCBytes(); got <= 0 {
+		t.Fatalf("LLC %d", got)
+	}
+}
+
+// TestExperimentsRun executes every experiment at tiny scale and checks
+// they produce plausible output without errors.
+func TestExperimentsRun(t *testing.T) {
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if e.ID == "model" && testing.Short() {
+				t.Skip("bandwidth calibration in -short mode")
+			}
+			var buf bytes.Buffer
+			if err := e.Run(&buf, tinyScale()); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(out) < 100 {
+				t.Fatalf("%s: suspiciously short output:\n%s", e.ID, out)
+			}
+			if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+				t.Fatalf("%s: non-finite values in output:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+// TestFig7Shape verifies the core claim at small scale: optimized Step 2
+// is substantially cheaper than naive Step 2.
+func TestFig7Shape(t *testing.T) {
+	s := tinyScale()
+	nm, nd := 200_000, 20_000
+	naive := MeasureColumnMerge(nm, nd, 0.10, optionsNaive(s.Threads), 1, asU64)
+	opt := MeasureColumnMerge(nm, nd, 0.10, optionsOpt(s.Threads), 1, asU64)
+	if opt.Merge.Step2 >= naive.Merge.Step2 {
+		t.Fatalf("optimized Step2 (%v) not faster than naive (%v)",
+			opt.Merge.Step2, naive.Merge.Step2)
+	}
+	ratio := float64(naive.Merge.Step2) / float64(opt.Merge.Step2)
+	if ratio < 2 {
+		t.Fatalf("step2 speedup only %.1fx; paper reports ~9-10x at full scale", ratio)
+	}
+}
+
+func TestMeasurementArithmetic(t *testing.T) {
+	m := MeasureColumnMerge(50_000, 5_000, 0.1, optionsOpt(2), 9, asU64)
+	if m.UpdateDelta <= 0 {
+		t.Fatal("no delta fill time")
+	}
+	if m.TotalCost(3.3e9) <= 0 {
+		t.Fatal("cost")
+	}
+	if m.UpdateRate(300) <= 0 {
+		t.Fatal("rate")
+	}
+	// More columns => lower table-level update rate.
+	if m.UpdateRate(300) >= m.UpdateRate(30) {
+		t.Fatal("rate should fall with column count")
+	}
+}
+
+func TestHuman(t *testing.T) {
+	cases := map[int]string{
+		500: "500", 1000: "1K", 1500: "1.5K", 1_000_000: "1M",
+		100_000_000: "100M", 1_000_000_000: "1B",
+	}
+	for in, want := range cases {
+		if got := human(in); got != want {
+			t.Errorf("human(%d)=%q want %q", in, got, want)
+		}
+	}
+}

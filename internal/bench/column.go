@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"time"
+
+	"hyrise/internal/colstore"
+	"hyrise/internal/core"
+	"hyrise/internal/delta"
+	"hyrise/internal/val"
+	"hyrise/internal/workload"
+)
+
+// Measurement is one column-merge experiment data point, the unit behind
+// Figures 7-9 and Table 2: the time to fill the delta (T_U, "Update
+// Delta") and the per-step merge times (T_M).
+type Measurement struct {
+	UpdateDelta time.Duration
+	Merge       core.Stats
+}
+
+// Cost returns the paper's update cost in cycles per tuple for one
+// component duration (amortized over N_M + N_D).
+func (m Measurement) Cost(d time.Duration, hz float64) float64 {
+	return m.Merge.CyclesPerTuple(d, hz)
+}
+
+// TotalCost returns the full update cost (delta fill + merge).
+func (m Measurement) TotalCost(hz float64) float64 {
+	return m.Cost(m.UpdateDelta+m.Merge.Total(), hz)
+}
+
+// UpdateRate converts the measurement to table-level updates/second for a
+// table of nc columns: merging nc columns costs nc times the single-column
+// time, and the delta fill for one update touches all nc columns.
+func (m Measurement) UpdateRate(nc int) float64 {
+	perColumn := m.UpdateDelta + m.Merge.Total()
+	total := time.Duration(nc) * perColumn
+	if total <= 0 {
+		return 0
+	}
+	return float64(m.Merge.ND) / total.Seconds()
+}
+
+// buildMain materializes a main partition of n tuples with approximately
+// uniqueFrac·n distinct values.
+func buildMain[V val.Value](n int, uniqueFrac float64, seed int64, conv func(uint64) V) *colstore.Main[V] {
+	gen := workload.NewUniformForUniqueFraction(n, uniqueFrac, seed)
+	vals := make([]V, n)
+	for i := range vals {
+		vals[i] = conv(gen.Next())
+	}
+	return colstore.FromValues(vals)
+}
+
+// fillDelta inserts n tuples and reports the fill time T_U.
+func fillDelta[V val.Value](n int, uniqueFrac float64, seed int64, conv func(uint64) V) (*delta.Partition[V], time.Duration) {
+	gen := workload.NewUniformForUniqueFraction(n, uniqueFrac, seed)
+	vals := make([]V, n)
+	for i := range vals {
+		vals[i] = conv(gen.Next())
+	}
+	d := delta.New[V]()
+	start := time.Now()
+	for _, v := range vals {
+		d.Insert(v)
+	}
+	return d, time.Since(start)
+}
+
+// MeasureColumnMerge builds a column at the given sizes and measures the
+// delta fill plus one merge.  The merge runs twice and the second run is
+// reported: the first run absorbs first-touch page faults on freshly
+// allocated output buffers, which would otherwise distort small
+// configurations.
+func MeasureColumnMerge[V val.Value](nm, nd int, uniqueFrac float64, opts core.Options, seed int64, conv func(uint64) V) Measurement {
+	m := buildMain(nm, uniqueFrac, seed, conv)
+	d, tu := fillDelta(nd, uniqueFrac, seed+1, conv)
+	core.MergeColumn(m, d, opts) // warm-up
+	_, stats := core.MergeColumn(m, d, opts)
+	return Measurement{UpdateDelta: tu, Merge: stats}
+}
+
+// Value converters for the paper's three value-lengths (E_j = 4, 8, 16).
+func asU32(v uint64) uint32   { return uint32(v) }
+func asU64(v uint64) uint64   { return v }
+func asStr16(v uint64) string { return workload.FixedString(v) }
+
+// mustMain compresses values into a main partition.
+func mustMain(values []uint64) *colstore.Main[uint64] {
+	return colstore.FromValues(values)
+}
+
+// deltaFromValues fills a delta partition, reporting the fill time.
+func deltaFromValues(values []uint64) (*delta.Partition[uint64], time.Duration) {
+	d := delta.New[uint64]()
+	start := time.Now()
+	for _, v := range values {
+		d.Insert(v)
+	}
+	return d, time.Since(start)
+}
+
+// optionsOpt and optionsNaive are small helpers for tests and experiments.
+func optionsOpt(threads int) core.Options {
+	return core.Options{Algorithm: core.Optimized, Threads: threads}
+}
+
+func optionsNaive(threads int) core.Options {
+	return core.Options{Algorithm: core.Naive, Threads: threads}
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"hyrise/internal/core"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Figure 7",
+		Description: "Update cost (cycles/tuple) vs delta size, unoptimized vs optimized merge, " +
+			"with Update-Delta/Step-1/Step-2 breakdown.  Paper: NM=100M, 10% unique, 8-byte values.",
+		Run: runFig7,
+	})
+}
+
+// runFig7 reproduces Figure 7: NM fixed, ND swept over 0.5%..8% of the
+// paper's 100M-row main partition, both parallelized implementations.
+//
+// Expected shapes (paper §7.1): optimized Step 2 is ~9-10x cheaper than
+// unoptimized Step 2; unoptimized Step 2 dominates and is flat per tuple;
+// in the optimized code the delta-update share grows to 30-55% as the
+// delta grows.
+func runFig7(w io.Writer, s Scale) error {
+	s = s.Defaults()
+	nm := s.N(100_000_000)
+	const unique = 0.10
+	fmt.Fprintf(w, "Figure 7: update cost vs delta size (NM=%s, 10%% unique, Ej=8B, %d threads, %.2gGHz)\n",
+		human(nm), s.Threads, s.HZ/1e9)
+	fmt.Fprintf(w, "paper deltas 100K..8M scaled by %.3g\n\n", s.Factor)
+
+	tw := newTable(w, 10, 6, 14, 12, 12, 12, 12)
+	tw.row("delta", "alg", "updDelta cpt", "step1 cpt", "step2 cpt", "total cpt", "upd/s(NC=300)")
+	tw.rule()
+	for _, paperND := range []int{100_000, 500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000} {
+		nd := s.N(paperND)
+		for _, alg := range []core.Algorithm{core.Naive, core.Optimized} {
+			m := MeasureColumnMerge(nm, nd, unique,
+				core.Options{Algorithm: alg, Threads: s.Threads}, 1000+int64(paperND), asU64)
+			label := "UnOpt"
+			if alg == core.Optimized {
+				label = "Opt"
+			}
+			tw.row(
+				human(paperND),
+				label,
+				f2(m.Cost(m.UpdateDelta, s.HZ)),
+				f2(m.Cost(m.Merge.Step1(), s.HZ)),
+				f2(m.Cost(m.Merge.Step2, s.HZ)),
+				f2(m.TotalCost(s.HZ)),
+				f1(m.UpdateRate(s.NC)),
+			)
+		}
+	}
+	tw.rule()
+	fmt.Fprintln(w, "shape checks: UnOpt step2 >> Opt step2 (paper: 9-10x); Opt delta-update share grows with delta size")
+	return tw.err
+}

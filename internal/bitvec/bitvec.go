@@ -1,0 +1,107 @@
+// Package bitvec provides growable bitmaps used as row-validity vectors.
+//
+// HYRISE models all table modifications as inserts (paper §3): an UPDATE
+// appends a new row version and clears the validity bit of the old version;
+// a DELETE only clears the bit.  The bitmap therefore grows append-only in
+// lockstep with the row count and supports fast population counts and
+// iteration over set bits for scans.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Vector is a growable bitmap.  The zero value is an empty bitmap.
+type Vector struct {
+	words []uint64
+	n     int
+}
+
+// New returns a bitmap of length n with all bits clear.
+func New(n int) *Vector {
+	return &Vector{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits.
+func (v *Vector) Len() int { return v.n }
+
+// SizeBytes returns the memory consumed by the payload.
+func (v *Vector) SizeBytes() int { return len(v.words) * 8 }
+
+// AppendSet grows the bitmap by one bit, set to b.
+func (v *Vector) AppendSet(b bool) {
+	i := v.n
+	v.n++
+	if need := (v.n + 63) / 64; len(v.words) < need {
+		v.words = append(v.words, 0)
+	}
+	if b {
+		v.words[i/64] |= 1 << uint(i%64)
+	}
+}
+
+// Get reports whether bit i is set.  It panics if i is out of range.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i/64]&(1<<uint(i%64)) != 0
+}
+
+// Set sets bit i.
+func (v *Vector) Set(i int) {
+	v.check(i)
+	v.words[i/64] |= 1 << uint(i%64)
+}
+
+// Clear clears bit i.
+func (v *Vector) Clear(i int) {
+	v.check(i)
+	v.words[i/64] &^= 1 << uint(i%64)
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Count returns the number of set bits.
+func (v *Vector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Range calls fn for every set bit in ascending order; if fn returns false,
+// iteration stops.
+func (v *Vector) Range(fn func(i int) bool) {
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			i := wi*64 + b
+			if i >= v.n {
+				return
+			}
+			if !fn(i) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (v *Vector) Clone() *Vector {
+	w := &Vector{words: make([]uint64, len(v.words)), n: v.n}
+	copy(w.words, v.words)
+	return w
+}
+
+// AppendAll grows the bitmap by appending all bits of other.
+func (v *Vector) AppendAll(other *Vector) {
+	for i := 0; i < other.n; i++ {
+		v.AppendSet(other.Get(i))
+	}
+}

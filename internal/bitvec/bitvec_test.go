@@ -1,0 +1,169 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndBasicOps(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len=%d want 130", v.Len())
+	}
+	if v.Count() != 0 {
+		t.Fatalf("Count=%d want 0", v.Count())
+	}
+	v.Set(0)
+	v.Set(63)
+	v.Set(64)
+	v.Set(129)
+	if v.Count() != 4 {
+		t.Fatalf("Count=%d want 4", v.Count())
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		if !v.Get(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	if v.Get(1) || v.Get(128) {
+		t.Error("unexpected set bit")
+	}
+	v.Clear(63)
+	if v.Get(63) || v.Count() != 3 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestAppendSet(t *testing.T) {
+	var v Vector
+	ref := make([]bool, 0)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		b := rng.Intn(2) == 1
+		v.AppendSet(b)
+		ref = append(ref, b)
+	}
+	if v.Len() != len(ref) {
+		t.Fatalf("Len=%d want %d", v.Len(), len(ref))
+	}
+	want := 0
+	for i, b := range ref {
+		if v.Get(i) != b {
+			t.Fatalf("Get(%d)=%v want %v", i, v.Get(i), b)
+		}
+		if b {
+			want++
+		}
+	}
+	if v.Count() != want {
+		t.Fatalf("Count=%d want %d", v.Count(), want)
+	}
+}
+
+func TestRange(t *testing.T) {
+	v := New(200)
+	set := []int{0, 1, 5, 63, 64, 65, 127, 128, 199}
+	for _, i := range set {
+		v.Set(i)
+	}
+	var got []int
+	v.Range(func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != len(set) {
+		t.Fatalf("Range visited %d bits, want %d", len(got), len(set))
+	}
+	for i := range set {
+		if got[i] != set[i] {
+			t.Fatalf("Range[%d]=%d want %d", i, got[i], set[i])
+		}
+	}
+	// Early stop.
+	count := 0
+	v.Range(func(i int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d, want 3", count)
+	}
+}
+
+func TestRangeIgnoresTailBits(t *testing.T) {
+	// Bits beyond Len in the final word must never be visited.
+	var v Vector
+	for i := 0; i < 10; i++ {
+		v.AppendSet(true)
+	}
+	visited := 0
+	v.Range(func(i int) bool {
+		if i >= 10 {
+			t.Fatalf("visited out-of-range bit %d", i)
+		}
+		visited++
+		return true
+	})
+	if visited != 10 {
+		t.Fatalf("visited %d want 10", visited)
+	}
+}
+
+func TestCloneAndAppendAll(t *testing.T) {
+	a := New(70)
+	a.Set(3)
+	a.Set(69)
+	b := a.Clone()
+	b.Clear(3)
+	if !a.Get(3) {
+		t.Fatal("Clone not deep")
+	}
+	c := New(2)
+	c.Set(1)
+	c.AppendAll(a)
+	if c.Len() != 72 {
+		t.Fatalf("Len=%d want 72", c.Len())
+	}
+	if !c.Get(1) || !c.Get(2+3) || !c.Get(2+69) {
+		t.Fatal("AppendAll misplaced bits")
+	}
+	if c.Count() != 3 {
+		t.Fatalf("Count=%d want 3", c.Count())
+	}
+}
+
+func TestQuickCountMatchesReference(t *testing.T) {
+	f := func(pattern []bool) bool {
+		var v Vector
+		want := 0
+		for _, b := range pattern {
+			v.AppendSet(b)
+			if b {
+				want++
+			}
+		}
+		return v.Count() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOutOfRange(t *testing.T) {
+	v := New(5)
+	for name, f := range map[string]func(){
+		"Get":   func() { v.Get(5) },
+		"Set":   func() { v.Set(-1) },
+		"Clear": func() { v.Clear(99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,163 @@
+// Package colstore implements the read-optimized main partition of a
+// column (paper §3): a sorted dictionary plus a bit-packed code vector at
+// E_C = ceil(log2 |U_M|) bits per tuple.
+//
+// Point queries binary-search the dictionary once (random access) and then
+// scan the code vector (sequential access) for the resulting code; range
+// queries scan for a code interval, exploiting the order-preserving
+// encoding.
+package colstore
+
+import (
+	"fmt"
+
+	"hyrise/internal/bitpack"
+	"hyrise/internal/dict"
+	"hyrise/internal/val"
+)
+
+// Main is an immutable main partition.  Build one with FromValues, or via
+// the merge process in internal/core.
+type Main[V val.Value] struct {
+	dict  *dict.Dict[V]
+	codes *bitpack.Vector
+}
+
+// New wraps an existing dictionary and code vector.  The vector's width
+// must accommodate the dictionary cardinality.
+func New[V val.Value](d *dict.Dict[V], codes *bitpack.Vector) *Main[V] {
+	if want := bitpack.MinBits(d.Len()); codes.Bits() < want {
+		panic(fmt.Sprintf("colstore: %d-bit codes cannot address %d dictionary entries", codes.Bits(), d.Len()))
+	}
+	return &Main[V]{dict: d, codes: codes}
+}
+
+// Empty returns a main partition with no tuples and an empty dictionary.
+func Empty[V val.Value]() *Main[V] {
+	return &Main[V]{dict: dict.FromSorted[V](nil), codes: bitpack.New(0, 0)}
+}
+
+// FromValues dictionary-compresses values into a main partition.
+func FromValues[V val.Value](values []V) *Main[V] {
+	d := dict.FromUnsorted(values)
+	bits := bitpack.MinBits(d.Len())
+	w := bitpack.NewWriter(bits, len(values))
+	for _, v := range values {
+		code, ok := d.Lookup(v)
+		if !ok {
+			panic("colstore: dictionary misses its own value")
+		}
+		w.Write(uint64(code))
+	}
+	return &Main[V]{dict: d, codes: w.Vector()}
+}
+
+// Len returns the tuple count (N_M).
+func (m *Main[V]) Len() int { return m.codes.Len() }
+
+// Dict returns the sorted dictionary (U_M).
+func (m *Main[V]) Dict() *dict.Dict[V] { return m.dict }
+
+// Codes returns the bit-packed code vector.
+func (m *Main[V]) Codes() *bitpack.Vector { return m.codes }
+
+// Bits returns the compressed value-length E_C in bits.
+func (m *Main[V]) Bits() uint { return m.codes.Bits() }
+
+// At materializes the value of tuple i (one code fetch plus one dictionary
+// access — the "forced materialization" cost the paper charges to reads
+// against compressed storage).
+func (m *Main[V]) At(i int) V { return m.dict.At(int(m.codes.Get(i))) }
+
+// LookupCode returns the code for value v, if present.
+func (m *Main[V]) LookupCode(v V) (uint64, bool) {
+	c, ok := m.dict.Lookup(v)
+	return uint64(c), ok
+}
+
+// ScanEqual appends to dst the positions whose value equals v.
+func (m *Main[V]) ScanEqual(v V, dst []int) []int {
+	code, ok := m.LookupCode(v)
+	if !ok {
+		return dst
+	}
+	r := m.codes.Reader()
+	for i := 0; i < m.codes.Len(); i++ {
+		if r.Next() == code {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// ScanRange appends to dst the positions whose value lies in [lo, hi]
+// (inclusive).  The value range maps to one code interval.
+func (m *Main[V]) ScanRange(lo, hi V, dst []int) []int {
+	cLo := uint64(m.dict.LowerBound(lo))
+	cHi := uint64(m.dict.UpperBound(hi)) // exclusive
+	if cLo >= cHi {
+		return dst
+	}
+	r := m.codes.Reader()
+	for i := 0; i < m.codes.Len(); i++ {
+		if c := r.Next(); c >= cLo && c < cHi {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// CountEqual returns the number of tuples with value v.
+func (m *Main[V]) CountEqual(v V) int {
+	code, ok := m.LookupCode(v)
+	if !ok {
+		return 0
+	}
+	n := 0
+	r := m.codes.Reader()
+	for i := 0; i < m.codes.Len(); i++ {
+		if r.Next() == code {
+			n++
+		}
+	}
+	return n
+}
+
+// Materialize appends the uncompressed values of positions [from, to) to
+// dst.
+func (m *Main[V]) Materialize(from, to int, dst []V) []V {
+	for i := from; i < to; i++ {
+		dst = append(dst, m.At(i))
+	}
+	return dst
+}
+
+// SizeBytes returns payload memory: packed codes plus dictionary values.
+func (m *Main[V]) SizeBytes() int {
+	return m.codes.SizeBytes() + m.dict.SizeBytes()
+}
+
+// UncompressedSizeBytes returns what the column would occupy without
+// dictionary compression.
+func (m *Main[V]) UncompressedSizeBytes() int {
+	per := val.FixedSize[V]()
+	if per <= 0 {
+		per = 16
+	}
+	return per * m.codes.Len()
+}
+
+// Validate checks internal invariants (test support).
+func (m *Main[V]) Validate() error {
+	maxCode := uint64(0)
+	r := m.codes.Reader()
+	for i := 0; i < m.codes.Len(); i++ {
+		if c := r.Next(); c > maxCode {
+			maxCode = c
+		}
+	}
+	if m.codes.Len() > 0 && int(maxCode) >= m.dict.Len() {
+		return fmt.Errorf("colstore: code %d out of dictionary range %d", maxCode, m.dict.Len())
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package colstore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hyrise/internal/bitpack"
+	"hyrise/internal/dict"
+)
+
+func TestFromValuesRoundTrip(t *testing.T) {
+	vals := []uint64{50, 10, 30, 10, 50, 50, 20}
+	m := FromValues(vals)
+	if m.Len() != len(vals) {
+		t.Fatalf("Len=%d want %d", m.Len(), len(vals))
+	}
+	if m.Dict().Len() != 4 {
+		t.Fatalf("dict len %d want 4", m.Dict().Len())
+	}
+	if m.Bits() != 2 {
+		t.Fatalf("Bits=%d want 2", m.Bits())
+	}
+	for i, v := range vals {
+		if m.At(i) != v {
+			t.Fatalf("At(%d)=%d want %d", i, m.At(i), v)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperExampleColumn(t *testing.T) {
+	// Figure 5 main partition: 6 dictionary entries stored in 3 bits.
+	vals := []string{"charlie", "hotel", "delta", "apple", "frank", "inbox",
+		"hotel", "charlie", "delta", "inbox"}
+	m := FromValues(vals)
+	if m.Dict().Len() != 6 {
+		t.Fatalf("dict len %d want 6", m.Dict().Len())
+	}
+	if m.Bits() != 3 {
+		t.Fatalf("Bits=%d want 3 (ceil(log2 6))", m.Bits())
+	}
+	if code, ok := m.LookupCode("hotel"); !ok || code != 4 {
+		t.Fatalf("LookupCode(hotel)=%d,%v want 4 (paper: encoded value 100)", code, ok)
+	}
+}
+
+func TestScanEqual(t *testing.T) {
+	vals := []uint64{5, 1, 5, 9, 5, 1}
+	m := FromValues(vals)
+	got := m.ScanEqual(5, nil)
+	want := []int{0, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("ScanEqual=%v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ScanEqual=%v want %v", got, want)
+		}
+	}
+	if got := m.ScanEqual(7, nil); len(got) != 0 {
+		t.Fatalf("ScanEqual(7)=%v want empty", got)
+	}
+	if n := m.CountEqual(1); n != 2 {
+		t.Fatalf("CountEqual(1)=%d want 2", n)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	vals := []uint64{10, 20, 30, 40, 50, 25}
+	m := FromValues(vals)
+	got := m.ScanRange(20, 40, nil)
+	want := []int{1, 2, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("ScanRange=%v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ScanRange=%v want %v", got, want)
+		}
+	}
+	// Bounds not present in the data still select correctly.
+	got = m.ScanRange(11, 39, nil)
+	want = []int{1, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("ScanRange(11,39)=%v want %v", got, want)
+	}
+	if got := m.ScanRange(60, 70, nil); len(got) != 0 {
+		t.Fatalf("empty range returned %v", got)
+	}
+	if got := m.ScanRange(40, 20, nil); len(got) != 0 {
+		t.Fatalf("inverted range returned %v", got)
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	vals := []uint64{7, 8, 9, 10}
+	m := FromValues(vals)
+	got := m.Materialize(1, 3, nil)
+	if len(got) != 2 || got[0] != 8 || got[1] != 9 {
+		t.Fatalf("Materialize=%v", got)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	m := Empty[uint64]()
+	if m.Len() != 0 || m.Dict().Len() != 0 {
+		t.Fatal("Empty not empty")
+	}
+	if got := m.ScanEqual(1, nil); len(got) != 0 {
+		t.Fatal("scan on empty found rows")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompression(t *testing.T) {
+	// 1M-ish tuples over 100 distinct 8-byte values: 7 bits/tuple vs 64.
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]uint64, 100000)
+	for i := range vals {
+		vals[i] = uint64(rng.Intn(100)) * 1e9
+	}
+	m := FromValues(vals)
+	if m.Bits() != 7 {
+		t.Fatalf("Bits=%d want 7", m.Bits())
+	}
+	ratio := float64(m.UncompressedSizeBytes()) / float64(m.SizeBytes())
+	if ratio < 5 {
+		t.Fatalf("compression ratio %.1f too low", ratio)
+	}
+}
+
+func TestNewPanicsOnNarrowCodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d := dict.FromSorted([]uint64{1, 2, 3, 4, 5})
+	New(d, bitpack.New(2, 0)) // 2 bits cannot address 5 entries
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		vals := make([]uint64, len(raw))
+		for i, r := range raw {
+			vals[i] = uint64(r)
+		}
+		m := FromValues(vals)
+		for i, v := range vals {
+			if m.At(i) != v {
+				return false
+			}
+		}
+		return m.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScanEqual(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]uint64, 1<<20)
+	for i := range vals {
+		vals[i] = rng.Uint64() % 1000
+	}
+	m := FromValues(vals)
+	b.ResetTimer()
+	var dst []int
+	for i := 0; i < b.N; i++ {
+		dst = m.ScanEqual(500, dst[:0])
+	}
+}
+
+func BenchmarkAt(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]uint64, 1<<20)
+	for i := range vals {
+		vals[i] = rng.Uint64() % 1000
+	}
+	m := FromValues(vals)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += m.At(i & (1<<20 - 1))
+	}
+	_ = sink
+}

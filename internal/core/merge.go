@@ -1,0 +1,324 @@
+// Package core implements the paper's primary contribution: the merge
+// process that combines a column's compressed main partition with its
+// uncompressed delta partition into a new compressed main partition
+// (paper §5 and §6).
+//
+// Three variants are provided, all selected through Options:
+//
+//   - Naive (§5.1–5.2): Step 1 builds the merged dictionary without
+//     auxiliary structures; Step 2 recomputes every tuple's code by
+//     materializing through the old dictionary and binary-searching the new
+//     one — O(N_M + (N_M+N_D)·log|U'_M|) (Equation 5).
+//   - Optimized (§5.3): Step 1(a) rewrites the delta to codes during the
+//     CSB+ leaf traversal; Step 1(b) additionally emits the translation
+//     tables X_M and X_D; Step 2 becomes a table lookup per tuple
+//     (Equation 11) — O(N_M + N_D + |U_M| + |U_D|) (Equation 6).
+//   - Either variant runs single-threaded or parallelized (§6.2):
+//     Step 1(b) uses the three-phase co-ranked merge, Step 2 splits the
+//     output into word-aligned chunks processed by independent goroutines.
+//
+// MergeColumn returns the new main partition; the input main and delta are
+// not modified, which is what allows the table layer to run the merge
+// online against a snapshot while new writes accumulate in a second delta
+// (paper §3).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"hyrise/internal/bitpack"
+	"hyrise/internal/colstore"
+	"hyrise/internal/delta"
+	"hyrise/internal/dict"
+	"hyrise/internal/val"
+)
+
+// Algorithm selects the merge variant.
+type Algorithm int
+
+const (
+	// Optimized is the paper's linear-time algorithm with auxiliary
+	// translation tables (§5.3).
+	Optimized Algorithm = iota
+	// Naive is the baseline algorithm whose Step 2 performs a dictionary
+	// materialization plus binary search per tuple (§5.2).
+	Naive
+)
+
+// String returns the variant name used in experiment output.
+func (a Algorithm) String() string {
+	switch a {
+	case Optimized:
+		return "optimized"
+	case Naive:
+		return "naive"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configures a merge.
+type Options struct {
+	// Algorithm selects Naive or Optimized; the zero value is Optimized.
+	Algorithm Algorithm
+	// Threads is the number of worker goroutines N_T; values <= 1 select
+	// the serial implementation, 0 means runtime.GOMAXPROCS(0).
+	Threads int
+}
+
+// EffectiveThreads resolves the Threads field.
+func (o Options) EffectiveThreads() int {
+	if o.Threads == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Threads < 1 {
+		return 1
+	}
+	return o.Threads
+}
+
+// Stats records the outcome and per-step timings of one column merge.
+// Durations follow the paper's step naming (§5): Step 1(a) delta dictionary
+// extraction, Step 1(b) dictionary merge, Step 2 compressed-value update.
+type Stats struct {
+	Algorithm Algorithm
+	Threads   int
+
+	NM, ND       int // tuples in main / delta before the merge
+	UniqueMain   int // |U_M|
+	UniqueDelta  int // |U_D|
+	UniqueMerged int // |U'_M|
+
+	BitsBefore uint // E_C
+	BitsAfter  uint // E'_C
+	ValueBytes int  // E_j (16 assumed for variable-length values)
+
+	Step1a, Step1b, Step2 time.Duration
+}
+
+// Step1 returns the combined dictionary phase duration.
+func (s Stats) Step1() time.Duration { return s.Step1a + s.Step1b }
+
+// Total returns the full merge duration T_M for this column.
+func (s Stats) Total() time.Duration { return s.Step1a + s.Step1b + s.Step2 }
+
+// CyclesPerTuple converts a duration to the paper's "update cost" unit:
+// amortized CPU cycles per tuple at the given clock rate, over N_M + N_D
+// tuples (§7).
+func (s Stats) CyclesPerTuple(d time.Duration, hz float64) float64 {
+	tuples := float64(s.NM + s.ND)
+	if tuples == 0 {
+		return 0
+	}
+	return d.Seconds() * hz / tuples
+}
+
+// MergeColumn merges one column's main and delta partitions into a new
+// main partition (the inputs are left untouched).  The delta may be empty;
+// the result is then a re-encoded copy of the main partition.
+func MergeColumn[V val.Value](m *colstore.Main[V], d *delta.Partition[V], opts Options) (*colstore.Main[V], Stats) {
+	nt := opts.EffectiveThreads()
+	st := Stats{
+		Algorithm:  opts.Algorithm,
+		Threads:    nt,
+		NM:         m.Len(),
+		ND:         d.Len(),
+		UniqueMain: m.Dict().Len(),
+		BitsBefore: m.Bits(),
+		ValueBytes: valueBytes[V](),
+	}
+	switch opts.Algorithm {
+	case Naive:
+		out := mergeNaive(m, d, nt, &st)
+		return out, st
+	default:
+		out := mergeOptimized(m, d, nt, &st)
+		return out, st
+	}
+}
+
+func valueBytes[V val.Value]() int {
+	if n := val.FixedSize[V](); n > 0 {
+		return n
+	}
+	return 16
+}
+
+// mergeOptimized is the paper's linear-time merge (§5.3, parallelized per
+// §6.2).
+func mergeOptimized[V val.Value](m *colstore.Main[V], d *delta.Partition[V], nt int, st *Stats) *colstore.Main[V] {
+	// Step 1(a): delta dictionary + delta code rewrite via CSB+ traversal.
+	t0 := time.Now()
+	var dictD *dict.Dict[V]
+	var deltaCodes []uint32
+	if nt > 1 {
+		dictD, deltaCodes = d.ExtractDictParallel(nt)
+	} else {
+		dictD, deltaCodes = d.ExtractDict()
+	}
+	st.Step1a = time.Since(t0)
+	st.UniqueDelta = dictD.Len()
+
+	// Step 1(b): merge dictionaries, emitting X_M and X_D.
+	t0 = time.Now()
+	var res dict.MergeResult[V]
+	if nt > 1 && m.Dict().Len()+dictD.Len() >= parallelDictThreshold {
+		res = dict.MergeParallel(m.Dict(), dictD, nt)
+	} else {
+		res = dict.Merge(m.Dict(), dictD)
+	}
+	st.Step1b = time.Since(t0)
+	st.UniqueMerged = res.Merged.Len()
+
+	// Step 2(a): new compressed value-length (Equation 4).
+	bits := bitpack.MinBits(res.Merged.Len())
+	st.BitsAfter = bits
+
+	// Step 2(b): rewrite codes via translation-table lookups (Equation 11).
+	t0 = time.Now()
+	total := m.Len() + d.Len()
+	w := bitpack.NewWriter(bits, total)
+	if nt > 1 && total >= parallelStep2Threshold {
+		parallelFor(total, nt, alignedChunks(bits, total, nt), func(lo, hi int) {
+			nm := m.Len()
+			if lo < nm {
+				r := m.Codes().ReaderAt(lo)
+				end := hi
+				if end > nm {
+					end = nm
+				}
+				for i := lo; i < end; i++ {
+					w.WriteAt(i, uint64(res.XM[r.Next()]))
+				}
+			}
+			for i := max(lo, nm); i < hi; i++ {
+				w.WriteAt(i, uint64(res.XD[deltaCodes[i-nm]]))
+			}
+		})
+		w.SetLen(total)
+	} else {
+		r := m.Codes().Reader()
+		for i := 0; i < m.Len(); i++ {
+			w.Write(uint64(res.XM[r.Next()]))
+		}
+		for _, dc := range deltaCodes {
+			w.Write(uint64(res.XD[dc]))
+		}
+	}
+	st.Step2 = time.Since(t0)
+	return colstore.New(res.Merged, w.Vector())
+}
+
+// mergeNaive is the baseline (§5.1–5.2): no auxiliary structures; Step 2
+// pays a dictionary materialization plus a binary search per tuple.
+func mergeNaive[V val.Value](m *colstore.Main[V], d *delta.Partition[V], nt int, st *Stats) *colstore.Main[V] {
+	// Step 1(a): delta dictionary only (leaf traversal, no rewrite).
+	t0 := time.Now()
+	dictD := dict.FromSorted(d.SortedUnique())
+	st.Step1a = time.Since(t0)
+	st.UniqueDelta = dictD.Len()
+
+	// Step 1(b): dictionary merge without translation tables.
+	t0 = time.Now()
+	merged := dict.MergeNoAux(m.Dict(), dictD)
+	st.Step1b = time.Since(t0)
+	st.UniqueMerged = merged.Len()
+
+	bits := bitpack.MinBits(merged.Len())
+	st.BitsAfter = bits
+
+	// Step 2(b): per-tuple binary search (Equation 5).
+	t0 = time.Now()
+	total := m.Len() + d.Len()
+	w := bitpack.NewWriter(bits, total)
+	oldDict := m.Dict()
+	lookup := func(v V) uint64 {
+		c, ok := merged.Lookup(v)
+		if !ok {
+			panic("core: merged dictionary misses value")
+		}
+		return uint64(c)
+	}
+	if nt > 1 && total >= parallelStep2Threshold {
+		parallelFor(total, nt, alignedChunks(bits, total, nt), func(lo, hi int) {
+			nm := m.Len()
+			if lo < nm {
+				r := m.Codes().ReaderAt(lo)
+				end := hi
+				if end > nm {
+					end = nm
+				}
+				for i := lo; i < end; i++ {
+					w.WriteAt(i, lookup(oldDict.At(int(r.Next()))))
+				}
+			}
+			for i := max(lo, nm); i < hi; i++ {
+				w.WriteAt(i, lookup(d.Get(i-nm)))
+			}
+		})
+		w.SetLen(total)
+	} else {
+		r := m.Codes().Reader()
+		for i := 0; i < m.Len(); i++ {
+			w.Write(lookup(oldDict.At(int(r.Next()))))
+		}
+		for i := 0; i < d.Len(); i++ {
+			w.Write(lookup(d.Get(i)))
+		}
+	}
+	st.Step2 = time.Since(t0)
+	return colstore.New(merged, w.Vector())
+}
+
+const (
+	// parallelDictThreshold is the combined dictionary size below which the
+	// three-phase parallel merge is not worth its coordination overhead.
+	parallelDictThreshold = 1 << 13
+	// parallelStep2Threshold is the tuple count below which Step 2 runs
+	// serially.
+	parallelStep2Threshold = 1 << 14
+)
+
+// alignedChunks partitions [0, total) into at most nt ranges whose
+// boundaries land on 64-bit word boundaries of the packed output, so
+// concurrent WriteAt calls never touch the same word.
+func alignedChunks(bits uint, total, nt int) []int {
+	group := 1
+	if bits != 0 {
+		group = bitpack.WordBits / gcd(int(bits), bitpack.WordBits)
+	}
+	bounds := []int{0}
+	for i := 1; i < nt; i++ {
+		b := total * i / nt
+		b -= b % group
+		if b <= bounds[len(bounds)-1] {
+			continue
+		}
+		bounds = append(bounds, b)
+	}
+	bounds = append(bounds, total)
+	return bounds
+}
+
+// parallelFor runs body over the half-open ranges defined by bounds.
+func parallelFor(total, nt int, bounds []int, body func(lo, hi int)) {
+	done := make(chan struct{}, len(bounds)-1)
+	for i := 0; i+1 < len(bounds); i++ {
+		go func(lo, hi int) {
+			body(lo, hi)
+			done <- struct{}{}
+		}(bounds[i], bounds[i+1])
+	}
+	for i := 0; i+1 < len(bounds); i++ {
+		<-done
+	}
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,171 @@
+// Package delta implements the write-optimized delta partition of a column
+// (paper §3): an uncompressed append-only value vector plus a CSB+ tree
+// over the distinct values, each tree entry carrying the list of tuple
+// positions where the value occurs.
+//
+// Inserts append to the vector and update the tree in O(log unique).
+// The merge Step 1(a) consumes the partition through ExtractDict (optimized
+// path: sorted dictionary plus per-tuple codes via the posting lists) or
+// SortedUnique (naive path: dictionary only).
+package delta
+
+import (
+	"fmt"
+
+	"hyrise/internal/csbtree"
+	"hyrise/internal/dict"
+	"hyrise/internal/val"
+)
+
+// Partition is a single column's delta.  Create with New.
+type Partition[V val.Value] struct {
+	values []V
+	tree   *csbtree.Tree[V]
+}
+
+// New returns an empty delta partition.
+func New[V val.Value]() *Partition[V] {
+	return &Partition[V]{tree: csbtree.New[V]()}
+}
+
+// NewWithFanout is New with an explicit CSB+ fanout (tests).
+func NewWithFanout[V val.Value](k int) *Partition[V] {
+	return &Partition[V]{tree: csbtree.NewWithFanout[V](k)}
+}
+
+// Insert appends v and indexes it; it returns the tuple position within the
+// delta partition.
+func (p *Partition[V]) Insert(v V) int {
+	pos := len(p.values)
+	if pos > 1<<31-2 {
+		panic("delta: partition exceeds 2^31 tuples")
+	}
+	p.values = append(p.values, v)
+	p.tree.Insert(v, int32(pos))
+	return pos
+}
+
+// Len returns the number of tuples (N_D).
+func (p *Partition[V]) Len() int { return len(p.values) }
+
+// Unique returns the number of distinct values (|U_D|).
+func (p *Partition[V]) Unique() int { return p.tree.Unique() }
+
+// Get returns the uncompressed value at delta position i.
+func (p *Partition[V]) Get(i int) V { return p.values[i] }
+
+// Values exposes the backing vector; callers must not mutate it.
+func (p *Partition[V]) Values() []V { return p.values }
+
+// Find returns the delta positions holding value v, in insertion order.
+func (p *Partition[V]) Find(v V) ([]int32, bool) { return p.tree.Find(v) }
+
+// Tree exposes the CSB+ index (read-only use).
+func (p *Partition[V]) Tree() *csbtree.Tree[V] { return p.tree }
+
+// SizeBytes estimates memory: uncompressed values plus the tree.
+func (p *Partition[V]) SizeBytes() int {
+	return val.SliceBytes(p.values) + p.tree.SizeBytes()
+}
+
+// SortedUnique returns the distinct values in ascending order by an
+// in-order traversal of the tree leaves — naive Step 1(a), O(|U_D|).
+func (p *Partition[V]) SortedUnique() []V {
+	out := make([]V, 0, p.tree.Unique())
+	p.tree.Ascend(func(v V, _ []int32) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// ExtractDict is the optimized Step 1(a) (paper §5.3 "Modified Step 1(a)"):
+// one in-order leaf traversal builds the sorted delta dictionary U_D and,
+// through each value's tuple-id posting list, rewrites the delta partition
+// into fixed-width dictionary codes.  codes[i] is the U_D index of tuple i.
+// Each tuple is visited exactly once, so the run time is O(N_D).
+func (p *Partition[V]) ExtractDict() (*dict.Dict[V], []uint32) {
+	values := make([]V, 0, p.tree.Unique())
+	codes := make([]uint32, len(p.values))
+	p.tree.Ascend(func(v V, tids []int32) bool {
+		c := uint32(len(values))
+		values = append(values, v)
+		for _, tid := range tids {
+			codes[tid] = c
+		}
+		return true
+	})
+	return dict.FromSorted(values), codes
+}
+
+// ExtractDictParallel is ExtractDict with the scatter phase parallelized
+// over nt goroutines (paper §6.2.1 scheme (ii)): the dictionary build is a
+// single-threaded traversal that also records, per distinct value, the span
+// of tuple ids to rewrite; the spans are then partitioned evenly and each
+// worker scatters codes independently.
+func (p *Partition[V]) ExtractDictParallel(nt int) (*dict.Dict[V], []uint32) {
+	if nt <= 1 || len(p.values) < 1<<14 {
+		return p.ExtractDict()
+	}
+	values := make([]V, 0, p.tree.Unique())
+	flat := make([]int32, 0, len(p.values))
+	starts := make([]int32, 0, p.tree.Unique()+1)
+	p.tree.Ascend(func(v V, tids []int32) bool {
+		starts = append(starts, int32(len(flat)))
+		values = append(values, v)
+		flat = append(flat, tids...)
+		return true
+	})
+	starts = append(starts, int32(len(flat)))
+
+	codes := make([]uint32, len(p.values))
+	nv := len(values)
+	done := make(chan struct{}, nt)
+	for w := 0; w < nt; w++ {
+		go func(w int) {
+			loV, hiV := nv*w/nt, nv*(w+1)/nt
+			for v := loV; v < hiV; v++ {
+				c := uint32(v)
+				for _, tid := range flat[starts[v]:starts[v+1]] {
+					codes[tid] = c
+				}
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < nt; w++ {
+		<-done
+	}
+	return dict.FromSorted(values), codes
+}
+
+// Validate checks internal invariants (test support): vector length equals
+// tree total, every vector value is findable, tree uniques equal the
+// distinct count of the vector.
+func (p *Partition[V]) Validate() error {
+	if p.tree.Total() != len(p.values) {
+		return fmt.Errorf("delta: tree total %d != vector len %d", p.tree.Total(), len(p.values))
+	}
+	seen := make(map[V]struct{}, p.tree.Unique())
+	for i, v := range p.values {
+		seen[v] = struct{}{}
+		tids, ok := p.tree.Find(v)
+		if !ok {
+			return fmt.Errorf("delta: value at %d not indexed", i)
+		}
+		found := false
+		for _, t := range tids {
+			if int(t) == i {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("delta: position %d missing from posting list", i)
+		}
+	}
+	if len(seen) != p.tree.Unique() {
+		return fmt.Errorf("delta: distinct %d != tree unique %d", len(seen), p.tree.Unique())
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package delta
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertAndFind(t *testing.T) {
+	p := New[uint64]()
+	vals := []uint64{9, 3, 9, 7, 3, 3}
+	for i, v := range vals {
+		if pos := p.Insert(v); pos != i {
+			t.Fatalf("Insert returned pos %d want %d", pos, i)
+		}
+	}
+	if p.Len() != 6 || p.Unique() != 3 {
+		t.Fatalf("Len=%d Unique=%d want 6,3", p.Len(), p.Unique())
+	}
+	tids, ok := p.Find(3)
+	if !ok || len(tids) != 3 || tids[0] != 1 || tids[1] != 4 || tids[2] != 5 {
+		t.Fatalf("Find(3)=%v,%v", tids, ok)
+	}
+	if _, ok := p.Find(42); ok {
+		t.Fatal("Find(42) should miss")
+	}
+	for i, v := range vals {
+		if p.Get(i) != v {
+			t.Fatalf("Get(%d)=%d want %d", i, p.Get(i), v)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedUnique(t *testing.T) {
+	p := New[string]()
+	for _, w := range []string{"hotel", "delta", "frank", "delta", "bravo", "charlie", "charlie", "golf", "young"} {
+		p.Insert(w)
+	}
+	got := p.SortedUnique()
+	want := []string{"bravo", "charlie", "delta", "frank", "golf", "hotel", "young"}
+	if len(got) != len(want) {
+		t.Fatalf("len=%d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("[%d]=%q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestExtractDictPaperExample reproduces Figure 6 Step 1(a): the delta
+// holds {bravo charlie charlie golf young}; the extracted dictionary is
+// {bravo charlie golf young} and the rewritten codes are {0 1 1 2 3}.
+func TestExtractDictPaperExample(t *testing.T) {
+	p := New[string]()
+	for _, w := range []string{"bravo", "charlie", "charlie", "golf", "young"} {
+		p.Insert(w)
+	}
+	d, codes := p.ExtractDict()
+	if d.Len() != 4 {
+		t.Fatalf("dict len %d want 4", d.Len())
+	}
+	wantCodes := []uint32{0, 1, 1, 2, 3}
+	for i, w := range wantCodes {
+		if codes[i] != w {
+			t.Fatalf("codes[%d]=%d want %d", i, codes[i], w)
+		}
+	}
+}
+
+func checkExtract(t *testing.T, vals []uint64, parallel int) {
+	t.Helper()
+	p := NewWithFanout[uint64](3)
+	for _, v := range vals {
+		p.Insert(v)
+	}
+	var d interface {
+		Len() int
+		At(int) uint64
+	}
+	var codes []uint32
+	if parallel > 1 {
+		d, codes = p.ExtractDictParallel(parallel)
+	} else {
+		d, codes = p.ExtractDict()
+	}
+	// Dictionary must be the sorted distinct set.
+	distinct := map[uint64]bool{}
+	for _, v := range vals {
+		distinct[v] = true
+	}
+	var want []uint64
+	for v := range distinct {
+		want = append(want, v)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if d.Len() != len(want) {
+		t.Fatalf("dict len %d want %d", d.Len(), len(want))
+	}
+	for i, v := range want {
+		if d.At(i) != v {
+			t.Fatalf("dict[%d]=%d want %d", i, d.At(i), v)
+		}
+	}
+	// Every tuple's code must decode back to its value.
+	for i, v := range vals {
+		if d.At(int(codes[i])) != v {
+			t.Fatalf("tuple %d: code %d decodes to %d want %d", i, codes[i], d.At(int(codes[i])), v)
+		}
+	}
+}
+
+func TestExtractDictRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 20; iter++ {
+		n := 1 + rng.Intn(4000)
+		domain := uint64(1 + rng.Intn(500))
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64() % domain
+		}
+		checkExtract(t, vals, 1)
+	}
+}
+
+func TestExtractDictParallelMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 1 << 15 // above the parallel threshold
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = rng.Uint64() % 5000
+	}
+	for _, nt := range []int{2, 4, 8, 13} {
+		checkExtract(t, vals, nt)
+	}
+	// And the parallel path must equal the sequential path exactly.
+	p := New[uint64]()
+	for _, v := range vals {
+		p.Insert(v)
+	}
+	d1, c1 := p.ExtractDict()
+	d2, c2 := p.ExtractDictParallel(8)
+	if d1.Len() != d2.Len() {
+		t.Fatalf("dict lens differ: %d vs %d", d1.Len(), d2.Len())
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("codes[%d] differ: %d vs %d", i, c1[i], c2[i])
+		}
+	}
+}
+
+func TestExtractEmpty(t *testing.T) {
+	p := New[uint64]()
+	d, codes := p.ExtractDict()
+	if d.Len() != 0 || len(codes) != 0 {
+		t.Fatal("empty extract not empty")
+	}
+	if got := p.SortedUnique(); len(got) != 0 {
+		t.Fatal("SortedUnique on empty delta")
+	}
+}
+
+func TestQuickExtractRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		p := New[uint64]()
+		vals := make([]uint64, len(raw))
+		for i, r := range raw {
+			vals[i] = uint64(r % 64)
+			p.Insert(vals[i])
+		}
+		d, codes := p.ExtractDict()
+		for i, v := range vals {
+			if d.At(int(codes[i])) != v {
+				return false
+			}
+		}
+		return p.Len() == len(vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	p := New[uint64]()
+	if p.SizeBytes() != 0 {
+		t.Fatalf("empty SizeBytes=%d", p.SizeBytes())
+	}
+	for i := 0; i < 1000; i++ {
+		p.Insert(uint64(i))
+	}
+	if p.SizeBytes() < 8000 {
+		t.Fatalf("SizeBytes=%d below raw payload", p.SizeBytes())
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	p := New[uint64]()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Insert(rng.Uint64() % (1 << 20))
+	}
+}
+
+func BenchmarkExtractDict(b *testing.B) {
+	p := New[uint64]()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1<<18; i++ {
+		p.Insert(rng.Uint64() % (1 << 16))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ExtractDict()
+	}
+}

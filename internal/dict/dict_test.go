@@ -1,0 +1,307 @@
+package dict
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mkDict(vals ...uint64) *Dict[uint64] { return FromSorted(vals) }
+
+func TestFromUnsorted(t *testing.T) {
+	d := FromUnsorted([]uint64{5, 1, 5, 3, 1, 9})
+	want := []uint64{1, 3, 5, 9}
+	if d.Len() != len(want) {
+		t.Fatalf("Len=%d want %d", d.Len(), len(want))
+	}
+	for i, v := range want {
+		if d.At(i) != v {
+			t.Fatalf("At(%d)=%d want %d", i, d.At(i), v)
+		}
+	}
+}
+
+func TestFromSortedPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSorted([]uint64{1, 1})
+}
+
+func TestLookupAndBounds(t *testing.T) {
+	d := mkDict(10, 20, 30, 40)
+	if c, ok := d.Lookup(30); !ok || c != 2 {
+		t.Fatalf("Lookup(30)=%d,%v", c, ok)
+	}
+	if _, ok := d.Lookup(35); ok {
+		t.Fatal("Lookup(35) should miss")
+	}
+	if got := d.LowerBound(20); got != 1 {
+		t.Fatalf("LowerBound(20)=%d want 1", got)
+	}
+	if got := d.LowerBound(21); got != 2 {
+		t.Fatalf("LowerBound(21)=%d want 2", got)
+	}
+	if got := d.UpperBound(20); got != 2 {
+		t.Fatalf("UpperBound(20)=%d want 2", got)
+	}
+	if got := d.LowerBound(99); got != 4 {
+		t.Fatalf("LowerBound(99)=%d want 4", got)
+	}
+}
+
+func TestStringDict(t *testing.T) {
+	d := FromUnsorted([]string{"delta", "apple", "charlie", "apple"})
+	if d.Len() != 3 {
+		t.Fatalf("Len=%d want 3", d.Len())
+	}
+	if c, ok := d.Lookup("charlie"); !ok || c != 1 {
+		t.Fatalf("Lookup(charlie)=%d,%v", c, ok)
+	}
+}
+
+// checkMergeResult validates a MergeResult against the definition:
+// merged = sorted(unique(m ∪ d)); XM/XD map every old code to the index of
+// the same value in merged.
+func checkMergeResult(t *testing.T, m, d *Dict[uint64], r MergeResult[uint64]) {
+	t.Helper()
+	seen := map[uint64]bool{}
+	var all []uint64
+	for _, v := range m.Values() {
+		if !seen[v] {
+			seen[v] = true
+			all = append(all, v)
+		}
+	}
+	for _, v := range d.Values() {
+		if !seen[v] {
+			seen[v] = true
+			all = append(all, v)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if r.Merged.Len() != len(all) {
+		t.Fatalf("merged len %d want %d", r.Merged.Len(), len(all))
+	}
+	for i, v := range all {
+		if r.Merged.At(i) != v {
+			t.Fatalf("merged[%d]=%d want %d", i, r.Merged.At(i), v)
+		}
+	}
+	if len(r.XM) != m.Len() || len(r.XD) != d.Len() {
+		t.Fatalf("aux lens %d,%d want %d,%d", len(r.XM), len(r.XD), m.Len(), d.Len())
+	}
+	for i, v := range m.Values() {
+		if got := r.Merged.At(int(r.XM[i])); got != v {
+			t.Fatalf("XM[%d]=%d maps %d to %d", i, r.XM[i], v, got)
+		}
+	}
+	for i, v := range d.Values() {
+		if got := r.Merged.At(int(r.XD[i])); got != v {
+			t.Fatalf("XD[%d]=%d maps %d to %d", i, r.XD[i], v, got)
+		}
+	}
+}
+
+func TestMergePaperExample(t *testing.T) {
+	// Figure 5/6: main dict {apple charlie delta frank hotel inbox},
+	// delta dict {bravo charlie golf young}.
+	m := FromSorted([]string{"apple", "charlie", "delta", "frank", "hotel", "inbox"})
+	d := FromSorted([]string{"bravo", "charlie", "golf", "young"})
+	r := Merge(m, d)
+	wantMerged := []string{"apple", "bravo", "charlie", "delta", "frank", "golf", "hotel", "inbox", "young"}
+	if r.Merged.Len() != 9 {
+		t.Fatalf("merged len %d want 9", r.Merged.Len())
+	}
+	for i, v := range wantMerged {
+		if r.Merged.At(i) != v {
+			t.Fatalf("merged[%d]=%q want %q", i, r.Merged.At(i), v)
+		}
+	}
+	// Figure 6 main auxiliary: [0 2 3 4 6 7]; delta auxiliary: [1 2 5 8].
+	wantXM := []uint32{0, 2, 3, 4, 6, 7}
+	wantXD := []uint32{1, 2, 5, 8}
+	for i, w := range wantXM {
+		if r.XM[i] != w {
+			t.Fatalf("XM[%d]=%d want %d", i, r.XM[i], w)
+		}
+	}
+	for i, w := range wantXD {
+		if r.XD[i] != w {
+			t.Fatalf("XD[%d]=%d want %d", i, r.XD[i], w)
+		}
+	}
+}
+
+func TestMergeDisjointAndOverlap(t *testing.T) {
+	cases := []struct{ m, d []uint64 }{
+		{[]uint64{1, 3, 5}, []uint64{2, 4, 6}},
+		{[]uint64{1, 2, 3}, []uint64{1, 2, 3}},
+		{[]uint64{}, []uint64{1, 2}},
+		{[]uint64{1, 2}, []uint64{}},
+		{[]uint64{}, []uint64{}},
+		{[]uint64{5}, []uint64{5}},
+		{[]uint64{1, 100}, []uint64{50}},
+	}
+	for _, c := range cases {
+		m, d := FromSorted(c.m), FromSorted(c.d)
+		checkMergeResult(t, m, d, Merge(m, d))
+		noaux := MergeNoAux(m, d)
+		r := Merge(m, d)
+		if noaux.Len() != r.Merged.Len() {
+			t.Fatalf("MergeNoAux len %d want %d", noaux.Len(), r.Merged.Len())
+		}
+	}
+}
+
+func randomDictPair(rng *rand.Rand, maxLen int, domain uint64) (*Dict[uint64], *Dict[uint64]) {
+	gen := func(n int) *Dict[uint64] {
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64() % domain
+		}
+		return FromUnsorted(vals)
+	}
+	return gen(rng.Intn(maxLen)), gen(rng.Intn(maxLen))
+}
+
+func TestMergeParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 60; iter++ {
+		// Small domain forces heavy cross-dictionary duplication, which
+		// stresses the boundary-duplicate repair.
+		domain := uint64(1 + rng.Intn(200))
+		m, d := randomDictPair(rng, 5000, domain)
+		want := Merge(m, d)
+		for _, nt := range []int{1, 2, 3, 4, 7, 8, 16, 33} {
+			got := MergeParallel(m, d, nt)
+			if got.Merged.Len() != want.Merged.Len() {
+				t.Fatalf("nt=%d domain=%d: merged len %d want %d", nt, domain, got.Merged.Len(), want.Merged.Len())
+			}
+			for i := range want.Merged.Values() {
+				if got.Merged.At(i) != want.Merged.At(i) {
+					t.Fatalf("nt=%d: merged[%d]=%d want %d", nt, i, got.Merged.At(i), want.Merged.At(i))
+				}
+			}
+			for i := range want.XM {
+				if got.XM[i] != want.XM[i] {
+					t.Fatalf("nt=%d: XM[%d]=%d want %d", nt, i, got.XM[i], want.XM[i])
+				}
+			}
+			for i := range want.XD {
+				if got.XD[i] != want.XD[i] {
+					t.Fatalf("nt=%d: XD[%d]=%d want %d", nt, i, got.XD[i], want.XD[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMergeParallelLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, d := randomDictPair(rng, 200000, 150000)
+	want := Merge(m, d)
+	got := MergeParallel(m, d, 8)
+	checkMergeResult(t, m, d, got)
+	if got.Merged.Len() != want.Merged.Len() {
+		t.Fatalf("len %d want %d", got.Merged.Len(), want.Merged.Len())
+	}
+}
+
+func TestCoRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 40; iter++ {
+		m, d := randomDictPair(rng, 300, 80)
+		a, b := m.Values(), d.Values()
+		// Reference merged sequence with a-first tie-break, duplicates kept.
+		type tagged struct {
+			v     uint64
+			fromA bool
+		}
+		var ref []tagged
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			if a[i] <= b[j] {
+				ref = append(ref, tagged{a[i], true})
+				i++
+			} else {
+				ref = append(ref, tagged{b[j], false})
+				j++
+			}
+		}
+		for ; i < len(a); i++ {
+			ref = append(ref, tagged{a[i], true})
+		}
+		for ; j < len(b); j++ {
+			ref = append(ref, tagged{b[j], false})
+		}
+		for k := 0; k <= len(ref); k++ {
+			gi, gj := coRank(a, b, k)
+			wi, wj := 0, 0
+			for _, tg := range ref[:k] {
+				if tg.fromA {
+					wi++
+				} else {
+					wj++
+				}
+			}
+			if gi != wi || gj != wj {
+				t.Fatalf("coRank(k=%d)=(%d,%d) want (%d,%d)", k, gi, gj, wi, wj)
+			}
+		}
+	}
+}
+
+func TestMergeQuick(t *testing.T) {
+	f := func(ma, da []uint16, nt uint8) bool {
+		mv := make([]uint64, len(ma))
+		for i, v := range ma {
+			mv[i] = uint64(v % 512)
+		}
+		dv := make([]uint64, len(da))
+		for i, v := range da {
+			dv[i] = uint64(v % 512)
+		}
+		m, d := FromUnsorted(mv), FromUnsorted(dv)
+		want := Merge(m, d)
+		got := MergeParallel(m, d, int(nt%9)+1)
+		if got.Merged.Len() != want.Merged.Len() {
+			return false
+		}
+		for i := range want.XM {
+			if got.XM[i] != want.XM[i] {
+				return false
+			}
+		}
+		for i := range want.XD {
+			if got.XD[i] != want.XD[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMergeSequential(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m, d := randomDictPair(rng, 1<<20, 1<<19)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Merge(m, d)
+	}
+}
+
+func BenchmarkMergeParallel8(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m, d := randomDictPair(rng, 1<<20, 1<<19)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeParallel(m, d, 8)
+	}
+}

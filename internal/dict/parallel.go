@@ -1,0 +1,205 @@
+package dict
+
+import (
+	"sync"
+
+	"hyrise/internal/val"
+)
+
+// MergeParallel performs Step 1(b) with nt worker goroutines following the
+// paper's three-phase scheme (§6.2.1):
+//
+//   - Phase 1: each thread computes its NT-quantile start/end indices in the
+//     two dictionaries (co-ranking, cf. Francis & Mathieson / merge path),
+//     merges its ranges while locally removing duplicates, and records the
+//     number of unique values it produced in counter[i].  A boundary
+//     duplicate — the last element of thread i-1 equalling the first element
+//     of thread i — is detected by comparing each range's start elements with
+//     the preceding element of the respectively other dictionary, and the
+//     affected pointer is advanced before merging.
+//   - Phase 2: an exclusive prefix sum over counter[] yields each thread's
+//     write offset and the total merged cardinality.
+//   - Phase 3: threads recompute their ranges and redo the merge, writing the
+//     merged dictionary and the auxiliary tables X_M and X_D at their offsets.
+//
+// As in the paper, phase 3 repeats the comparisons of phase 1 (roughly 2x
+// the comparisons of the sequential algorithm) in exchange for perfectly
+// even, contention-free writes.
+func MergeParallel[V val.Value](m, d *Dict[V], nt int) MergeResult[V] {
+	a, b := m.values, d.values
+	if nt < 1 {
+		nt = 1
+	}
+	total := len(a) + len(b)
+	if nt > total {
+		nt = total
+	}
+	if nt <= 1 {
+		return Merge(m, d)
+	}
+
+	type bounds struct {
+		aLo, aHi int
+		bLo, bHi int
+		// skipALo/skipBLo indicate the first element of the range is a
+		// boundary duplicate of the previous thread's last output; its
+		// translation entry must point at offset-1.
+		skipALo, skipBLo bool
+	}
+	ranges := make([]bounds, nt)
+	for i := 0; i < nt; i++ {
+		kLo := total * i / nt
+		kHi := total * (i + 1) / nt
+		aLo, bLo := coRank(a, b, kLo)
+		aHi, bHi := coRank(a, b, kHi)
+		r := bounds{aLo: aLo, aHi: aHi, bLo: bLo, bHi: bHi}
+		// Boundary-duplicate repair (paper phase 1).  With A-first tie
+		// breaking in coRank an equal pair can only be split so that A's
+		// copy went to the previous thread and B's copy starts this one,
+		// but we check both directions for robustness.
+		if bLo > 0 && aLo < len(a) && a[aLo] == b[bLo-1] {
+			r.skipALo = true
+		}
+		if aLo > 0 && bLo < len(b) && b[bLo] == a[aLo-1] {
+			r.skipBLo = true
+		}
+		ranges[i] = r
+	}
+
+	// Phase 1: count unique values per range.
+	counter := make([]int, nt+1)
+	var wg sync.WaitGroup
+	for i := 0; i < nt; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := ranges[i]
+			ai, bi := r.aLo, r.bLo
+			if r.skipALo {
+				ai++
+			}
+			if r.skipBLo {
+				bi++
+			}
+			n := 0
+			for ai < r.aHi && bi < r.bHi {
+				switch {
+				case a[ai] < b[bi]:
+					ai++
+				case a[ai] > b[bi]:
+					bi++
+				default:
+					ai++
+					bi++
+				}
+				n++
+			}
+			// Tail elements may still duplicate values in the other
+			// dictionary *within this thread's range*; those were handled by
+			// the equal case above only when both pointers were in range.
+			// Remaining tails are all distinct by construction (each input
+			// dictionary is internally unique and the other side is
+			// exhausted within this range).
+			n += r.aHi - ai + r.bHi - bi
+			counter[i+1] = n
+		}(i)
+	}
+	wg.Wait()
+
+	// Phase 2: exclusive prefix sum (Hillis/Steele in the paper; the array
+	// has nt+1 entries, so a sequential sum is exact and cheap here).
+	for i := 1; i <= nt; i++ {
+		counter[i] += counter[i-1]
+	}
+	mergedLen := counter[nt]
+
+	// Phase 3: re-merge, writing values and translation tables at offsets.
+	merged := make([]V, mergedLen)
+	xm := make([]uint32, len(a))
+	xd := make([]uint32, len(b))
+	for i := 0; i < nt; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := ranges[i]
+			out := counter[i]
+			ai, bi := r.aLo, r.bLo
+			if r.skipALo {
+				// The value was written by the previous thread as its last
+				// output element.
+				xm[ai] = uint32(out - 1)
+				ai++
+			}
+			if r.skipBLo {
+				xd[bi] = uint32(out - 1)
+				bi++
+			}
+			for ai < r.aHi && bi < r.bHi {
+				switch {
+				case a[ai] < b[bi]:
+					merged[out] = a[ai]
+					xm[ai] = uint32(out)
+					ai++
+				case a[ai] > b[bi]:
+					merged[out] = b[bi]
+					xd[bi] = uint32(out)
+					bi++
+				default:
+					merged[out] = a[ai]
+					xm[ai] = uint32(out)
+					xd[bi] = uint32(out)
+					ai++
+					bi++
+				}
+				out++
+			}
+			for ; ai < r.aHi; ai++ {
+				merged[out] = a[ai]
+				xm[ai] = uint32(out)
+				out++
+			}
+			for ; bi < r.bHi; bi++ {
+				merged[out] = b[bi]
+				xd[bi] = uint32(out)
+				out++
+			}
+		}(i)
+	}
+	wg.Wait()
+	return MergeResult[V]{Merged: &Dict[V]{values: merged}, XM: xm, XD: xd}
+}
+
+// coRank returns the split point (i, j) with i+j = k such that merging
+// a[:i] and b[:j] yields exactly the first k elements of the full merge of
+// a and b, with ties broken towards a (an equal element of a precedes the
+// equal element of b).  Both inputs must be sorted; within each input
+// elements are unique (dictionaries), so duplicates only occur across the
+// two inputs.  Runs in O(log(min(len(a), len(b)))).
+func coRank[V val.Value](a, b []V, k int) (int, int) {
+	lo := k - len(b)
+	if lo < 0 {
+		lo = 0
+	}
+	hi := k
+	if hi > len(a) {
+		hi = len(a)
+	}
+	for lo < hi {
+		i := (lo + hi) / 2
+		j := k - i
+		// Feasibility of taking i elements from a and j from b:
+		//   (1) a[i-1] <= b[j]  — the last a element really belongs in the
+		//       prefix (equality allowed: ties go to a);
+		//   (2) b[j-1] <  a[i]  — the last b element precedes the next a
+		//       element (equality NOT allowed: the equal a element must be
+		//       consumed first).
+		if i < len(a) && j > 0 && b[j-1] >= a[i] {
+			lo = i + 1 // need more elements from a
+		} else if i > 0 && j < len(b) && a[i-1] > b[j] {
+			hi = i - 1 // took too many from a
+		} else {
+			return i, j
+		}
+	}
+	return lo, k - lo
+}

@@ -1,0 +1,145 @@
+// Package membench measures the host's effective streaming and random
+// memory bandwidth, mirroring the micro-benchmarks the paper used to
+// calibrate its analytical model (§7.4: ~23 GB/s streaming ≈ 7 bytes/cycle
+// and ~5 bytes/cycle random at 3.3 GHz with 6 threads).
+//
+// The measured figures feed model.Arch so that model predictions compare
+// against this machine rather than the paper's Xeon X5680.
+package membench
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Result holds measured bandwidths.
+type Result struct {
+	// StreamBytesPerSec is achievable multi-threaded sequential read+write
+	// bandwidth.
+	StreamBytesPerSec float64
+	// RandomBytesPerSec is achievable multi-threaded gather bandwidth,
+	// counted in useful bytes (8 per access), not cache lines.
+	RandomBytesPerSec float64
+	// Threads used for the measurement.
+	Threads int
+}
+
+// BytesPerCycle converts a bytes/second figure at the given clock.
+func BytesPerCycle(bytesPerSec, hz float64) float64 {
+	if hz <= 0 {
+		return 0
+	}
+	return bytesPerSec / hz
+}
+
+// Options control measurement cost.
+type Options struct {
+	// BufBytes is the working-set size per thread; it should exceed the
+	// LLC.  Default 64 MB.
+	BufBytes int
+	// Iters repeats each pass.  Default 3.
+	Iters int
+	// Threads; default GOMAXPROCS.
+	Threads int
+}
+
+func (o *Options) setDefaults() {
+	if o.BufBytes <= 0 {
+		o.BufBytes = 64 << 20
+	}
+	if o.Iters <= 0 {
+		o.Iters = 3
+	}
+	if o.Threads <= 0 {
+		o.Threads = runtime.GOMAXPROCS(0)
+	}
+}
+
+// MeasureStream measures sequential copy bandwidth (read + write counted).
+func MeasureStream(o Options) float64 {
+	o.setDefaults()
+	n := o.BufBytes / 8
+	type bufs struct{ src, dst []uint64 }
+	all := make([]bufs, o.Threads)
+	for i := range all {
+		all[i] = bufs{src: make([]uint64, n), dst: make([]uint64, n)}
+		for j := range all[i].src {
+			all[i].src[j] = uint64(j)
+		}
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < o.Threads; i++ {
+		wg.Add(1)
+		go func(b bufs) {
+			defer wg.Done()
+			for it := 0; it < o.Iters; it++ {
+				copy(b.dst, b.src)
+			}
+		}(all[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	total := float64(o.Threads) * float64(o.Iters) * float64(n) * 16 // 8 read + 8 written
+	return total / elapsed
+}
+
+// MeasureRandom measures dependent-free random gather bandwidth: each
+// thread sums 8-byte loads at pseudo-random positions across its buffer.
+// Useful bytes (8 per access) are counted; the cache-line transfer is ~8x
+// larger, which is exactly the penalty Equation 12 models.
+func MeasureRandom(o Options) float64 {
+	o.setDefaults()
+	n := o.BufBytes / 8
+	mask := uint64(1)
+	for mask < uint64(n) {
+		mask <<= 1
+	}
+	mask = mask>>1 - 1 // largest power-of-two range within the buffer
+
+	bufsPer := make([][]uint64, o.Threads)
+	for i := range bufsPer {
+		bufsPer[i] = make([]uint64, n)
+		for j := range bufsPer[i] {
+			bufsPer[i][j] = uint64(j) * 0x9e3779b97f4a7c15
+		}
+	}
+	accesses := o.Iters * n
+	var wg sync.WaitGroup
+	sinks := make([]uint64, o.Threads)
+	start := time.Now()
+	for i := 0; i < o.Threads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buf := bufsPer[i]
+			var sum uint64
+			x := uint64(i)*0x9e3779b97f4a7c15 + 1
+			for a := 0; a < accesses; a++ {
+				// xorshift64 index stream: independent accesses, so the
+				// memory system can overlap misses, as hardware gathers do.
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				sum += buf[x&mask]
+			}
+			sinks[i] = sum
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	total := float64(o.Threads) * float64(accesses) * 8
+	_ = sinks
+	return total / elapsed
+}
+
+// Calibrate measures both figures with the given options.
+func Calibrate(o Options) Result {
+	o.setDefaults()
+	return Result{
+		StreamBytesPerSec: MeasureStream(o),
+		RandomBytesPerSec: MeasureRandom(o),
+		Threads:           o.Threads,
+	}
+}

@@ -1,0 +1,47 @@
+package membench
+
+import "testing"
+
+func small() Options { return Options{BufBytes: 1 << 22, Iters: 2, Threads: 2} }
+
+func TestMeasureStream(t *testing.T) {
+	bw := MeasureStream(small())
+	// Any functioning machine streams more than 100 MB/s and less than 10 TB/s.
+	if bw < 1e8 || bw > 1e13 {
+		t.Fatalf("stream bandwidth %.3g B/s implausible", bw)
+	}
+}
+
+func TestMeasureRandom(t *testing.T) {
+	bw := MeasureRandom(small())
+	if bw < 1e6 || bw > 1e13 {
+		t.Fatalf("random bandwidth %.3g B/s implausible", bw)
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	r := Calibrate(small())
+	if r.Threads != 2 {
+		t.Fatalf("Threads=%d want 2", r.Threads)
+	}
+	if r.StreamBytesPerSec <= 0 || r.RandomBytesPerSec <= 0 {
+		t.Fatal("zero bandwidth")
+	}
+}
+
+func TestBytesPerCycle(t *testing.T) {
+	if got := BytesPerCycle(6.6e9, 3.3e9); got != 2 {
+		t.Fatalf("BytesPerCycle=%f want 2", got)
+	}
+	if got := BytesPerCycle(1, 0); got != 0 {
+		t.Fatalf("zero hz: %f", got)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	var o Options
+	o.setDefaults()
+	if o.BufBytes != 64<<20 || o.Iters != 3 || o.Threads < 1 {
+		t.Fatalf("defaults: %+v", o)
+	}
+}

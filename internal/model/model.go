@@ -1,0 +1,279 @@
+// Package model implements the paper's analytical cost model for the merge
+// (§4, §6.1, §7.4): per-step memory-traffic equations, the cache-residency
+// switch for Step 2, and the update-rate arithmetic of Equations 1 and 16.
+//
+// The model serves the same two purposes as in the paper: validating that
+// the measured implementation is bound by the resource the model predicts
+// (bandwidth vs compute), and projecting performance for input and
+// architecture parameters that were not measured.
+//
+// All traffic quantities are in bytes, all times in CPU cycles; callers
+// convert to wall time via the clock rate.  Defaults mirror the paper's
+// dual-socket Xeon X5680 testbed; Calibrate in internal/membench derives
+// host-specific bandwidth figures.
+package model
+
+import (
+	"math"
+
+	"hyrise/internal/bitpack"
+)
+
+// Arch describes the architecture-dependent constants.
+type Arch struct {
+	// LineBytes is the cache-line size L.
+	LineBytes int
+	// LLCBytes is the last-level cache capacity that auxiliary structures
+	// must fit into for the fast Step 2 path (24 MB on the paper's
+	// dual-socket system).
+	LLCBytes int
+	// StreamBPC is sequential-access memory bandwidth in bytes/cycle
+	// (paper: ~7 B/cycle ≈ 23 GB/s at 3.3 GHz per socket).
+	StreamBPC float64
+	// RandomBPC is random-access (gather) bandwidth in bytes/cycle
+	// (paper: ~5 B/cycle).
+	RandomBPC float64
+	// OpsPerCycle is the scalar instruction throughput per core.
+	OpsPerCycle float64
+	// Threads is the number of cores cooperating on one column merge.
+	Threads int
+	// HZ is the clock rate used to convert cycles to seconds.
+	HZ float64
+}
+
+// PaperArch returns the constants of the paper's evaluation machine
+// (single socket: 6 cores at 3.3 GHz, 30 GB/s peak, 24 MB LLC shared
+// across the two sockets' 12 MB caches — the paper quotes 24 MB as the
+// aggregate that bounds the Figure 9 knee).
+func PaperArch() Arch {
+	return Arch{
+		LineBytes:   64,
+		LLCBytes:    24 << 20,
+		StreamBPC:   7,
+		RandomBPC:   5,
+		OpsPerCycle: 1,
+		Threads:     6,
+		HZ:          3.3e9,
+	}
+}
+
+// Workload describes one column merge in the model's terms (Table 1).
+type Workload struct {
+	NM, ND int // tuples in main and delta
+	Ej     int // uncompressed value-length in bytes
+	UM     int // |U_M| distinct values in main
+	UD     int // |U_D| distinct values in delta
+	UPrime int // |U'_M| distinct values after the merge
+	NC     int // number of columns in the table (for update-rate figures)
+}
+
+// ECBits returns E_C, the code width before the merge.
+func (w Workload) ECBits() uint { return bitpack.MinBits(w.UM) }
+
+// ECPrimeBits returns E'_C (Equations 4 and 7).
+func (w Workload) ECPrimeBits() uint { return bitpack.MinBits(w.UPrime) }
+
+// AuxBytes returns the in-memory size of the auxiliary structures
+// X_M and X_D.  The paper packs entries at E'_C bits; our implementation
+// uses 32-bit entries, so both figures are available.
+func (w Workload) AuxBytes(packed bool) int {
+	entries := w.UM + w.UD
+	if packed {
+		return entries * int(w.ECPrimeBits()) / 8
+	}
+	return entries * 4
+}
+
+// AuxFitsCache is the Step 2 regime switch of §6.1/§7.3: when the
+// translation tables fit in the LLC, Step 2 is compute bound; otherwise
+// every lookup is a potential cache-line miss.
+func (w Workload) AuxFitsCache(a Arch, packed bool) bool {
+	return w.AuxBytes(packed) <= a.LLCBytes
+}
+
+// Traffic aggregates modelled memory traffic in bytes.
+type Traffic struct {
+	Step1aStream, Step1aRandom float64
+	Step1bStream               float64
+	Step2Stream, Step2Random   float64
+}
+
+// Total returns all modelled bytes.
+func (t Traffic) Total() float64 {
+	return t.Step1aStream + t.Step1aRandom + t.Step1bStream + t.Step2Stream + t.Step2Random
+}
+
+// EstimateTraffic evaluates Equations 8-15.
+//
+//	Step 1(a): 4·Ej·|U_D| streaming (tree traversal + dictionary write) and
+//	           (2L+4)·N_D random (per-tuple code scatter)        (Eq. 8)
+//	Step 1(b): reads  Ej·(|U_M|+|U_D|+|U'_M|) + E'_C·(|X_M|+|X_D|)/8  (Eq. 9)
+//	           writes Ej·|U'_M| + E'_C·(|X_M|+|X_D|)/8               (Eq. 10)
+//	           parallel adds Ej·(|U_M|+|U_D|) + 2·Ej·|U'_M|          (Eq. 15)
+//	Step 2:    aux gather L·(N_M+N_D) random if not cache-resident   (Eq. 12)
+//	           partition read  E_C·(N_M+N_D)/8 streaming             (Eq. 13)
+//	           output write  2·E'_C·(N_M+N_D)/8 streaming            (Eq. 14)
+func EstimateTraffic(w Workload, a Arch, parallel bool) Traffic {
+	ej := float64(w.Ej)
+	ecp := float64(w.ECPrimeBits())
+	ec := float64(w.ECBits())
+	n := float64(w.NM + w.ND)
+	var t Traffic
+
+	t.Step1aStream = 4 * ej * float64(w.UD)
+	t.Step1aRandom = float64(2*a.LineBytes+4) * float64(w.ND)
+
+	aux := ecp * float64(w.UM+w.UD) / 8
+	t.Step1bStream = ej*float64(w.UM+w.UD+w.UPrime) + aux + // Eq. 9
+		ej*float64(w.UPrime) + aux // Eq. 10
+	if parallel {
+		t.Step1bStream += ej*float64(w.UM+w.UD) + 2*ej*float64(w.UPrime) // Eq. 15
+	}
+
+	if !w.AuxFitsCache(a, true) {
+		t.Step2Random = float64(a.LineBytes) * n // Eq. 12
+	}
+	t.Step2Stream = ec*n/8 + 2*ecp*n/8 // Eq. 13 + Eq. 14
+	return t
+}
+
+// Prediction is the model's per-step cost in cycles and derived figures.
+type Prediction struct {
+	Workload Workload
+	Arch     Arch
+	Parallel bool
+
+	Step1aCycles float64
+	Step1bCycles float64
+	Step2Cycles  float64
+
+	// Step2ComputeBound reports which regime Step 2 is in.
+	Step2ComputeBound bool
+}
+
+// TotalCycles returns the modelled merge time T_M in cycles.
+func (p Prediction) TotalCycles() float64 {
+	return p.Step1aCycles + p.Step1bCycles + p.Step2Cycles
+}
+
+// CyclesPerTuple returns the modelled update cost contribution of the merge
+// (per tuple over N_M+N_D, as plotted in Figures 7-8).
+func (p Prediction) CyclesPerTuple(step float64) float64 {
+	n := float64(p.Workload.NM + p.Workload.ND)
+	if n == 0 {
+		return 0
+	}
+	return step / n
+}
+
+// Predict evaluates the model for one column merge (§7.4).
+//
+// Bandwidth-bound phases cost traffic/bandwidth; the compute-bound Step 2
+// (auxiliary structures cache-resident) costs gatherOps per tuple divided
+// across threads, plus the streaming traffic of Equations 13-14 — the
+// structure of the paper's Equation 18.
+func Predict(w Workload, a Arch, parallel bool) Prediction {
+	t := EstimateTraffic(w, a, parallel)
+	p := Prediction{Workload: w, Arch: a, Parallel: parallel}
+
+	p.Step1aCycles = t.Step1aStream/a.StreamBPC + t.Step1aRandom/a.RandomBPC
+	p.Step1bCycles = t.Step1bStream / a.StreamBPC
+
+	n := float64(w.NM + w.ND)
+	streamCycles := t.Step2Stream / a.StreamBPC
+	if w.AuxFitsCache(a, true) {
+		p.Step2ComputeBound = true
+		threads := float64(a.Threads)
+		if !parallel || threads < 1 {
+			threads = 1
+		}
+		p.Step2Cycles = gatherOpsPerTuple*n/(a.OpsPerCycle*threads) + streamCycles // Eq. 18 shape
+	} else {
+		p.Step2Cycles = t.Step2Random/a.RandomBPC + streamCycles // Eq. 17 shape
+	}
+	return p
+}
+
+// gatherOpsPerTuple is the scalar instruction count the paper charges per
+// tuple for the cache-resident translation lookup (Equation 18 uses 4).
+const gatherOpsPerTuple = 4
+
+// mergeOpsPerValue is the instruction count per merged dictionary element
+// ("around 12 ops", §6.1, citing Chhugani et al.).
+const mergeOpsPerValue = 12
+
+// Step1bComputeCycles returns the compute-bound cost of the dictionary
+// merge: 12 ops per output element (§6.1).  The realized Step 1(b) cost is
+// the max of this and the bandwidth term; at 8-byte values bandwidth
+// dominates, matching the paper's treatment.
+func Step1bComputeCycles(w Workload, a Arch, parallel bool) float64 {
+	threads := 1.0
+	if parallel {
+		threads = float64(a.Threads)
+	}
+	ops := mergeOpsPerValue * float64(w.UPrime)
+	if parallel {
+		ops *= 2 // the three-phase algorithm performs the comparisons twice (§7.2)
+	}
+	return ops / (a.OpsPerCycle * threads)
+}
+
+// UpdateRate evaluates Equation 1 / Equation 16: sustained updates per
+// second given the delta-fill time and merge time for all N_C columns.
+//
+//	rate = N_D / (T_U + T_M)
+//
+// where both times are in seconds.
+func UpdateRate(nd int, tuSeconds, tmSeconds float64) float64 {
+	den := tuSeconds + tmSeconds
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return float64(nd) / den
+}
+
+// UpdateRateFromCost converts an amortized update cost (cycles per tuple
+// per column, the unit of Figures 7-9) back to updates/second, exactly as
+// the paper's Equation 16:
+//
+//	rate = N_D · HZ / (cost · (N_M+N_D) · N_C)
+func UpdateRateFromCost(w Workload, a Arch, costCyclesPerTuple float64) float64 {
+	den := costCyclesPerTuple * float64(w.NM+w.ND) * float64(w.NC)
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return float64(w.ND) * a.HZ / den
+}
+
+// ExpectedDistinct estimates the number of distinct values among n uniform
+// draws from a domain of size d (used to pick generator domains for target
+// unique fractions λ).
+func ExpectedDistinct(n int, d float64) float64 {
+	if d <= 0 || n == 0 {
+		return 0
+	}
+	return d * (1 - math.Exp(float64(n)*math.Log1p(-1/d)))
+}
+
+// DomainForUniqueFraction returns a generator domain size such that n
+// uniform draws yield approximately frac·n distinct values.  Binary search
+// over ExpectedDistinct; frac is clamped to (0, 1].
+func DomainForUniqueFraction(n int, frac float64) int {
+	if frac >= 1 {
+		return 0 // sentinel: caller should generate unique values directly
+	}
+	if frac <= 0 {
+		return 1
+	}
+	target := frac * float64(n)
+	lo, hi := 1.0, 1e18
+	for iter := 0; iter < 200 && hi-lo > 0.5; iter++ {
+		mid := (lo + hi) / 2
+		if ExpectedDistinct(n, mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return int(hi)
+}

@@ -1,0 +1,263 @@
+// Package persist serializes tables to a compact binary snapshot format.
+//
+// HYRISE is an in-memory engine; snapshots exist for operational reasons
+// (loading benchmark fixtures, the CLI's save/load).  The format stores
+// each column's merged representation: dictionary values plus bit-packed
+// codes for the main partition, raw values for the delta partition, and
+// the row-validity bitmap.  All integers are little-endian; strings are
+// length-prefixed.
+//
+// Layout:
+//
+//	magic "HYRS" | version u32 | name | ncols u32
+//	per column: name | type u8
+//	rows u64 | validity words
+//	per column: main(dict len, values, code bits u8, code words) |
+//	            delta(len, values)
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"hyrise/internal/table"
+)
+
+// Magic identifies snapshot files.
+const Magic = "HYRS"
+
+// Version is the current format version.
+const Version uint32 = 1
+
+// ErrFormat reports a malformed snapshot.
+var ErrFormat = errors.New("persist: malformed snapshot")
+
+type writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (w *writer) u8(v uint8) {
+	if w.err == nil {
+		w.err = w.w.WriteByte(v)
+	}
+}
+
+func (w *writer) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.bytes(b[:])
+}
+
+func (w *writer) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.bytes(b[:])
+}
+
+func (w *writer) bytes(b []byte) {
+	if w.err == nil {
+		_, w.err = w.w.Write(b)
+	}
+}
+
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.bytes([]byte(s))
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	b, err := r.r.ReadByte()
+	r.err = err
+	return b
+}
+
+func (r *reader) u32() uint32 {
+	var b [4]byte
+	r.bytes(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (r *reader) u64() uint64 {
+	var b [8]byte
+	r.bytes(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (r *reader) bytes(b []byte) {
+	if r.err == nil {
+		_, r.err = io.ReadFull(r.r, b)
+	}
+}
+
+func (r *reader) str() string {
+	n := r.u32()
+	if r.err != nil || n > 1<<30 {
+		if r.err == nil {
+			r.err = ErrFormat
+		}
+		return ""
+	}
+	b := make([]byte, n)
+	r.bytes(b)
+	return string(b)
+}
+
+// Save writes a snapshot of t.  The table should be quiescent; Save reads
+// through the public row interface, so a concurrent merge is tolerated but
+// the snapshot then reflects some point during it.
+func Save(t *table.Table, out io.Writer) error {
+	w := &writer{w: bufio.NewWriter(out)}
+	w.bytes([]byte(Magic))
+	w.u32(Version)
+	w.str(t.Name())
+	schema := t.Schema()
+	w.u32(uint32(len(schema)))
+	for _, def := range schema {
+		w.str(def.Name)
+		w.u8(uint8(def.Type))
+	}
+	rows := t.Rows()
+	w.u64(uint64(rows))
+	// Validity bitmap.
+	for i := 0; i < rows; i += 64 {
+		var word uint64
+		for j := 0; j < 64 && i+j < rows; j++ {
+			if t.IsValid(i + j) {
+				word |= 1 << uint(j)
+			}
+		}
+		w.u64(word)
+	}
+	// Column values, row-major per column.  We persist materialized values
+	// (not the physical encoding): the loader re-compresses on load, which
+	// keeps the format independent of dictionary layout while the merge
+	// regenerates identical structures anyway.
+	for ci, def := range schema {
+		for r := 0; r < rows; r++ {
+			row, err := t.Row(r)
+			if err != nil {
+				return err
+			}
+			switch def.Type {
+			case table.Uint32:
+				w.u32(row[ci].(uint32))
+			case table.Uint64:
+				w.u64(row[ci].(uint64))
+			case table.String:
+				w.str(row[ci].(string))
+			}
+		}
+	}
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Load reads a snapshot and rebuilds the table: all rows are inserted into
+// the delta and a merge is left to the caller (or the scheduler).
+func Load(in io.Reader) (*table.Table, error) {
+	r := &reader{r: bufio.NewReader(in)}
+	magic := make([]byte, 4)
+	r.bytes(magic)
+	if r.err != nil || string(magic) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	if v := r.u32(); v != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, v)
+	}
+	name := r.str()
+	ncols := int(r.u32())
+	if r.err != nil || ncols <= 0 || ncols > 1<<20 {
+		return nil, fmt.Errorf("%w: column count", ErrFormat)
+	}
+	schema := make(table.Schema, ncols)
+	for i := range schema {
+		schema[i].Name = r.str()
+		schema[i].Type = table.Type(r.u8())
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	t, err := table.New(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	rows := int(r.u64())
+	if r.err != nil || rows < 0 {
+		return nil, fmt.Errorf("%w: row count", ErrFormat)
+	}
+	valid := make([]uint64, (rows+63)/64)
+	for i := range valid {
+		valid[i] = r.u64()
+	}
+	cols := make([][]any, ncols)
+	for ci, def := range schema {
+		cols[ci] = make([]any, rows)
+		for j := 0; j < rows; j++ {
+			switch def.Type {
+			case table.Uint32:
+				cols[ci][j] = r.u32()
+			case table.Uint64:
+				cols[ci][j] = r.u64()
+			case table.String:
+				cols[ci][j] = r.str()
+			}
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	row := make([]any, ncols)
+	for j := 0; j < rows; j++ {
+		for ci := range cols {
+			row[ci] = cols[ci][j]
+		}
+		id, err := t.Insert(row)
+		if err != nil {
+			return nil, err
+		}
+		if valid[j/64]&(1<<uint(j%64)) == 0 {
+			if err := t.Delete(id); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// SaveFile writes a snapshot to path.
+func SaveFile(t *table.Table, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(t, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a snapshot from path.
+func LoadFile(path string) (*table.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,151 @@
+package persist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"hyrise/internal/table"
+)
+
+func buildTable(t *testing.T, rows int) *table.Table {
+	t.Helper()
+	tb, err := table.New("orders", table.Schema{
+		{Name: "id", Type: table.Uint64},
+		{Name: "qty", Type: table.Uint32},
+		{Name: "sku", Type: table.String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < rows; i++ {
+		_, err := tb.Insert([]any{uint64(i), uint32(rng.Intn(50)), "sku-" + string(rune('a'+i%26))})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func equalTables(t *testing.T, a, b *table.Table) {
+	t.Helper()
+	if a.Rows() != b.Rows() || a.ValidRows() != b.ValidRows() {
+		t.Fatalf("rows %d/%d vs %d/%d", a.Rows(), a.ValidRows(), b.Rows(), b.ValidRows())
+	}
+	if a.Name() != b.Name() {
+		t.Fatalf("names %q %q", a.Name(), b.Name())
+	}
+	for r := 0; r < a.Rows(); r++ {
+		if a.IsValid(r) != b.IsValid(r) {
+			t.Fatalf("validity differs at %d", r)
+		}
+		ra, err := a.Row(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Row(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("row %d col %d: %v vs %v", r, i, ra[i], rb[i])
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tb := buildTable(t, 500)
+	tb.Delete(3)
+	tb.Update(7, map[string]any{"qty": uint32(99)})
+	var buf bytes.Buffer
+	if err := Save(tb, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalTables(t, tb, got)
+}
+
+func TestRoundTripAfterMerge(t *testing.T) {
+	tb := buildTable(t, 300)
+	if _, err := tb.Merge(context.Background(), table.MergeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// More rows into the fresh delta: snapshot spans main and delta.
+	for i := 0; i < 50; i++ {
+		tb.Insert([]any{uint64(1000 + i), uint32(1), "x"})
+	}
+	var buf bytes.Buffer
+	if err := Save(tb, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalTables(t, tb, got)
+	// The loaded table merges cleanly.
+	if _, err := got.Merge(context.Background(), table.MergeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	equalTables(t, tb, got)
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	tb := buildTable(t, 100)
+	path := filepath.Join(t.TempDir(), "snap.hyr")
+	if err := SaveFile(tb, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalTables(t, tb, got)
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOPE00000000"),
+		"truncated": append([]byte(Magic), 1, 0, 0, 0),
+	}
+	for name, data := range cases {
+		if _, err := Load(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.Write([]byte{99, 0, 0, 0}) // version 99
+	_, err := Load(&buf)
+	if !errors.Is(err, ErrFormat) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb, _ := table.New("empty", table.Schema{{Name: "v", Type: table.Uint64}})
+	var buf bytes.Buffer
+	if err := Save(tb, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 0 || got.Name() != "empty" {
+		t.Fatalf("rows=%d name=%q", got.Rows(), got.Name())
+	}
+}

@@ -1,0 +1,254 @@
+// Package query evaluates conjunctive multi-column predicates over tables
+// using the column-at-a-time strategy natural to decomposed storage (paper
+// §3, [10]): one driving predicate produces candidate positions from its
+// column alone (dictionary lookup + code scan, or CSB+ probe in the
+// delta), and the remaining predicates refine those positions with point
+// probes into their own columns.  Because the implicit row offset is valid
+// for all attributes of a table, no tuple reconstruction happens until the
+// final projection.
+package query
+
+import (
+	"fmt"
+
+	"hyrise/internal/table"
+	"hyrise/internal/val"
+)
+
+// Op is a predicate operator.
+type Op int
+
+const (
+	// Eq matches rows whose column value equals Value.
+	Eq Op = iota
+	// Between matches rows whose column value lies in [Value, Hi].
+	Between
+)
+
+// String returns the operator name.
+func (o Op) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Between:
+		return "between"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Filter is one predicate.  Value (and Hi for Between) must match the
+// column's Go type: uint32, uint64 or string.
+type Filter struct {
+	Column string
+	Op     Op
+	Value  any
+	Hi     any
+}
+
+// Result holds matching row ids and projected values.
+type Result struct {
+	// Rows are matching row ids in ascending order.
+	Rows []int
+	// Columns are the projected column names (nil if no projection).
+	Columns []string
+	// Values[i] holds the projected values of Rows[i].
+	Values [][]any
+}
+
+// Count returns the number of matching rows.
+func (r *Result) Count() int { return len(r.Rows) }
+
+// Run evaluates the conjunction of filters against t and projects the
+// named columns (project == nil skips materialization).  At least one
+// filter is required.
+func Run(t *table.Table, filters []Filter, project []string) (*Result, error) {
+	if len(filters) == 0 {
+		return nil, fmt.Errorf("query: no filters (use a full-column handle scan instead)")
+	}
+	for _, p := range project {
+		if _, err := colIndex(t, p); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pick the driving predicate: prefer an equality (smallest expected
+	// candidate set from one dictionary probe).
+	drive := 0
+	for i, f := range filters {
+		if f.Op == Eq {
+			drive = i
+			break
+		}
+	}
+	rows, err := seed(t, filters[drive])
+	if err != nil {
+		return nil, err
+	}
+
+	// Refine with the remaining predicates via positional probes.
+	for i, f := range filters {
+		if i == drive || len(rows) == 0 {
+			continue
+		}
+		probe, err := prober(t, f)
+		if err != nil {
+			return nil, err
+		}
+		kept := rows[:0]
+		for _, r := range rows {
+			ok, err := probe(r)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+
+	res := &Result{Rows: rows, Columns: project}
+	if project != nil {
+		idx := make([]int, len(project))
+		for i, p := range project {
+			idx[i], _ = colIndex(t, p)
+		}
+		for _, r := range rows {
+			full, err := t.Row(r)
+			if err != nil {
+				return nil, err
+			}
+			vals := make([]any, len(idx))
+			for i, ci := range idx {
+				vals[i] = full[ci]
+			}
+			res.Values = append(res.Values, vals)
+		}
+	}
+	return res, nil
+}
+
+func colIndex(t *table.Table, name string) (int, error) {
+	for i, def := range t.Schema() {
+		if def.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("query: %w: %q", table.ErrNoColumn, name)
+}
+
+// seed produces the driving predicate's candidate rows using the column's
+// own access paths (valid rows only).
+func seed(t *table.Table, f Filter) ([]int, error) {
+	ci, err := colIndex(t, f.Column)
+	if err != nil {
+		return nil, err
+	}
+	switch t.Schema()[ci].Type {
+	case table.Uint32:
+		return seedTyped[uint32](t, f)
+	case table.Uint64:
+		return seedTyped[uint64](t, f)
+	default:
+		return seedTyped[string](t, f)
+	}
+}
+
+func seedTyped[V val.Value](t *table.Table, f Filter) ([]int, error) {
+	h, err := table.ColumnOf[V](t, f.Column)
+	if err != nil {
+		return nil, err
+	}
+	switch f.Op {
+	case Eq:
+		v, err := coerce[V](f.Value, f.Column)
+		if err != nil {
+			return nil, err
+		}
+		return h.Lookup(v), nil
+	case Between:
+		lo, err := coerce[V](f.Value, f.Column)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := coerce[V](f.Hi, f.Column)
+		if err != nil {
+			return nil, err
+		}
+		return h.Range(lo, hi), nil
+	default:
+		return nil, fmt.Errorf("query: unknown op %v", f.Op)
+	}
+}
+
+// prober builds a positional predicate test for refinement.
+func prober(t *table.Table, f Filter) (func(int) (bool, error), error) {
+	ci, err := colIndex(t, f.Column)
+	if err != nil {
+		return nil, err
+	}
+	switch t.Schema()[ci].Type {
+	case table.Uint32:
+		return proberTyped[uint32](t, f)
+	case table.Uint64:
+		return proberTyped[uint64](t, f)
+	default:
+		return proberTyped[string](t, f)
+	}
+}
+
+func proberTyped[V val.Value](t *table.Table, f Filter) (func(int) (bool, error), error) {
+	h, err := table.ColumnOf[V](t, f.Column)
+	if err != nil {
+		return nil, err
+	}
+	switch f.Op {
+	case Eq:
+		want, err := coerce[V](f.Value, f.Column)
+		if err != nil {
+			return nil, err
+		}
+		return func(row int) (bool, error) {
+			v, err := h.Get(row)
+			return err == nil && v == want, err
+		}, nil
+	case Between:
+		lo, err := coerce[V](f.Value, f.Column)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := coerce[V](f.Hi, f.Column)
+		if err != nil {
+			return nil, err
+		}
+		return func(row int) (bool, error) {
+			v, err := h.Get(row)
+			return err == nil && v >= lo && v <= hi, err
+		}, nil
+	default:
+		return nil, fmt.Errorf("query: unknown op %v", f.Op)
+	}
+}
+
+func coerce[V val.Value](raw any, col string) (V, error) {
+	var zero V
+	if raw == nil {
+		return zero, fmt.Errorf("query: nil value for column %q", col)
+	}
+	if v, ok := raw.(V); ok {
+		return v, nil
+	}
+	// Permit int literals for integer columns, the common call-site form.
+	if n, ok := raw.(int); ok && n >= 0 {
+		switch any(zero).(type) {
+		case uint32:
+			if n <= 1<<32-1 {
+				return any(uint32(n)).(V), nil
+			}
+		case uint64:
+			return any(uint64(n)).(V), nil
+		}
+	}
+	return zero, fmt.Errorf("query: value %T for column %q (want %T)", raw, col, zero)
+}

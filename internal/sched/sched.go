@@ -1,0 +1,199 @@
+// Package sched implements merge scheduling (paper §3, §9): a background
+// supervisor that triggers the merge process when the delta partition
+// exceeds a configured fraction of the main partition, with the two
+// resource strategies the paper names — merging with all available
+// resources, or constantly merging in the background with minimal resource
+// use — plus pause/resume control.
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"hyrise/internal/core"
+	"hyrise/internal/table"
+)
+
+// Strategy is the resource policy of §3.
+type Strategy int
+
+const (
+	// AllResources merges with every available thread as soon as the
+	// trigger fires (paper strategy (a); what the evaluation assumes).
+	AllResources Strategy = iota
+	// Background merges with a single thread to minimize interference
+	// (paper strategy (b)).
+	Background
+)
+
+// Config tunes the scheduler.
+type Config struct {
+	// Fraction triggers a merge when N_D > Fraction * N_M (§4).  The
+	// paper's Figure 9 experiment uses 0.01; default 0.05.
+	Fraction float64
+	// MinDeltaRows avoids merging tiny deltas regardless of fraction
+	// (small tables merge trivially fast; cf. §2 "Table Size").
+	MinDeltaRows int
+	// Interval is the polling period.  Default 100ms.
+	Interval time.Duration
+	// Strategy selects the resource policy.
+	Strategy Strategy
+	// Algorithm forwards to the merge.
+	Algorithm core.Algorithm
+	// OnMerge, if non-nil, observes every completed merge.
+	OnMerge func(table.Report)
+	// OnError, if non-nil, observes merge failures.
+	OnError func(error)
+}
+
+func (c *Config) setDefaults() {
+	if c.Fraction <= 0 {
+		c.Fraction = 0.05
+	}
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.MinDeltaRows < 0 {
+		c.MinDeltaRows = 0
+	}
+}
+
+// Scheduler supervises one table.  Create with New, then Start.
+type Scheduler struct {
+	t   *table.Table
+	cfg Config
+
+	mu      sync.Mutex
+	paused  bool
+	cancel  context.CancelFunc
+	done    chan struct{}
+	merges  int
+	lastErr error
+}
+
+// New returns a stopped scheduler.
+func New(t *table.Table, cfg Config) *Scheduler {
+	cfg.setDefaults()
+	return &Scheduler{t: t, cfg: cfg}
+}
+
+// ErrAlreadyRunning is returned by Start when the scheduler is active.
+var ErrAlreadyRunning = errors.New("sched: already running")
+
+// Start launches the supervision loop.  Stop it via Stop.
+func (s *Scheduler) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cancel != nil {
+		return ErrAlreadyRunning
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	s.done = make(chan struct{})
+	go s.loop(ctx, s.done)
+	return nil
+}
+
+// Stop terminates the loop and waits for it; a merge in flight completes
+// (merges are not torn down mid-run — the table would roll back otherwise).
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	cancel, done := s.cancel, s.done
+	s.cancel = nil
+	s.mu.Unlock()
+	if cancel == nil {
+		return
+	}
+	cancel()
+	<-done
+}
+
+// Pause suspends triggering; a merge in flight completes.  The paper §3
+// notes a scheduler may "pause and resume the merge process" to yield
+// resources; we pause at column granularity via Stop/Start of triggering.
+func (s *Scheduler) Pause() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.paused = true
+}
+
+// Resume re-enables triggering.
+func (s *Scheduler) Resume() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.paused = false
+}
+
+// Paused reports whether triggering is suspended.
+func (s *Scheduler) Paused() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.paused
+}
+
+// Merges returns the number of merges the scheduler has completed.
+func (s *Scheduler) Merges() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.merges
+}
+
+// LastErr returns the most recent merge error, if any.
+func (s *Scheduler) LastErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// ShouldMerge evaluates the trigger condition against current table state.
+func (s *Scheduler) ShouldMerge() bool {
+	nd := s.t.DeltaRows()
+	if nd <= s.cfg.MinDeltaRows {
+		return false
+	}
+	nm := s.t.MainRows()
+	if nm == 0 {
+		return true
+	}
+	return float64(nd) > s.cfg.Fraction*float64(nm)
+}
+
+func (s *Scheduler) loop(ctx context.Context, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(s.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		if s.Paused() || !s.ShouldMerge() {
+			continue
+		}
+		threads := 0 // all resources
+		if s.cfg.Strategy == Background {
+			threads = 1
+		}
+		rep, err := s.t.Merge(ctx, table.MergeOptions{
+			Algorithm: s.cfg.Algorithm,
+			Threads:   threads,
+		})
+		s.mu.Lock()
+		if err != nil {
+			s.lastErr = err
+			s.mu.Unlock()
+			if s.cfg.OnError != nil && !errors.Is(err, context.Canceled) {
+				s.cfg.OnError(err)
+			}
+			continue
+		}
+		s.merges++
+		s.mu.Unlock()
+		if s.cfg.OnMerge != nil {
+			s.cfg.OnMerge(rep)
+		}
+	}
+}

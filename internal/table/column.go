@@ -1,0 +1,224 @@
+package table
+
+import (
+	"fmt"
+
+	"hyrise/internal/colstore"
+	"hyrise/internal/core"
+	"hyrise/internal/delta"
+	"hyrise/internal/val"
+)
+
+// column is the type-erased view of a typed column that Table manages.
+// Methods are called with Table.mu held (write-held for mutations) except
+// runMerge, which reads only the frozen snapshot and may run unlocked.
+type column interface {
+	def() ColumnDef
+	checkValue(v any) error
+	appendValue(v any)
+	get(row int) any
+	mainLen() int
+	deltaLen() int
+	stats() ColumnStats
+
+	// Merge pipeline; see Table.Merge for the locking protocol.
+	beginMerge()
+	runMerge(opts core.Options)
+	commitMerge()
+	abortMerge()
+	mergeStats() core.Stats
+}
+
+// typedColumn binds a column's storage to its Go value type.
+type typedColumn[V val.Value] struct {
+	d    ColumnDef
+	main *colstore.Main[V]
+	dlt  *delta.Partition[V] // active delta; frozen during a merge
+	dlt2 *delta.Partition[V] // second delta, non-nil only during a merge
+
+	pending      *colstore.Main[V] // merge result awaiting commit
+	pendingStats core.Stats        // written by runMerge, published at commit
+	lastStats    core.Stats        // stats of the last committed merge
+
+	convert func(any) (V, error)
+}
+
+func newColumn(def ColumnDef) column {
+	switch def.Type {
+	case Uint32:
+		return &typedColumn[uint32]{d: def, main: colstore.Empty[uint32](),
+			dlt: delta.New[uint32](), convert: convertUint32}
+	case Uint64:
+		return &typedColumn[uint64]{d: def, main: colstore.Empty[uint64](),
+			dlt: delta.New[uint64](), convert: convertUint64}
+	case String:
+		return &typedColumn[string]{d: def, main: colstore.Empty[string](),
+			dlt: delta.New[string](), convert: convertString}
+	default:
+		panic(fmt.Sprintf("table: unknown column type %v", def.Type))
+	}
+}
+
+func convertUint64(v any) (uint64, error) {
+	switch x := v.(type) {
+	case uint64:
+		return x, nil
+	case uint32:
+		return uint64(x), nil
+	case uint:
+		return uint64(x), nil
+	case int:
+		if x < 0 {
+			return 0, fmt.Errorf("table: negative value %d for uint64 column", x)
+		}
+		return uint64(x), nil
+	case int64:
+		if x < 0 {
+			return 0, fmt.Errorf("table: negative value %d for uint64 column", x)
+		}
+		return uint64(x), nil
+	default:
+		return 0, fmt.Errorf("table: cannot store %T in uint64 column", v)
+	}
+}
+
+func convertUint32(v any) (uint32, error) {
+	u, err := convertUint64(v)
+	if err != nil {
+		return 0, fmt.Errorf("table: cannot store %T in uint32 column", v)
+	}
+	if u > 1<<32-1 {
+		return 0, fmt.Errorf("table: value %d overflows uint32 column", u)
+	}
+	return uint32(u), nil
+}
+
+func convertString(v any) (string, error) {
+	if s, ok := v.(string); ok {
+		return s, nil
+	}
+	return "", fmt.Errorf("table: cannot store %T in string column", v)
+}
+
+func (c *typedColumn[V]) def() ColumnDef { return c.d }
+
+func (c *typedColumn[V]) checkValue(v any) error {
+	_, err := c.convert(v)
+	return err
+}
+
+func (c *typedColumn[V]) appendValue(v any) {
+	x, err := c.convert(v)
+	if err != nil {
+		// Table.Insert validates first; reaching here is a programming error.
+		panic(err)
+	}
+	c.activeDelta().Insert(x)
+}
+
+// activeDelta returns the partition new writes go to: the second delta
+// while a merge is running, the primary delta otherwise.
+func (c *typedColumn[V]) activeDelta() *delta.Partition[V] {
+	if c.dlt2 != nil {
+		return c.dlt2
+	}
+	return c.dlt
+}
+
+// get materializes the value at a global row offset: main rows first, then
+// the (frozen) delta, then the second delta.
+func (c *typedColumn[V]) get(row int) any {
+	v, _ := c.getTyped(row)
+	return v
+}
+
+func (c *typedColumn[V]) getTyped(row int) (V, bool) {
+	var zero V
+	nm := c.main.Len()
+	if row < nm {
+		return c.main.At(row), true
+	}
+	row -= nm
+	if row < c.dlt.Len() {
+		return c.dlt.Get(row), true
+	}
+	row -= c.dlt.Len()
+	if c.dlt2 != nil && row < c.dlt2.Len() {
+		return c.dlt2.Get(row), true
+	}
+	return zero, false
+}
+
+func (c *typedColumn[V]) mainLen() int { return c.main.Len() }
+
+func (c *typedColumn[V]) deltaLen() int {
+	n := c.dlt.Len()
+	if c.dlt2 != nil {
+		n += c.dlt2.Len()
+	}
+	return n
+}
+
+func (c *typedColumn[V]) stats() ColumnStats {
+	uniqueDelta := c.dlt.Unique()
+	size := c.main.SizeBytes() + c.dlt.SizeBytes()
+	if c.dlt2 != nil {
+		uniqueDelta += c.dlt2.Unique()
+		size += c.dlt2.SizeBytes()
+	}
+	return ColumnStats{
+		Def:         c.d,
+		MainRows:    c.main.Len(),
+		DeltaRows:   c.deltaLen(),
+		UniqueMain:  c.main.Dict().Len(),
+		UniqueDelta: uniqueDelta,
+		Bits:        c.main.Bits(),
+		SizeBytes:   size,
+		LastMerge:   c.lastStats,
+	}
+}
+
+// beginMerge freezes the primary delta and opens the second delta
+// (called under Table.mu write lock).
+func (c *typedColumn[V]) beginMerge() {
+	c.dlt2 = delta.New[V]()
+	c.pending = nil
+}
+
+// runMerge merges main + frozen delta into a pending main partition.  It
+// only reads immutable state (main, frozen delta), so it runs without the
+// table lock while inserts land in the second delta.
+func (c *typedColumn[V]) runMerge(opts core.Options) {
+	// Writes only merge-private fields (pending, pendingStats); externally
+	// visible state is untouched until commitMerge runs under the table's
+	// write lock, so concurrent readers never observe a torn merge.
+	c.pending, c.pendingStats = core.MergeColumn(c.main, c.dlt, opts)
+}
+
+// commitMerge installs the merged main and promotes the second delta
+// (called under Table.mu write lock).
+func (c *typedColumn[V]) commitMerge() {
+	c.main = c.pending
+	c.lastStats = c.pendingStats
+	c.pending = nil
+	c.dlt = c.dlt2
+	c.dlt2 = nil
+}
+
+// mergeStats returns the statistics of the column's most recent merge.
+func (c *typedColumn[V]) mergeStats() core.Stats { return c.lastStats }
+
+// abortMerge discards the pending main and folds the second delta back
+// into the primary delta.  Because the second delta's rows directly follow
+// the frozen delta's rows in the global offset space, re-appending them
+// preserves every row id (called under Table.mu write lock).
+func (c *typedColumn[V]) abortMerge() {
+	c.pending = nil
+	if c.dlt2 == nil {
+		return
+	}
+	for i := 0; i < c.dlt2.Len(); i++ {
+		c.dlt.Insert(c.dlt2.Get(i))
+	}
+	c.dlt2 = nil
+}

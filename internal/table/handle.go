@@ -1,0 +1,232 @@
+package table
+
+import (
+	"fmt"
+
+	"hyrise/internal/val"
+)
+
+// Handle is a typed view of one column, providing the read operations of
+// the paper's workload taxonomy (§2): key lookups, table scans and range
+// selects.  All operations span the main partition, the frozen delta and
+// the second delta, and by default filter to valid (current-version) rows.
+//
+// Lookups use the main dictionary's binary search plus the delta's CSB+
+// tree; scans stream the compressed codes and materialize delta values —
+// the "forced materialization" read penalty of uncompressed deltas the
+// paper describes in §4.
+type Handle[V val.Value] struct {
+	t   *Table
+	idx int
+}
+
+// ColumnOf resolves a typed handle for the named column.  The type
+// parameter must match the column's declared type (uint32, uint64 or
+// string).
+func ColumnOf[V val.Value](t *Table, name string) (*Handle[V], error) {
+	i, err := t.columnIndex(name)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := t.cols[i].(*typedColumn[V]); !ok {
+		var v V
+		return nil, fmt.Errorf("table: column %q is %v, not %T",
+			name, t.schema[i].Type, v)
+	}
+	return &Handle[V]{t: t, idx: i}, nil
+}
+
+func (h *Handle[V]) col() *typedColumn[V] {
+	return h.t.cols[h.idx].(*typedColumn[V])
+}
+
+// Get returns the value of the column at the given row id (valid or not).
+func (h *Handle[V]) Get(row int) (V, error) {
+	h.t.mu.RLock()
+	defer h.t.mu.RUnlock()
+	v, ok := h.col().getTyped(row)
+	if !ok {
+		return v, fmt.Errorf("%w: %d", ErrRowRange, row)
+	}
+	return v, nil
+}
+
+// Lookup returns the row ids of valid rows whose value equals v — the key
+// lookup of Figure 1.  The main partition is searched through its
+// dictionary (one binary search, then a code scan); the deltas through
+// their CSB+ trees (no scan at all).
+func (h *Handle[V]) Lookup(v V) []int {
+	h.t.mu.RLock()
+	defer h.t.mu.RUnlock()
+	c := h.col()
+	var rows []int
+	for _, r := range c.main.ScanEqual(v, nil) {
+		if h.t.validity.Get(r) {
+			rows = append(rows, r)
+		}
+	}
+	base := c.main.Len()
+	if tids, ok := c.dlt.Find(v); ok {
+		for _, tid := range tids {
+			if r := base + int(tid); h.t.validity.Get(r) {
+				rows = append(rows, r)
+			}
+		}
+	}
+	if c.dlt2 != nil {
+		base2 := base + c.dlt.Len()
+		if tids, ok := c.dlt2.Find(v); ok {
+			for _, tid := range tids {
+				if r := base2 + int(tid); h.t.validity.Get(r) {
+					rows = append(rows, r)
+				}
+			}
+		}
+	}
+	return rows
+}
+
+// Range returns the row ids of valid rows whose value lies in [lo, hi] —
+// the range select of Figure 1.
+func (h *Handle[V]) Range(lo, hi V) []int {
+	h.t.mu.RLock()
+	defer h.t.mu.RUnlock()
+	c := h.col()
+	var rows []int
+	for _, r := range c.main.ScanRange(lo, hi, nil) {
+		if h.t.validity.Get(r) {
+			rows = append(rows, r)
+		}
+	}
+	base := c.main.Len()
+	for i, v := range c.dlt.Values() {
+		if v >= lo && v <= hi && h.t.validity.Get(base+i) {
+			rows = append(rows, base+i)
+		}
+	}
+	if c.dlt2 != nil {
+		base2 := base + c.dlt.Len()
+		for i, v := range c.dlt2.Values() {
+			if v >= lo && v <= hi && h.t.validity.Get(base2+i) {
+				rows = append(rows, base2+i)
+			}
+		}
+	}
+	return rows
+}
+
+// Scan streams every valid row's value through fn — the table scan of
+// Figure 1.  Main-partition values are materialized through the
+// dictionary; delta values are read directly.  Iteration stops early if fn
+// returns false.
+func (h *Handle[V]) Scan(fn func(row int, v V) bool) {
+	h.t.mu.RLock()
+	defer h.t.mu.RUnlock()
+	c := h.col()
+	nm := c.main.Len()
+	dict := c.main.Dict()
+	r := c.main.Codes().Reader()
+	for i := 0; i < nm; i++ {
+		code := r.Next()
+		if !h.t.validity.Get(i) {
+			continue
+		}
+		if !fn(i, dict.At(int(code))) {
+			return
+		}
+	}
+	for i, v := range c.dlt.Values() {
+		if row := nm + i; h.t.validity.Get(row) {
+			if !fn(row, v) {
+				return
+			}
+		}
+	}
+	if c.dlt2 != nil {
+		base2 := nm + c.dlt.Len()
+		for i, v := range c.dlt2.Values() {
+			if row := base2 + i; h.t.validity.Get(row) {
+				if !fn(row, v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// CountEqual returns the number of valid rows with value v.
+func (h *Handle[V]) CountEqual(v V) int { return len(h.Lookup(v)) }
+
+// Distinct returns the number of distinct values among all stored row
+// versions (main dictionary merged with delta uniques; an upper bound on
+// the post-merge dictionary size).
+func (h *Handle[V]) Distinct() int {
+	h.t.mu.RLock()
+	defer h.t.mu.RUnlock()
+	c := h.col()
+	seen := make(map[V]struct{}, c.main.Dict().Len()+c.dlt.Unique())
+	for _, v := range c.main.Dict().Values() {
+		seen[v] = struct{}{}
+	}
+	for _, v := range c.dlt.Values() {
+		seen[v] = struct{}{}
+	}
+	if c.dlt2 != nil {
+		for _, v := range c.dlt2.Values() {
+			seen[v] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// NumericHandle adds aggregations that require integer values.
+type NumericHandle[V interface{ ~uint32 | ~uint64 }] struct {
+	*Handle[V]
+}
+
+// NumericColumnOf resolves a handle with aggregation support.
+func NumericColumnOf[V interface{ ~uint32 | ~uint64 }](t *Table, name string) (*NumericHandle[V], error) {
+	h, err := ColumnOf[V](t, name)
+	if err != nil {
+		return nil, err
+	}
+	return &NumericHandle[V]{Handle: h}, nil
+}
+
+// Sum aggregates the column over valid rows — the analytic aggregation
+// query of §2 ("large sequential scans spanning few columns").
+func (h *NumericHandle[V]) Sum() uint64 {
+	var sum uint64
+	h.Scan(func(_ int, v V) bool {
+		sum += uint64(v)
+		return true
+	})
+	return sum
+}
+
+// Min returns the smallest value over valid rows; ok is false for an
+// effectively empty column.
+func (h *NumericHandle[V]) Min() (V, bool) {
+	var best V
+	found := false
+	h.Scan(func(_ int, v V) bool {
+		if !found || v < best {
+			best, found = v, true
+		}
+		return true
+	})
+	return best, found
+}
+
+// Max returns the largest value over valid rows.
+func (h *NumericHandle[V]) Max() (V, bool) {
+	var best V
+	found := false
+	h.Scan(func(_ int, v V) bool {
+		if !found || v > best {
+			best, found = v, true
+		}
+		return true
+	})
+	return best, found
+}

@@ -1,0 +1,219 @@
+package table
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"hyrise/internal/core"
+)
+
+// Strategy selects how the merge parallelizes across a table (§6.2.1).
+type Strategy int
+
+const (
+	// Auto picks ColumnTasks when the table has at least as many columns
+	// as threads, IntraColumn otherwise.
+	Auto Strategy = iota
+	// ColumnTasks is scheme (i): a task queue over columns, each column
+	// merged serially by one worker.  With tens to hundreds of columns and
+	// few threads this load-balances well (the paper's reported scheme).
+	ColumnTasks
+	// IntraColumn is scheme (ii): columns merge one after another, each
+	// parallelized internally.
+	IntraColumn
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case ColumnTasks:
+		return "column-tasks"
+	case IntraColumn:
+		return "intra-column"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// MergeOptions configures Table.Merge.
+type MergeOptions struct {
+	// Algorithm selects naive or optimized column merges.
+	Algorithm core.Algorithm
+	// Threads is the total worker budget N_T (0 = GOMAXPROCS).
+	Threads int
+	// Strategy distributes the budget; see Strategy.
+	Strategy Strategy
+}
+
+// Report summarizes one table merge.
+type Report struct {
+	// Columns holds per-column merge statistics in schema order.
+	Columns []core.Stats
+	// RowsMerged is the delta tuple count folded into the main partitions.
+	RowsMerged int
+	// MainRowsAfter is N'_M.
+	MainRowsAfter int
+	// Wall is the end-to-end merge duration including lock phases.
+	Wall time.Duration
+	// Algorithm and Threads echo the options used.
+	Algorithm core.Algorithm
+	Threads   int
+	Strategy  Strategy
+	// Aborted is true when the merge was cancelled and rolled back.
+	Aborted bool
+}
+
+// TotalStepTime sums a step selector over all columns.
+func (r Report) TotalStepTime(sel func(core.Stats) time.Duration) time.Duration {
+	var d time.Duration
+	for _, s := range r.Columns {
+		d += sel(s)
+	}
+	return d
+}
+
+// LastMergeReport returns the report of the most recently committed merge.
+func (t *Table) LastMergeReport() Report {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.lastMerge
+}
+
+// Merge runs the merge process for every column of the table (paper §3):
+//
+//  1. Briefly write-lock: freeze each column's delta and open second
+//     deltas; concurrent inserts now accumulate there.
+//  2. Unlocked: merge every column's main + frozen delta into pending
+//     mains, parallelized per the strategy.  Queries keep running against
+//     main + frozen delta + second delta.
+//  3. Briefly write-lock: atomically install all pending mains and promote
+//     the second deltas.
+//
+// If ctx is cancelled before commit, all work is discarded and the second
+// deltas are folded back; the table is untouched (Report.Aborted = true).
+// A second concurrent Merge returns ErrMergeInProgress.
+func (t *Table) Merge(ctx context.Context, opts MergeOptions) (Report, error) {
+	if !t.mergeMu.TryLock() {
+		return Report{}, ErrMergeInProgress
+	}
+	defer t.mergeMu.Unlock()
+
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	strategy := opts.Strategy
+	if strategy == Auto {
+		if len(t.cols) >= threads {
+			strategy = ColumnTasks
+		} else {
+			strategy = IntraColumn
+		}
+	}
+
+	start := time.Now()
+
+	// Phase 1: freeze (brief write lock).
+	t.mu.Lock()
+	if err := ctx.Err(); err != nil {
+		t.mu.Unlock()
+		return Report{Aborted: true}, err
+	}
+	t.merging = true
+	rowsMerged := 0
+	if len(t.cols) > 0 {
+		rowsMerged = t.cols[0].deltaLen() // second deltas are nil here
+	}
+	for _, c := range t.cols {
+		c.beginMerge()
+	}
+	t.mu.Unlock()
+
+	// Phase 2: merge columns against the frozen snapshot, no table lock.
+	err := t.runColumnMerges(ctx, strategy, threads, opts.Algorithm)
+
+	// Phase 3: commit or abort (brief write lock).
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.merging = false
+	rep := Report{
+		RowsMerged: rowsMerged,
+		Algorithm:  opts.Algorithm,
+		Threads:    threads,
+		Strategy:   strategy,
+	}
+	if err != nil {
+		for _, c := range t.cols {
+			c.abortMerge()
+		}
+		rep.Aborted = true
+		rep.Wall = time.Since(start)
+		return rep, err
+	}
+	for _, c := range t.cols {
+		c.commitMerge()
+	}
+	t.mergeGen++
+	for _, c := range t.cols {
+		rep.Columns = append(rep.Columns, c.mergeStats())
+	}
+	if len(t.cols) > 0 {
+		rep.MainRowsAfter = t.cols[0].mainLen()
+	}
+	rep.Wall = time.Since(start)
+	t.lastMerge = rep
+	return rep, nil
+}
+
+// runColumnMerges distributes column merges according to the strategy.
+func (t *Table) runColumnMerges(ctx context.Context, strategy Strategy, threads int, alg core.Algorithm) error {
+	switch strategy {
+	case IntraColumn:
+		opts := core.Options{Algorithm: alg, Threads: threads}
+		for _, c := range t.cols {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			c.runMerge(opts)
+		}
+		return nil
+	default: // ColumnTasks
+		opts := core.Options{Algorithm: alg, Threads: 1}
+		workers := threads
+		if workers > len(t.cols) {
+			workers = len(t.cols)
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		tasks := make(chan column)
+		done := make(chan struct{}, workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				for c := range tasks {
+					c.runMerge(opts)
+				}
+				done <- struct{}{}
+			}()
+		}
+		var err error
+	feed:
+		for _, c := range t.cols {
+			select {
+			case <-ctx.Done():
+				err = ctx.Err()
+				break feed
+			case tasks <- c:
+			}
+		}
+		close(tasks)
+		for w := 0; w < workers; w++ {
+			<-done
+		}
+		return err
+	}
+}

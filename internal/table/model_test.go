@@ -1,0 +1,241 @@
+package table
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hyrise/internal/core"
+)
+
+// refTable is a trivially correct model of the insert-only table: a flat
+// row log plus validity flags.  The model-based test below applies long
+// random operation sequences to both implementations and compares every
+// observable query result.
+type refTable struct {
+	rows  [][2]uint64 // columns k, v
+	valid []bool
+}
+
+func (r *refTable) insert(k, v uint64) int {
+	r.rows = append(r.rows, [2]uint64{k, v})
+	r.valid = append(r.valid, true)
+	return len(r.rows) - 1
+}
+
+func (r *refTable) update(row int, k uint64) (int, bool) {
+	if row < 0 || row >= len(r.rows) || !r.valid[row] {
+		return 0, false
+	}
+	r.valid[row] = false
+	return r.insert(k, r.rows[row][1]), true
+}
+
+func (r *refTable) del(row int) bool {
+	if row < 0 || row >= len(r.rows) || !r.valid[row] {
+		return false
+	}
+	r.valid[row] = false
+	return true
+}
+
+func (r *refTable) lookup(k uint64) []int {
+	var out []int
+	for i, row := range r.rows {
+		if r.valid[i] && row[0] == k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (r *refTable) rangeSel(lo, hi uint64) []int {
+	var out []int
+	for i, row := range r.rows {
+		if r.valid[i] && row[0] >= lo && row[0] <= hi {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (r *refTable) sumV() uint64 {
+	var s uint64
+	for i, row := range r.rows {
+		if r.valid[i] {
+			s += row[1]
+		}
+	}
+	return s
+}
+
+func (r *refTable) validCount() int {
+	n := 0
+	for _, v := range r.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// TestModelBasedRandomOps drives the table and the reference model through
+// thousands of random operations, with merges (both algorithms, varying
+// thread counts) interleaved, verifying full query equivalence after every
+// batch.
+func TestModelBasedRandomOps(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			tb, err := New("m", Schema{
+				{Name: "k", Type: Uint64},
+				{Name: "v", Type: Uint64},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := &refTable{}
+			hk, _ := ColumnOf[uint64](tb, "k")
+			nv, _ := NumericColumnOf[uint64](tb, "v")
+
+			const domain = 50 // small domain: dense collisions
+			checkEquiv := func(step int) {
+				t.Helper()
+				if tb.Rows() != len(ref.rows) {
+					t.Fatalf("step %d: rows %d want %d", step, tb.Rows(), len(ref.rows))
+				}
+				if tb.ValidRows() != ref.validCount() {
+					t.Fatalf("step %d: valid %d want %d", step, tb.ValidRows(), ref.validCount())
+				}
+				// Every key's lookup set matches.
+				for k := uint64(0); k < domain; k += 7 {
+					got := hk.Lookup(k)
+					want := ref.lookup(k)
+					if len(got) != len(want) {
+						t.Fatalf("step %d: lookup(%d) %v want %v", step, k, got, want)
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("step %d: lookup(%d) %v want %v", step, k, got, want)
+						}
+					}
+				}
+				// A random range matches.
+				lo := rng.Uint64() % domain
+				hi := lo + rng.Uint64()%10
+				got := hk.Range(lo, hi)
+				want := ref.rangeSel(lo, hi)
+				if len(got) != len(want) {
+					t.Fatalf("step %d: range(%d,%d) %d rows want %d", step, lo, hi, len(got), len(want))
+				}
+				// Aggregate matches.
+				if got, want := nv.Sum(), ref.sumV(); got != want {
+					t.Fatalf("step %d: sum %d want %d", step, got, want)
+				}
+			}
+
+			for step := 0; step < 60; step++ {
+				// One batch of random mutations.
+				for op := 0; op < 100; op++ {
+					switch rng.Intn(10) {
+					case 0, 1, 2, 3, 4: // insert
+						k, v := rng.Uint64()%domain, rng.Uint64()%1000
+						got, err := tb.Insert([]any{k, v})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if want := ref.insert(k, v); got != want {
+							t.Fatalf("insert row id %d want %d", got, want)
+						}
+					case 5, 6, 7: // update a random row
+						if len(ref.rows) == 0 {
+							continue
+						}
+						row := rng.Intn(len(ref.rows))
+						k := rng.Uint64() % domain
+						wantID, wantOK := ref.update(row, k)
+						gotID, err := tb.Update(row, map[string]any{"k": k})
+						if wantOK != (err == nil) {
+							t.Fatalf("update(%d) err=%v wantOK=%v", row, err, wantOK)
+						}
+						if wantOK && gotID != wantID {
+							t.Fatalf("update id %d want %d", gotID, wantID)
+						}
+					default: // delete a random row
+						if len(ref.rows) == 0 {
+							continue
+						}
+						row := rng.Intn(len(ref.rows))
+						wantOK := ref.del(row)
+						err := tb.Delete(row)
+						if wantOK != (err == nil) {
+							t.Fatalf("delete(%d) err=%v wantOK=%v", row, err, wantOK)
+						}
+					}
+				}
+				// Periodic merges with varied configurations.
+				if step%5 == 4 {
+					alg := core.Optimized
+					if rng.Intn(2) == 0 {
+						alg = core.Naive
+					}
+					if _, err := tb.Merge(context.Background(), MergeOptions{
+						Algorithm: alg,
+						Threads:   1 + rng.Intn(4),
+						Strategy:  Strategy(rng.Intn(3)),
+					}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				checkEquiv(step)
+			}
+		})
+	}
+}
+
+// TestModelBasedHistory verifies that superseded row versions remain
+// materializable with their original values after arbitrary merges
+// (paper §3: the insert-only approach keeps the history of data).
+func TestModelBasedHistory(t *testing.T) {
+	tb, _ := New("h", Schema{{Name: "k", Type: Uint64}})
+	rng := rand.New(rand.NewSource(9))
+	history := map[int]uint64{}
+	row, _ := tb.Insert([]any{uint64(0)})
+	history[row] = 0
+	cur := row
+	for i := 1; i <= 200; i++ {
+		v := rng.Uint64() % 1000
+		nr, err := tb.Update(cur, map[string]any{"k": v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		history[nr] = v
+		cur = nr
+		if i%50 == 0 {
+			if _, err := tb.Merge(context.Background(), MergeOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	h, _ := ColumnOf[uint64](tb, "k")
+	for row, want := range history {
+		got, err := h.Get(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("history row %d = %d want %d", row, got, want)
+		}
+		if row != cur && tb.IsValid(row) {
+			t.Fatalf("superseded row %d still valid", row)
+		}
+	}
+	if !tb.IsValid(cur) {
+		t.Fatal("current version invalid")
+	}
+	if tb.ValidRows() != 1 {
+		t.Fatalf("ValidRows=%d want 1", tb.ValidRows())
+	}
+}

@@ -1,0 +1,218 @@
+package table
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hyrise/internal/core"
+)
+
+// TestOnlineMergeWithConcurrentInserts exercises the paper's §3 guarantee:
+// during the merge, incoming updates land in a second delta and become the
+// primary delta at commit; no writes are lost and row ids stay stable.
+func TestOnlineMergeWithConcurrentInserts(t *testing.T) {
+	tb, err := New("t", Schema{{Name: "v", Type: Uint64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed enough rows that the merge takes a little while.
+	const seed = 200000
+	for i := 0; i < seed; i++ {
+		if _, err := tb.Insert([]any{uint64(i % 5000)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var stop atomic.Bool
+	var inserted atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !stop.Load() {
+				if _, err := tb.Insert([]any{uint64(w)*10_000_000 + uint64(inserted.Add(1))}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Run several merge generations under write load.
+	for gen := 0; gen < 3; gen++ {
+		if _, err := tb.Merge(context.Background(), MergeOptions{Threads: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	total := seed + int(inserted.Load())
+	if tb.Rows() != total {
+		t.Fatalf("Rows=%d want %d (lost writes)", tb.Rows(), total)
+	}
+	if got := tb.MainRows() + tb.DeltaRows(); got != total {
+		t.Fatalf("main+delta=%d want %d", got, total)
+	}
+	// Spot-check values survived in order.
+	h, _ := ColumnOf[uint64](tb, "v")
+	for _, r := range []int{0, 1, seed - 1} {
+		v, err := h.Get(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != uint64(r%5000) {
+			t.Fatalf("row %d = %d want %d", r, v, r%5000)
+		}
+	}
+}
+
+// TestConcurrentQueriesDuringMerge runs lookups and scans while a merge is
+// in flight and checks they observe a consistent table.
+func TestConcurrentQueriesDuringMerge(t *testing.T) {
+	tb, _ := New("t", Schema{{Name: "v", Type: Uint64}})
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tb.Insert([]any{uint64(i % 100)})
+	}
+	h, _ := ColumnOf[uint64](tb, "v")
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				// Each value 0..99 occurs at least n/100 times; rows only
+				// grow, so the count can only grow.
+				if got := len(h.Lookup(7)); got < n/100 {
+					errCh <- errorsErrorf("Lookup(7)=%d < %d", got, n/100)
+					return
+				}
+				count := 0
+				h.Scan(func(int, uint64) bool { count++; return count < 1000 })
+				if count == 0 {
+					errCh <- errorsErrorf("empty scan")
+					return
+				}
+			}
+		}()
+	}
+	for gen := 0; gen < 3; gen++ {
+		if _, err := tb.Merge(context.Background(), MergeOptions{Threads: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func errorsErrorf(format string, args ...any) error {
+	return &queryErr{msg: format, args: args}
+}
+
+type queryErr struct {
+	msg  string
+	args []any
+}
+
+func (e *queryErr) Error() string { return e.msg }
+
+// TestConcurrentMergeRejected verifies the single-merge invariant.
+func TestConcurrentMergeRejected(t *testing.T) {
+	tb, _ := New("t", Schema{{Name: "v", Type: Uint64}})
+	for i := 0; i < 300000; i++ {
+		tb.Insert([]any{uint64(i)})
+	}
+	started := make(chan struct{})
+	finished := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := tb.Merge(context.Background(), MergeOptions{Threads: 1})
+		finished <- err
+	}()
+	<-started
+	// Try until the first merge is observably in progress or done.
+	sawBusy := false
+	for i := 0; i < 100000; i++ {
+		_, err := tb.Merge(context.Background(), MergeOptions{Threads: 1})
+		if errors.Is(err, ErrMergeInProgress) {
+			sawBusy = true
+			break
+		}
+		if err == nil {
+			break // first merge already finished; nothing to contend with
+		}
+		t.Fatal(err)
+	}
+	if err := <-finished; err != nil {
+		t.Fatal(err)
+	}
+	_ = sawBusy // timing-dependent; the invariant is "no error other than busy"
+}
+
+// TestMergingFlag observes the merging state transition.
+func TestMergingFlag(t *testing.T) {
+	tb, _ := New("t", Schema{{Name: "v", Type: Uint64}})
+	for i := 0; i < 50000; i++ {
+		tb.Insert([]any{uint64(i)})
+	}
+	if tb.Merging() {
+		t.Fatal("merging before start")
+	}
+	if _, err := tb.Merge(context.Background(), MergeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Merging() {
+		t.Fatal("merging after commit")
+	}
+}
+
+// TestAbortMidMerge cancels while column merges are running.
+func TestAbortMidMerge(t *testing.T) {
+	schema := Schema{}
+	for _, n := range []string{"a", "b", "c", "d", "e", "f"} {
+		schema = append(schema, ColumnDef{Name: n, Type: Uint64})
+	}
+	tb, _ := New("t", schema)
+	for i := 0; i < 50000; i++ {
+		row := make([]any, len(schema))
+		for j := range row {
+			row[j] = uint64(i + j)
+		}
+		tb.Insert(row)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel() // race the merge
+	rep, err := tb.Merge(ctx, MergeOptions{Threads: 2, Strategy: ColumnTasks})
+	if err != nil {
+		if !rep.Aborted {
+			t.Fatal("error without abort flag")
+		}
+		// Rolled back: all rows in delta, none in main.
+		if tb.MainRows() != 0 || tb.DeltaRows() != 50000 {
+			t.Fatalf("abort state main=%d delta=%d", tb.MainRows(), tb.DeltaRows())
+		}
+	} else if tb.MainRows() != 50000 {
+		t.Fatalf("commit state main=%d", tb.MainRows())
+	}
+	// Either way the table stays usable.
+	if _, err := tb.Merge(context.Background(), MergeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.MainRows() != 50000 || tb.DeltaRows() != 0 {
+		t.Fatalf("final main=%d delta=%d", tb.MainRows(), tb.DeltaRows())
+	}
+	_ = core.Optimized
+}

@@ -1,0 +1,342 @@
+// Package table implements the HYRISE table layer (paper §3): a fully
+// decomposed (column-wise) store in which every attribute has a compressed
+// read-optimized main partition and an uncompressed write-optimized delta
+// partition.
+//
+// Modifications are insert-only: an UPDATE appends a new row version and
+// invalidates the old one; a DELETE only invalidates.  The implicit row
+// offset is shared by all columns, so columns are never re-sorted
+// individually and the change history remains queryable.
+//
+// The merge process runs online: the table is locked only to freeze the
+// delta and create a second delta (start) and to atomically install the
+// merged mains and promote the second delta (end).  Queries and inserts
+// proceed against main + frozen delta + second delta in between.
+package table
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hyrise/internal/bitvec"
+	"hyrise/internal/core"
+)
+
+// Type enumerates supported column types.
+type Type int
+
+const (
+	// Uint32 is a 4-byte unsigned integer column (paper: E_j = 4).
+	Uint32 Type = iota
+	// Uint64 is an 8-byte unsigned integer column (E_j = 8).
+	Uint64
+	// String is a variable-length string column, modelled as E_j = 16.
+	String
+)
+
+// String returns the type name.
+func (t Type) String() string {
+	switch t {
+	case Uint32:
+		return "uint32"
+	case Uint64:
+		return "uint64"
+	case String:
+		return "string"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// ColumnDef describes one attribute.
+type ColumnDef struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of attributes.
+type Schema []ColumnDef
+
+// Validate checks for empty schemas, duplicate names and unknown types.
+func (s Schema) Validate() error {
+	if len(s) == 0 {
+		return errors.New("table: empty schema")
+	}
+	seen := map[string]bool{}
+	for _, c := range s {
+		if c.Name == "" {
+			return errors.New("table: unnamed column")
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("table: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+		switch c.Type {
+		case Uint32, Uint64, String:
+		default:
+			return fmt.Errorf("table: column %q has unknown type %v", c.Name, c.Type)
+		}
+	}
+	return nil
+}
+
+// Errors returned by table operations.
+var (
+	ErrRowRange        = errors.New("table: row id out of range")
+	ErrRowInvalid      = errors.New("table: row already invalidated")
+	ErrMergeInProgress = errors.New("table: merge already in progress")
+	ErrNoColumn        = errors.New("table: no such column")
+	ErrArity           = errors.New("table: value count does not match schema")
+)
+
+// Table is a column store with main/delta partitions per attribute.
+type Table struct {
+	name   string
+	schema Schema
+
+	mu       sync.RWMutex // guards cols' partition pointers, validity, rows
+	cols     []column
+	validity *bitvec.Vector
+	rows     int
+
+	mergeMu   sync.Mutex // serializes whole merges; held across a merge
+	merging   bool       // true between beginMerge and commit/abort (under mu)
+	mergeGen  int
+	lastMerge Report
+}
+
+// New creates an empty table.
+func New(name string, schema Schema) (*Table, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{name: name, schema: schema, validity: bitvec.New(0)}
+	for _, def := range schema {
+		t.cols = append(t.cols, newColumn(def))
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// NumColumns returns N_C.
+func (t *Table) NumColumns() int { return len(t.schema) }
+
+// columnIndex resolves a column name.
+func (t *Table) columnIndex(name string) (int, error) {
+	for i, c := range t.schema {
+		if c.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", ErrNoColumn, name)
+}
+
+// Insert appends one row; values must match the schema's arity and types.
+// It returns the new row id.
+func (t *Table) Insert(values []any) (int, error) {
+	if len(values) != len(t.cols) {
+		return 0, fmt.Errorf("%w: got %d want %d", ErrArity, len(values), len(t.cols))
+	}
+	// Validate before mutating anything so a bad value cannot leave the
+	// columns ragged.
+	for i, v := range values {
+		if err := t.cols[i].checkValue(v); err != nil {
+			return 0, err
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.insertLocked(values), nil
+}
+
+func (t *Table) insertLocked(values []any) int {
+	for i, v := range values {
+		t.cols[i].appendValue(v)
+	}
+	row := t.rows
+	t.rows++
+	t.validity.AppendSet(true)
+	return row
+}
+
+// Update models an UPDATE as insert + invalidate (paper §3): it reads the
+// current version of row id, overlays the changed columns, appends the new
+// version and invalidates the old one.  It returns the new row id.
+func (t *Table) Update(row int, changes map[string]any) (int, error) {
+	for name, v := range changes {
+		i, err := t.columnIndex(name)
+		if err != nil {
+			return 0, err
+		}
+		if err := t.cols[i].checkValue(v); err != nil {
+			return 0, err
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if row < 0 || row >= t.rows {
+		return 0, fmt.Errorf("%w: %d", ErrRowRange, row)
+	}
+	if !t.validity.Get(row) {
+		return 0, fmt.Errorf("%w: %d", ErrRowInvalid, row)
+	}
+	values := make([]any, len(t.cols))
+	for i := range t.cols {
+		values[i] = t.cols[i].get(row)
+	}
+	for name, v := range changes {
+		i, _ := t.columnIndex(name)
+		values[i] = v
+	}
+	t.validity.Clear(row)
+	return t.insertLocked(values), nil
+}
+
+// Delete invalidates a row; the version history remains stored.
+func (t *Table) Delete(row int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if row < 0 || row >= t.rows {
+		return fmt.Errorf("%w: %d", ErrRowRange, row)
+	}
+	if !t.validity.Get(row) {
+		return fmt.Errorf("%w: %d", ErrRowInvalid, row)
+	}
+	t.validity.Clear(row)
+	return nil
+}
+
+// Row materializes all column values of a row (valid or not).
+func (t *Table) Row(row int) ([]any, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if row < 0 || row >= t.rows {
+		return nil, fmt.Errorf("%w: %d", ErrRowRange, row)
+	}
+	out := make([]any, len(t.cols))
+	for i := range t.cols {
+		out[i] = t.cols[i].get(row)
+	}
+	return out, nil
+}
+
+// IsValid reports whether the row is the current version.
+func (t *Table) IsValid(row int) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return row >= 0 && row < t.rows && t.validity.Get(row)
+}
+
+// Rows returns the total number of stored row versions.
+func (t *Table) Rows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
+
+// ValidRows returns the number of current (non-invalidated) rows.
+func (t *Table) ValidRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.validity.Count()
+}
+
+// MainRows returns the tuple count of the main partitions.
+func (t *Table) MainRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.cols) == 0 {
+		return 0
+	}
+	return t.cols[0].mainLen()
+}
+
+// DeltaRows returns the tuple count accumulated in the delta partitions
+// (frozen plus second delta during a merge).
+func (t *Table) DeltaRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.cols) == 0 {
+		return 0
+	}
+	return t.cols[0].deltaLen()
+}
+
+// DeltaFraction returns N_D / N_M, the merge-trigger metric of §4.
+func (t *Table) DeltaFraction() float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.cols) == 0 {
+		return 0
+	}
+	nm := t.cols[0].mainLen()
+	nd := t.cols[0].deltaLen()
+	if nm == 0 {
+		if nd == 0 {
+			return 0
+		}
+		return 1
+	}
+	return float64(nd) / float64(nm)
+}
+
+// Merging reports whether a merge is currently running.
+func (t *Table) Merging() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.merging
+}
+
+// MergeGeneration counts committed merges.
+func (t *Table) MergeGeneration() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.mergeGen
+}
+
+// ColumnStats describes one column's storage.
+type ColumnStats struct {
+	Def         ColumnDef
+	MainRows    int
+	DeltaRows   int
+	UniqueMain  int
+	UniqueDelta int
+	Bits        uint
+	SizeBytes   int
+	LastMerge   core.Stats
+}
+
+// Stats summarizes the whole table.
+type Stats struct {
+	Name      string
+	Rows      int
+	ValidRows int
+	MainRows  int
+	DeltaRows int
+	SizeBytes int
+	Columns   []ColumnStats
+}
+
+// Stats returns a consistent snapshot of storage statistics.
+func (t *Table) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s := Stats{Name: t.name, Rows: t.rows, ValidRows: t.validity.Count()}
+	for _, c := range t.cols {
+		cs := c.stats()
+		s.Columns = append(s.Columns, cs)
+		s.SizeBytes += cs.SizeBytes
+	}
+	if len(t.cols) > 0 {
+		s.MainRows = t.cols[0].mainLen()
+		s.DeltaRows = t.cols[0].deltaLen()
+	}
+	s.SizeBytes += t.validity.SizeBytes()
+	return s
+}

@@ -1,0 +1,59 @@
+// Package val defines the value-type constraint shared by all column
+// containers and helpers for reasoning about value byte-lengths.
+//
+// The paper evaluates columns with fixed uncompressed value-lengths E_j of
+// 4, 8 and 16 bytes (§7).  We map those onto uint32, uint64 and
+// fixed-length strings respectively; any cmp.Ordered type works for the
+// generic containers, while the analytical model consumes the explicit
+// value-length.
+package val
+
+import "cmp"
+
+// Value is the constraint satisfied by all column value types.
+type Value interface {
+	cmp.Ordered
+}
+
+// FixedSize reports the fixed byte-length of V's values, or -1 when V is a
+// variable-length type (strings).  For strings, callers should derive the
+// effective length from the data (see StringLen) or supply E_j explicitly.
+func FixedSize[V Value]() int {
+	var v V
+	switch any(v).(type) {
+	case uint8, int8:
+		return 1
+	case uint16, int16:
+		return 2
+	case uint32, int32, float32:
+		return 4
+	case uint64, int64, uint, int, float64:
+		return 8
+	default:
+		return -1
+	}
+}
+
+// ByteLen returns the byte-length of one value: the fixed size for numeric
+// types, len(s) for strings.
+func ByteLen[V Value](v V) int {
+	if s, ok := any(v).(string); ok {
+		return len(s)
+	}
+	if n := FixedSize[V](); n > 0 {
+		return n
+	}
+	return 8
+}
+
+// SliceBytes returns the total payload bytes of values.
+func SliceBytes[V Value](values []V) int {
+	if n := FixedSize[V](); n >= 0 {
+		return n * len(values)
+	}
+	total := 0
+	for _, v := range values {
+		total += ByteLen(v)
+	}
+	return total
+}

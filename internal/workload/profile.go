@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// This file regenerates the §2 customer-system analyses.  The paper's
+// figures are descriptive statistics over 12 SAP Business Suite
+// installations; we reproduce them from generators parameterized to the
+// published marginals (see DESIGN.md "Substitutions").
+
+// SizeBucket is one bar of Figure 2.
+type SizeBucket struct {
+	Label   string
+	MinRows int64 // inclusive
+	MaxRows int64 // inclusive, math.MaxInt64 for the open bucket
+	Count   int
+}
+
+// Figure2Buckets returns the published clustering of all 73,979 tables by
+// row count.  The counts sum exactly to the paper's total.
+func Figure2Buckets() []SizeBucket {
+	return []SizeBucket{
+		{Label: "0", MinRows: 0, MaxRows: 0, Count: 6290},
+		{Label: "1-100", MinRows: 1, MaxRows: 100, Count: 46418},
+		{Label: "100-1K", MinRows: 101, MaxRows: 1_000, Count: 15553},
+		{Label: "1K-10K", MinRows: 1_001, MaxRows: 10_000, Count: 2685},
+		{Label: "10K-100K", MinRows: 10_001, MaxRows: 100_000, Count: 1385},
+		{Label: "100K-1M", MinRows: 100_001, MaxRows: 1_000_000, Count: 925},
+		{Label: "1M-10M", MinRows: 1_000_001, MaxRows: 10_000_000, Count: 579},
+		{Label: ">10M", MinRows: 10_000_001, MaxRows: math.MaxInt64, Count: 144},
+	}
+}
+
+// TotalTables is the number of tables per installation (§2).
+const TotalTables = 73979
+
+// TableProfile describes one synthetic table of the customer system.
+type TableProfile struct {
+	Rows    int64
+	Columns int
+}
+
+// CustomerSystem is a synthetic SAP-customer installation.
+type CustomerSystem struct {
+	Tables []TableProfile
+}
+
+// GenerateCustomerSystem draws a full installation consistent with
+// Figures 2 and 3: bucket counts exactly as published, row counts
+// log-uniform within buckets, and the 144 largest tables following the
+// Figure 3 marginals (10M..1.6B rows averaging ~65M; 2..399 columns
+// averaging ~70).
+func GenerateCustomerSystem(seed int64) *CustomerSystem {
+	rng := rand.New(rand.NewSource(seed))
+	cs := &CustomerSystem{}
+	for _, b := range Figure2Buckets() {
+		for i := 0; i < b.Count; i++ {
+			var rows int64
+			switch {
+			case b.MaxRows == 0:
+				rows = 0
+			case b.MaxRows == math.MaxInt64:
+				rows = sampleLargeTableRows(rng)
+			default:
+				rows = logUniform(rng, b.MinRows, b.MaxRows)
+			}
+			cs.Tables = append(cs.Tables, TableProfile{
+				Rows:    rows,
+				Columns: sampleColumns(rng),
+			})
+		}
+	}
+	sort.Slice(cs.Tables, func(i, j int) bool { return cs.Tables[i].Rows > cs.Tables[j].Rows })
+	return cs
+}
+
+// sampleLargeTableRows draws from a truncated Pareto on [10M, 1.6B] tuned
+// so the mean lands near the paper's 65M rows.
+func sampleLargeTableRows(rng *rand.Rand) int64 {
+	const lo, hi = 10_000_000.0, 1_600_000_000.0
+	const alpha = 0.8547 // calibrated: E[X] ≈ 65M on the truncated support
+	u := rng.Float64()
+	loA := math.Pow(lo, -alpha)
+	hiA := math.Pow(hi, -alpha)
+	x := math.Pow(loA-u*(loA-hiA), -1/alpha)
+	return int64(x)
+}
+
+// sampleColumns draws a column count in [2, 399] with mean ≈ 70
+// (log-normal shape clipped to the published range).
+func sampleColumns(rng *rand.Rand) int {
+	for {
+		x := math.Exp(rng.NormFloat64()*0.75 + math.Log(55))
+		if x >= 2 && x <= 399 {
+			return int(x)
+		}
+	}
+}
+
+func logUniform(rng *rand.Rand, lo, hi int64) int64 {
+	if lo < 1 {
+		lo = 1
+	}
+	llo, lhi := math.Log(float64(lo)), math.Log(float64(hi))
+	x := math.Exp(llo + rng.Float64()*(lhi-llo))
+	r := int64(x)
+	if r < lo {
+		r = lo
+	}
+	if r > hi {
+		r = hi
+	}
+	return r
+}
+
+// Largest returns the n largest tables (Figure 3's subject).
+func (cs *CustomerSystem) Largest(n int) []TableProfile {
+	if n > len(cs.Tables) {
+		n = len(cs.Tables)
+	}
+	return cs.Tables[:n]
+}
+
+// Histogram buckets cs.Tables back into Figure 2's buckets; it must
+// reproduce the published counts exactly (tested).
+func (cs *CustomerSystem) Histogram() []SizeBucket {
+	buckets := Figure2Buckets()
+	for i := range buckets {
+		buckets[i].Count = 0
+	}
+	for _, t := range cs.Tables {
+		for i := range buckets {
+			if t.Rows >= buckets[i].MinRows && t.Rows <= buckets[i].MaxRows {
+				buckets[i].Count++
+				break
+			}
+		}
+	}
+	return buckets
+}
+
+// DistinctBucket is one group of Figure 4.
+type DistinctBucket struct {
+	Label     string
+	MinValues int
+	MaxValues int
+	Share     float64 // fraction of columns in this bucket
+}
+
+// DomainProfile is a Figure 4 distinct-value profile for one application
+// domain.
+type DomainProfile struct {
+	Name    string
+	Buckets []DistinctBucket
+}
+
+// Figure4Profiles returns the published distinct-value distributions for
+// inventory management and financial accounting.
+func Figure4Profiles() []DomainProfile {
+	return []DomainProfile{
+		{Name: "Inventory Management", Buckets: []DistinctBucket{
+			{Label: "1-32", MinValues: 1, MaxValues: 32, Share: 0.78},
+			{Label: "33-1023", MinValues: 33, MaxValues: 1023, Share: 0.09},
+			{Label: "1024-100000000", MinValues: 1024, MaxValues: 100_000_000, Share: 0.13},
+		}},
+		{Name: "Financial Accounting", Buckets: []DistinctBucket{
+			{Label: "1-32", MinValues: 1, MaxValues: 32, Share: 0.64},
+			{Label: "33-1023", MinValues: 33, MaxValues: 1023, Share: 0.12},
+			{Label: "1024-100000000", MinValues: 1024, MaxValues: 100_000_000, Share: 0.24},
+		}},
+	}
+}
+
+// SampleColumnDomain draws a distinct-value count for one column of the
+// profile (log-uniform within the chosen bucket, capped by rows).
+func (p DomainProfile) SampleColumnDomain(rng *rand.Rand, rows int64) int {
+	x := rng.Float64()
+	for _, b := range p.Buckets {
+		if x < b.Share {
+			hi := int64(b.MaxValues)
+			if rows > 0 && hi > rows {
+				hi = rows
+			}
+			lo := int64(b.MinValues)
+			if hi < lo {
+				hi = lo
+			}
+			return int(logUniform(rng, lo, hi))
+		}
+		x -= b.Share
+	}
+	return 1
+}
