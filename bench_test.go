@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"hyrise"
@@ -230,6 +231,146 @@ func BenchmarkCustomerSystemProfile(b *testing.B) {
 		if len(cs.Tables) != workload.TotalTables {
 			b.Fatal("table count")
 		}
+	}
+}
+
+// shardCounts is the scaling axis of the sharded benchmarks: shards=1 is
+// the flat-equivalent baseline the multi-shard rows are compared against.
+var shardCounts = []int{1, 2, 4, 8}
+
+func newShardedBench(b *testing.B, shards int) *hyrise.ShardedTable {
+	b.Helper()
+	st, err := hyrise.NewShardedTable("b", hyrise.Schema{
+		{Name: "k", Type: hyrise.Uint64},
+		{Name: "v", Type: hyrise.Uint64},
+	}, "k", shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkShardedInsert measures concurrent insert throughput as shards
+// scale: writers route by key hash and contend only on their own shard's
+// lock, so ops/s should grow with the shard count.
+func BenchmarkShardedInsert(b *testing.B) {
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			st := newShardedBench(b, shards)
+			var next atomic.Uint64
+			var insertErr atomic.Value
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					k := next.Add(1)
+					if _, err := st.Insert([]any{k, k}); err != nil {
+						insertErr.Store(err)
+						return
+					}
+				}
+			})
+			if err := insertErr.Load(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkShardedMergeAll measures cross-shard merge wall time with one
+// thread per shard, so the speedup comes purely from shard parallelism:
+// shards=1 is a serial merge of the whole table, shards=8 is eight
+// concurrent single-threaded merges of one-eighth-size partitions.  (With
+// a full thread budget a 1-shard merge already parallelizes within
+// columns — see BenchmarkTable2Scalability — so fixing the per-shard
+// budget isolates the new axis.)
+func BenchmarkShardedMergeAll(b *testing.B) {
+	const nm, nd = 400_000, 20_000
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			opts := hyrise.MergeAllOptions{
+				Merge: hyrise.MergeOptions{Threads: shards},
+			}
+			st := newShardedBench(b, shards)
+			for i := 0; i < nm; i++ {
+				if _, err := st.Insert([]any{uint64(i), uint64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := st.MergeAll(context.Background(), opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				base := uint64(nm + i*nd)
+				for j := 0; j < nd; j++ {
+					if _, err := st.Insert([]any{base + uint64(j), 1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				rep, err := st.MergeAll(context.Background(), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.RowsMerged != nd {
+					b.Fatalf("merged %d want %d", rep.RowsMerged, nd)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedLookup measures point-query latency on a merged table as
+// shards scale: every lookup fans out to all shards in parallel, trading a
+// little fan-out overhead for smaller per-shard dictionaries.
+func BenchmarkShardedLookup(b *testing.B) {
+	const rows = 1_000_000
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			st := newShardedBench(b, shards)
+			for i := 0; i < rows; i++ {
+				if _, err := st.Insert([]any{uint64(i), uint64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := st.MergeAll(context.Background(), hyrise.MergeAllOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			h, err := hyrise.ShardedColumnOf[uint64](st, "k")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := h.Lookup(uint64(i % rows)); len(got) != 1 {
+					b.Fatalf("lookup found %d rows", len(got))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedWorkloadMix runs the paper's OLTP mix through the
+// generalized driver against flat-equivalent and multi-shard tables.
+func BenchmarkShardedWorkloadMix(b *testing.B) {
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			st := newShardedBench(b, shards)
+			for i := 0; i < 50_000; i++ {
+				st.Insert([]any{uint64(i % 1000), uint64(i)})
+			}
+			st.MergeAll(context.Background(), hyrise.MergeAllOptions{})
+			drv, err := hyrise.NewShardedDriver(st, "k", hyrise.OLTPMix,
+				hyrise.NewUniformGenerator(1000, 5), 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if _, err := drv.Run(b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }
 

@@ -15,6 +15,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -23,16 +24,34 @@ import (
 	"hyrise"
 )
 
+// dataTable is the surface shared by flat and sharded tables; commands
+// that need more (handles, merge, stats, persistence) type-switch on the
+// concrete table kind.
+type dataTable interface {
+	Schema() hyrise.Schema
+	Insert([]any) (int, error)
+	Update(int, map[string]any) (int, error)
+	Delete(int) error
+	Row(int) ([]any, error)
+	Rows() int
+}
+
 type shell struct {
-	tables map[string]*hyrise.Table
+	tables map[string]dataTable
+	shards int // shard count for newly created tables (1 = flat)
 	out    *bufio.Writer
 }
 
 func main() {
-	sh := &shell{tables: map[string]*hyrise.Table{}, out: bufio.NewWriter(os.Stdout)}
+	shards := flag.Int("shards", 1, "hash-partition created tables across N shards (keyed by the first column)")
+	flag.Parse()
+	sh := &shell{tables: map[string]dataTable{}, shards: *shards, out: bufio.NewWriter(os.Stdout)}
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Println("hyrise delta-merge column store — type 'help'")
+	if sh.shards > 1 {
+		fmt.Printf("creating tables with %d shards\n", sh.shards)
+	}
 	for {
 		fmt.Print("> ")
 		os.Stdout.Sync()
@@ -107,10 +126,14 @@ func (s *shell) help() {
   loadcsv <name> <path.csv>       import CSV (header row, types inferred)
   workload <table> <col> <mix> <n>  run n ops of mix oltp|olap|tpcc
   quit
+
+started with -shards N > 1, 'create' hash-partitions tables across N
+shards keyed by the first column; merge then runs on all shards in
+parallel.
 `)
 }
 
-func (s *shell) table(name string) (*hyrise.Table, error) {
+func (s *shell) table(name string) (dataTable, error) {
 	t, ok := s.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("no table %q", name)
@@ -141,6 +164,16 @@ func (s *shell) create(args []string) error {
 		}
 		schema = append(schema, hyrise.ColumnDef{Name: name, Type: ct})
 	}
+	if s.shards > 1 {
+		st, err := hyrise.NewShardedTable(args[0], schema, schema[0].Name, s.shards)
+		if err != nil {
+			return err
+		}
+		s.tables[args[0]] = st
+		fmt.Fprintf(s.out, "created %s with %d columns across %d shards (keyed by %s)\n",
+			args[0], len(schema), s.shards, schema[0].Name)
+		return nil
+	}
 	t, err := hyrise.NewTable(args[0], schema)
 	if err != nil {
 		return err
@@ -150,7 +183,7 @@ func (s *shell) create(args []string) error {
 	return nil
 }
 
-func (s *shell) parseValue(t *hyrise.Table, col int, raw string) (any, error) {
+func (s *shell) parseValue(t dataTable, col int, raw string) (any, error) {
 	switch t.Schema()[col].Type {
 	case hyrise.Uint32:
 		v, err := strconv.ParseUint(raw, 10, 32)
@@ -255,38 +288,46 @@ func (s *shell) lookup(args []string) error {
 	return s.printRows(t, rows)
 }
 
-func lookupAny(t *hyrise.Table, col, raw string) ([]int, error) {
+// lookupTyped probes the column on either table kind.
+func lookupTyped[V hyrise.Value](t dataTable, col string, v V) ([]int, error) {
+	switch x := t.(type) {
+	case *hyrise.ShardedTable:
+		h, err := hyrise.ShardedColumnOf[V](x, col)
+		if err != nil {
+			return nil, err
+		}
+		return h.Lookup(v), nil
+	case *hyrise.Table:
+		h, err := hyrise.ColumnOf[V](x, col)
+		if err != nil {
+			return nil, err
+		}
+		return h.Lookup(v), nil
+	default:
+		return nil, fmt.Errorf("unsupported table kind %T", t)
+	}
+}
+
+func lookupAny(t dataTable, col, raw string) ([]int, error) {
 	for _, def := range t.Schema() {
 		if def.Name != col {
 			continue
 		}
 		switch def.Type {
 		case hyrise.Uint32:
-			h, err := hyrise.ColumnOf[uint32](t, col)
-			if err != nil {
-				return nil, err
-			}
 			v, err := strconv.ParseUint(raw, 10, 32)
 			if err != nil {
 				return nil, err
 			}
-			return h.Lookup(uint32(v)), nil
+			return lookupTyped(t, col, uint32(v))
 		case hyrise.Uint64:
-			h, err := hyrise.ColumnOf[uint64](t, col)
-			if err != nil {
-				return nil, err
-			}
 			v, err := strconv.ParseUint(raw, 10, 64)
 			if err != nil {
 				return nil, err
 			}
-			return h.Lookup(v), nil
+			return lookupTyped(t, col, v)
 		default:
-			h, err := hyrise.ColumnOf[string](t, col)
-			if err != nil {
-				return nil, err
-			}
-			return h.Lookup(raw), nil
+			return lookupTyped(t, col, raw)
 		}
 	}
 	return nil, fmt.Errorf("no column %q", col)
@@ -300,10 +341,6 @@ func (s *shell) rng(args []string) error {
 	if err != nil {
 		return err
 	}
-	h, err := hyrise.ColumnOf[uint64](t, args[1])
-	if err != nil {
-		return err
-	}
 	lo, err := strconv.ParseUint(args[2], 10, 64)
 	if err != nil {
 		return err
@@ -312,10 +349,25 @@ func (s *shell) rng(args []string) error {
 	if err != nil {
 		return err
 	}
-	return s.printRows(t, h.Range(lo, hi))
+	var rows []int
+	switch x := t.(type) {
+	case *hyrise.ShardedTable:
+		h, err := hyrise.ShardedColumnOf[uint64](x, args[1])
+		if err != nil {
+			return err
+		}
+		rows = h.Range(lo, hi)
+	case *hyrise.Table:
+		h, err := hyrise.ColumnOf[uint64](x, args[1])
+		if err != nil {
+			return err
+		}
+		rows = h.Range(lo, hi)
+	}
+	return s.printRows(t, rows)
 }
 
-func (s *shell) printRows(t *hyrise.Table, rows []int) error {
+func (s *shell) printRows(t dataTable, rows []int) error {
 	for _, r := range rows {
 		vals, err := t.Row(r)
 		if err != nil {
@@ -339,25 +391,44 @@ func (s *shell) sum(args []string) error {
 		if def.Name != args[1] {
 			continue
 		}
+		var (
+			sum uint64
+			err error
+		)
 		switch def.Type {
 		case hyrise.Uint32:
-			h, err := hyrise.NumericColumnOf[uint32](t, args[1])
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(s.out, "%d\n", h.Sum())
+			sum, err = sumTyped[uint32](t, args[1])
 		case hyrise.Uint64:
-			h, err := hyrise.NumericColumnOf[uint64](t, args[1])
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(s.out, "%d\n", h.Sum())
+			sum, err = sumTyped[uint64](t, args[1])
 		default:
 			return fmt.Errorf("sum needs a numeric column")
 		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "%d\n", sum)
 		return nil
 	}
 	return fmt.Errorf("no column %q", args[1])
+}
+
+func sumTyped[V interface{ ~uint32 | ~uint64 }](t dataTable, col string) (uint64, error) {
+	switch x := t.(type) {
+	case *hyrise.ShardedTable:
+		h, err := hyrise.ShardedNumericColumnOf[V](x, col)
+		if err != nil {
+			return 0, err
+		}
+		return h.Sum(), nil
+	case *hyrise.Table:
+		h, err := hyrise.NumericColumnOf[V](x, col)
+		if err != nil {
+			return 0, err
+		}
+		return h.Sum(), nil
+	default:
+		return 0, fmt.Errorf("unsupported table kind %T", t)
+	}
 }
 
 func (s *shell) merge(args []string) error {
@@ -372,12 +443,22 @@ func (s *shell) merge(args []string) error {
 	if len(args) > 1 && args[1] == "naive" {
 		opts.Algorithm = hyrise.Naive
 	}
-	rep, err := t.Merge(context.Background(), opts)
-	if err != nil {
-		return err
+	switch x := t.(type) {
+	case *hyrise.ShardedTable:
+		rep, err := x.MergeAll(context.Background(), hyrise.MergeAllOptions{Merge: opts})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "merged %d delta rows across %d shards in %s (%d threads/shard)\n",
+			rep.RowsMerged, len(rep.Shards), rep.Wall, rep.ThreadsPerShard)
+	case *hyrise.Table:
+		rep, err := x.Merge(context.Background(), opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "merged %d delta rows into %d main rows in %s (%v, %d threads)\n",
+			rep.RowsMerged, rep.MainRowsAfter, rep.Wall, rep.Algorithm, rep.Threads)
 	}
-	fmt.Fprintf(s.out, "merged %d delta rows into %d main rows in %s (%v, %d threads)\n",
-		rep.RowsMerged, rep.MainRowsAfter, rep.Wall, rep.Algorithm, rep.Threads)
 	return nil
 }
 
@@ -389,13 +470,24 @@ func (s *shell) stats(args []string) error {
 	if err != nil {
 		return err
 	}
-	st := t.Stats()
-	fmt.Fprintf(s.out, "table %s: %d rows (%d valid), main %d, delta %d, %d bytes\n",
-		st.Name, st.Rows, st.ValidRows, st.MainRows, st.DeltaRows, st.SizeBytes)
-	for _, c := range st.Columns {
-		fmt.Fprintf(s.out, "  %-16s %-7v main=%d delta=%d uniq=%d/%d bits=%d size=%d\n",
-			c.Def.Name, c.Def.Type, c.MainRows, c.DeltaRows,
-			c.UniqueMain, c.UniqueDelta, c.Bits, c.SizeBytes)
+	switch x := t.(type) {
+	case *hyrise.ShardedTable:
+		st := x.Stats()
+		fmt.Fprintf(s.out, "table %s: %d rows (%d valid) across %d shards, main %d, delta %d, %d bytes\n",
+			st.Name, st.Rows, st.ValidRows, st.Shards, st.MainRows, st.DeltaRows, st.SizeBytes)
+		for i, ts := range st.PerShard {
+			fmt.Fprintf(s.out, "  shard %-3d %d rows (%d valid), main %d, delta %d, %d bytes\n",
+				i, ts.Rows, ts.ValidRows, ts.MainRows, ts.DeltaRows, ts.SizeBytes)
+		}
+	case *hyrise.Table:
+		st := x.Stats()
+		fmt.Fprintf(s.out, "table %s: %d rows (%d valid), main %d, delta %d, %d bytes\n",
+			st.Name, st.Rows, st.ValidRows, st.MainRows, st.DeltaRows, st.SizeBytes)
+		for _, c := range st.Columns {
+			fmt.Fprintf(s.out, "  %-16s %-7v main=%d delta=%d uniq=%d/%d bits=%d size=%d\n",
+				c.Def.Name, c.Def.Type, c.MainRows, c.DeltaRows,
+				c.UniqueMain, c.UniqueDelta, c.Bits, c.SizeBytes)
+		}
 	}
 	return nil
 }
@@ -408,7 +500,11 @@ func (s *shell) save(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := hyrise.SaveFile(t, args[1]); err != nil {
+	ft, ok := t.(*hyrise.Table)
+	if !ok {
+		return fmt.Errorf("save does not support sharded tables yet")
+	}
+	if err := hyrise.SaveFile(ft, args[1]); err != nil {
 		return err
 	}
 	fmt.Fprintf(s.out, "saved %s\n", args[1])
@@ -464,7 +560,16 @@ func (s *shell) workload(args []string) error {
 	if err != nil {
 		return err
 	}
-	drv, err := hyrise.NewDriver(t, args[1], mix, hyrise.NewUniformGenerator(10000, 1), 1)
+	gen := hyrise.NewUniformGenerator(10000, 1)
+	var drv *hyrise.Driver
+	switch x := t.(type) {
+	case *hyrise.ShardedTable:
+		drv, err = hyrise.NewShardedDriver(x, args[1], mix, gen, 1)
+	case *hyrise.Table:
+		drv, err = hyrise.NewDriver(x, args[1], mix, gen, 1)
+	default:
+		err = fmt.Errorf("unsupported table kind %T", t)
+	}
 	if err != nil {
 		return err
 	}

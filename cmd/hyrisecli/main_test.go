@@ -7,13 +7,16 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
-
-	"hyrise"
 )
 
 func newShell() (*shell, *bytes.Buffer) {
 	var buf bytes.Buffer
-	return &shell{tables: map[string]*hyrise.Table{}, out: bufio.NewWriter(&buf)}, &buf
+	return &shell{tables: map[string]dataTable{}, shards: 1, out: bufio.NewWriter(&buf)}, &buf
+}
+
+func newShardedShell(shards int) (*shell, *bytes.Buffer) {
+	var buf bytes.Buffer
+	return &shell{tables: map[string]dataTable{}, shards: shards, out: bufio.NewWriter(&buf)}, &buf
 }
 
 func run(t *testing.T, sh *shell, buf *bytes.Buffer, lines ...string) string {
@@ -50,6 +53,48 @@ func TestShellLifecycle(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestShellShardedLifecycle(t *testing.T) {
+	sh, buf := newShardedShell(4)
+	out := run(t, sh, buf,
+		"create sales id:uint64 qty:uint32 product:string",
+		"insert sales 1 3 widget",
+		"insert sales 2 5 gadget",
+		"insert sales 3 7 widget",
+		"lookup sales product widget",
+		"merge sales",
+		"lookup sales product widget",
+		"range sales id 1 2",
+		"stats sales",
+		"sum sales qty",
+		"workload sales id oltp 100",
+	)
+	for _, want := range []string{
+		"created sales with 3 columns across 4 shards (keyed by id)",
+		"merged 3 delta rows across 4 shards",
+		"across 4 shards",
+		"shard 0",
+		"15", // sum(qty) = 3+5+7
+		"100 ops in",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "2 row(s)") != 3 {
+		t.Errorf("expected widget lookups (before and after merge) and the range to each find 2 rows:\n%s", out)
+	}
+}
+
+func TestShellShardedSaveRejected(t *testing.T) {
+	sh, _ := newShardedShell(2)
+	if err := sh.exec("create t a:uint64"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.exec("save t /tmp/should-not-exist.hyr"); err == nil {
+		t.Fatal("expected save on a sharded table to error")
 	}
 }
 

@@ -1,0 +1,3 @@
+module hyrise
+
+go 1.24

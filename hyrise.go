@@ -23,6 +23,32 @@
 // a second delta while it runs, and the merged table is committed
 // atomically under a brief lock.
 //
+// # Sharded tables
+//
+// For write-heavy workloads a table can be hash-partitioned by a key
+// column across N independent shards, each with its own delta, main and
+// merge lifecycle.  Inserts route by key hash and contend only on their
+// shard; queries fan out across shards in parallel; MergeAll runs the
+// multi-core merge on all shards concurrently with a per-shard slice of
+// the thread budget; and NewShardedScheduler watches every shard's delta
+// fraction independently:
+//
+//	st, _ := hyrise.NewShardedTable("sales", schema, "order_id", 8)
+//	st.Insert([]any{uint64(1), uint32(3), "widget"})
+//	h, _ := hyrise.ShardedColumnOf[uint64](st, "order_id")
+//	rows := h.Lookup(1)                 // global row ids
+//	st.MergeAll(context.Background(), hyrise.MergeAllOptions{})
+//	ms := hyrise.NewShardedScheduler(st, hyrise.SchedulerConfig{Fraction: 0.05})
+//	ms.Start()
+//
+// Sharding guarantees per-shard merge atomicity only: every shard's merge
+// is individually online and atomic, but there is no cross-shard snapshot
+// — a fan-out query can observe one shard before and another after a
+// concurrent multi-shard writer.  Global row ids are stable and encode
+// the owning shard; they are not dense and not in global insertion order.
+// Updates that change the key column may relocate a row to another shard
+// (the old version is invalidated, the new one inserted there).
+//
 // The subpackages under internal implement the paper's substrate systems
 // (bit-packed vectors, sorted dictionaries, CSB+ trees, the merge itself,
 // the analytical cost model, workload generators and the experiment
@@ -42,6 +68,7 @@ import (
 	"hyrise/internal/persist"
 	"hyrise/internal/query"
 	"hyrise/internal/sched"
+	"hyrise/internal/shard"
 	"hyrise/internal/table"
 	"hyrise/internal/workload"
 )
@@ -143,10 +170,62 @@ func NumericColumnOf[V interface{ ~uint32 | ~uint64 }](t *Table, name string) (*
 	return table.NumericColumnOf[V](t, name)
 }
 
+// Sharded tables (hash-partitioned across independent shards).
+type (
+	// ShardedTable hash-partitions rows by a key column across N shards.
+	ShardedTable = shard.Table
+	// ShardedStats aggregates per-shard storage statistics.
+	ShardedStats = shard.Stats
+	// MergeAllOptions configures ShardedTable.MergeAll.
+	MergeAllOptions = shard.MergeAllOptions
+	// MergeAllReport summarizes a cross-shard parallel merge.
+	MergeAllReport = shard.MergeAllReport
+	// ShardedHandle is a typed single-column view across all shards.
+	ShardedHandle[V Value] = shard.Handle[V]
+	// ShardedNumericHandle adds cross-shard Sum/Min/Max aggregation.
+	ShardedNumericHandle[V interface{ ~uint32 | ~uint64 }] = shard.NumericHandle[V]
+)
+
+// NewShardedTable creates an empty sharded table hash-partitioned by the
+// named key column.
+func NewShardedTable(name string, schema Schema, key string, shards int) (*ShardedTable, error) {
+	return shard.New(name, schema, key, shards)
+}
+
+// ShardedColumnOf returns a typed cross-shard handle for the named column.
+func ShardedColumnOf[V Value](st *ShardedTable, name string) (*ShardedHandle[V], error) {
+	return shard.ColumnOf[V](st, name)
+}
+
+// ShardedNumericColumnOf returns a cross-shard handle with aggregation
+// support.
+func ShardedNumericColumnOf[V interface{ ~uint32 | ~uint64 }](st *ShardedTable, name string) (*ShardedNumericHandle[V], error) {
+	return shard.NumericColumnOf[V](st, name)
+}
+
+// ShardedQuery evaluates the conjunction of filters against every shard in
+// parallel and merges the results under global row ids.
+func ShardedQuery(st *ShardedTable, filters []Filter, project []string) (*QueryResult, error) {
+	return shard.Query(st, filters, project)
+}
+
+// NewShardedDriver builds a workload driver targeting a sharded table's
+// uint64 key-distribution column.
+func NewShardedDriver(st *ShardedTable, column string, mix Mix, gen Generator, seed int64) (*Driver, error) {
+	h, err := shard.ColumnOf[uint64](st, column)
+	if err != nil {
+		return nil, err
+	}
+	return workload.NewDriverFor(st, column, h, mix, gen, seed)
+}
+
 // Scheduler triggers merges when the delta grows past a threshold.
 type (
 	Scheduler       = sched.Scheduler
 	SchedulerConfig = sched.Config
+	// MultiScheduler supervises every shard of a sharded table
+	// independently.
+	MultiScheduler = sched.Multi
 )
 
 // Scheduler strategies (§3).
@@ -160,6 +239,19 @@ const (
 // NewScheduler supervises t, merging when N_D exceeds cfg.Fraction * N_M.
 func NewScheduler(t *Table, cfg SchedulerConfig) *Scheduler {
 	return sched.New(t, cfg)
+}
+
+// NewShardedScheduler supervises every shard of st independently: each
+// shard merges when its own delta fraction exceeds cfg.Fraction, and
+// unless cfg.Threads is set the machine's threads are divided evenly
+// across shards.
+func NewShardedScheduler(st *ShardedTable, cfg SchedulerConfig) *MultiScheduler {
+	shards := st.Shards()
+	targets := make([]sched.MergeTable, len(shards))
+	for i, s := range shards {
+		targets[i] = s
+	}
+	return sched.NewMulti(targets, cfg)
 }
 
 // Workload generation (paper §2).

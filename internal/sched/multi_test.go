@@ -1,0 +1,120 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hyrise/internal/table"
+)
+
+func newMultiTables(t *testing.T, n int) []MergeTable {
+	t.Helper()
+	out := make([]MergeTable, n)
+	for i := range out {
+		tb, err := table.New("t", table.Schema{{Name: "k", Type: table.Uint64}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = tb
+	}
+	return out
+}
+
+// TestMultiIndependentTriggers verifies that only the shard whose delta
+// fraction exceeds the threshold is merged: a hot shard merges while cold
+// shards stay untouched.
+func TestMultiIndependentTriggers(t *testing.T) {
+	targets := newMultiTables(t, 3)
+	hot := targets[0].(*table.Table)
+	cold := targets[2].(*table.Table)
+
+	var mu sync.Mutex
+	merged := 0
+	m := NewMulti(targets, Config{
+		Fraction: 0.5,
+		Interval: time.Millisecond,
+		OnMerge: func(table.Report) {
+			mu.Lock()
+			merged++
+			mu.Unlock()
+		},
+	})
+	// Hot shard: 100 delta rows on an empty main always exceeds the
+	// trigger.  Cold shards get nothing.
+	for i := 0; i < 100; i++ {
+		if _, err := hot.Insert([]any{uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err == nil {
+		m.Stop()
+		t.Fatal("second Start succeeded")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for hot.MergeGeneration() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	m.Stop()
+	if hot.MergeGeneration() == 0 {
+		t.Fatal("hot shard never merged")
+	}
+	if cold.MergeGeneration() != 0 {
+		t.Fatal("cold shard merged without delta rows")
+	}
+	if hot.DeltaRows() != 0 || hot.MainRows() != 100 {
+		t.Fatalf("hot shard state: delta=%d main=%d", hot.DeltaRows(), hot.MainRows())
+	}
+	if m.Merges() == 0 {
+		t.Fatal("Multi.Merges() = 0")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if merged != m.Merges() {
+		t.Fatalf("OnMerge saw %d merges, counter says %d", merged, m.Merges())
+	}
+	if err := m.LastErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiThreadBudget checks the even division of the machine across
+// targets, and that an explicit budget wins.
+func TestMultiThreadBudget(t *testing.T) {
+	targets := newMultiTables(t, 2)
+	m := NewMulti(targets, Config{})
+	for _, s := range m.scheds {
+		if s.cfg.Threads < 1 {
+			t.Fatalf("derived per-target budget %d", s.cfg.Threads)
+		}
+	}
+	m2 := NewMulti(targets, Config{Threads: 3})
+	for _, s := range m2.scheds {
+		if s.cfg.Threads != 3 {
+			t.Fatalf("explicit budget not honored: %d", s.cfg.Threads)
+		}
+	}
+	// Background strategy keeps its single-thread semantics.
+	m3 := NewMulti(targets, Config{Strategy: Background})
+	for _, s := range m3.scheds {
+		if s.cfg.Threads != 0 {
+			t.Fatalf("background budget overridden: %d", s.cfg.Threads)
+		}
+	}
+	// Pause/Resume propagate.
+	m.Pause()
+	for _, s := range m.scheds {
+		if !s.Paused() {
+			t.Fatal("Pause did not propagate")
+		}
+	}
+	m.Resume()
+	for _, s := range m.scheds {
+		if s.Paused() {
+			t.Fatal("Resume did not propagate")
+		}
+	}
+}

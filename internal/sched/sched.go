@@ -16,6 +16,16 @@ import (
 	"hyrise/internal/table"
 )
 
+// MergeTable is the surface the scheduler supervises: anything exposing
+// the delta/main tuple counts the trigger condition reads and an online
+// merge.  *table.Table satisfies it, as does each shard of a sharded
+// table (see internal/shard and Multi).
+type MergeTable interface {
+	DeltaRows() int
+	MainRows() int
+	Merge(context.Context, table.MergeOptions) (table.Report, error)
+}
+
 // Strategy is the resource policy of §3.
 type Strategy int
 
@@ -40,6 +50,10 @@ type Config struct {
 	Interval time.Duration
 	// Strategy selects the resource policy.
 	Strategy Strategy
+	// Threads, when > 0, is an explicit per-merge thread budget that
+	// overrides Strategy's implied budget.  NewMulti uses this to hand
+	// every shard an even slice of the machine.
+	Threads int
 	// Algorithm forwards to the merge.
 	Algorithm core.Algorithm
 	// OnMerge, if non-nil, observes every completed merge.
@@ -62,7 +76,7 @@ func (c *Config) setDefaults() {
 
 // Scheduler supervises one table.  Create with New, then Start.
 type Scheduler struct {
-	t   *table.Table
+	t   MergeTable
 	cfg Config
 
 	mu      sync.Mutex
@@ -73,8 +87,11 @@ type Scheduler struct {
 	lastErr error
 }
 
-// New returns a stopped scheduler.
-func New(t *table.Table, cfg Config) *Scheduler {
+// New returns a stopped scheduler for one flat table.
+func New(t *table.Table, cfg Config) *Scheduler { return NewFor(t, cfg) }
+
+// NewFor returns a stopped scheduler for any merge target.
+func NewFor(t MergeTable, cfg Config) *Scheduler {
 	cfg.setDefaults()
 	return &Scheduler{t: t, cfg: cfg}
 }
@@ -96,8 +113,9 @@ func (s *Scheduler) Start() error {
 	return nil
 }
 
-// Stop terminates the loop and waits for it; a merge in flight completes
-// (merges are not torn down mid-run — the table would roll back otherwise).
+// Stop terminates the loop and waits for it.  A merge in flight is
+// cancelled and rolls back cleanly — its delta rows stay in place and are
+// picked up by the next merge (manual or scheduled).
 func (s *Scheduler) Stop() {
 	s.mu.Lock()
 	cancel, done := s.cancel, s.done
@@ -173,19 +191,27 @@ func (s *Scheduler) loop(ctx context.Context, done chan struct{}) {
 		if s.Paused() || !s.ShouldMerge() {
 			continue
 		}
-		threads := 0 // all resources
-		if s.cfg.Strategy == Background {
-			threads = 1
+		threads := s.cfg.Threads
+		if threads <= 0 {
+			threads = 0 // all resources
+			if s.cfg.Strategy == Background {
+				threads = 1
+			}
 		}
 		rep, err := s.t.Merge(ctx, table.MergeOptions{
 			Algorithm: s.cfg.Algorithm,
 			Threads:   threads,
 		})
+		if errors.Is(err, context.Canceled) {
+			// Stop cancelled a merge in flight: it rolled back cleanly and
+			// the table is intact, so this is shutdown, not a failure.
+			continue
+		}
 		s.mu.Lock()
 		if err != nil {
 			s.lastErr = err
 			s.mu.Unlock()
-			if s.cfg.OnError != nil && !errors.Is(err, context.Canceled) {
+			if s.cfg.OnError != nil {
 				s.cfg.OnError(err)
 			}
 			continue

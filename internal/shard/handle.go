@@ -1,0 +1,202 @@
+package shard
+
+import (
+	"sort"
+	"sync"
+
+	"hyrise/internal/table"
+	"hyrise/internal/val"
+)
+
+// Handle is a typed single-column view over every shard, mirroring
+// table.Handle: key lookups, range selects and scans, filtered to valid
+// rows and returning global row ids.
+//
+// Lookup and Range fan out to all shards in parallel and fan the per-shard
+// results back in as a sorted global row id list.  Scan visits shards
+// sequentially (shard 0 first), so row order is per-shard insertion order,
+// not global insertion order.
+type Handle[V val.Value] struct {
+	st *Table
+	hs []*table.Handle[V]
+}
+
+// ColumnOf resolves a typed handle for the named column across all shards.
+func ColumnOf[V val.Value](st *Table, name string) (*Handle[V], error) {
+	h := &Handle[V]{st: st}
+	for _, s := range st.shards {
+		sh, err := table.ColumnOf[V](s, name)
+		if err != nil {
+			return nil, err
+		}
+		h.hs = append(h.hs, sh)
+	}
+	return h, nil
+}
+
+// Get returns the value at a global row id (valid or not).
+func (h *Handle[V]) Get(gid int) (V, error) {
+	s, local, err := h.st.Locate(gid)
+	if err != nil {
+		var zero V
+		return zero, err
+	}
+	return h.hs[s].Get(local)
+}
+
+// fanOut runs fn on every shard concurrently and merges the returned
+// shard-local row ids into one ascending global row id list.
+func (h *Handle[V]) fanOut(fn func(sh *table.Handle[V]) []int) []int {
+	perShard := make([][]int, len(h.hs))
+	var wg sync.WaitGroup
+	for i, sh := range h.hs {
+		wg.Add(1)
+		go func(i int, sh *table.Handle[V]) {
+			defer wg.Done()
+			perShard[i] = fn(sh)
+		}(i, sh)
+	}
+	wg.Wait()
+	var out []int
+	for i, locals := range perShard {
+		for _, l := range locals {
+			out = append(out, h.st.gid(i, l))
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Lookup returns the global row ids of valid rows whose value equals v.
+// Every shard is probed in parallel (dictionary binary search + CSB+ tree
+// per shard).
+func (h *Handle[V]) Lookup(v V) []int {
+	return h.fanOut(func(sh *table.Handle[V]) []int { return sh.Lookup(v) })
+}
+
+// Range returns the global row ids of valid rows with value in [lo, hi],
+// fanned out across shards in parallel.
+func (h *Handle[V]) Range(lo, hi V) []int {
+	return h.fanOut(func(sh *table.Handle[V]) []int { return sh.Range(lo, hi) })
+}
+
+// Scan streams every valid row's value through fn, shard by shard.
+// Iteration stops early if fn returns false.
+func (h *Handle[V]) Scan(fn func(gid int, v V) bool) {
+	for i, sh := range h.hs {
+		stop := false
+		sh.Scan(func(local int, v V) bool {
+			if !fn(h.st.gid(i, local), v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// CountEqual returns the number of valid rows with value v.
+func (h *Handle[V]) CountEqual(v V) int { return len(h.Lookup(v)) }
+
+// Distinct returns the number of distinct values among all stored row
+// versions across shards.  Like table.Handle.Distinct this includes
+// invalidated versions, so it reads every stored row rather than summing
+// per-shard dictionary sizes (a value may appear in several shards).
+func (h *Handle[V]) Distinct() int {
+	seen := make(map[V]struct{})
+	for i, sh := range h.hs {
+		n := h.st.shards[i].Rows()
+		for local := 0; local < n; local++ {
+			v, err := sh.Get(local)
+			if err != nil {
+				break
+			}
+			seen[v] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// NumericHandle adds cross-shard aggregations for integer columns.
+type NumericHandle[V interface{ ~uint32 | ~uint64 }] struct {
+	*Handle[V]
+	ns []*table.NumericHandle[V]
+}
+
+// NumericColumnOf resolves a handle with aggregation support.
+func NumericColumnOf[V interface{ ~uint32 | ~uint64 }](st *Table, name string) (*NumericHandle[V], error) {
+	h, err := ColumnOf[V](st, name)
+	if err != nil {
+		return nil, err
+	}
+	nh := &NumericHandle[V]{Handle: h}
+	for _, s := range st.shards {
+		n, err := table.NumericColumnOf[V](s, name)
+		if err != nil {
+			return nil, err
+		}
+		nh.ns = append(nh.ns, n)
+	}
+	return nh, nil
+}
+
+// Sum aggregates the column over valid rows, computing per-shard partial
+// sums in parallel and combining them.
+func (h *NumericHandle[V]) Sum() uint64 {
+	partial := make([]uint64, len(h.ns))
+	var wg sync.WaitGroup
+	for i, n := range h.ns {
+		wg.Add(1)
+		go func(i int, n *table.NumericHandle[V]) {
+			defer wg.Done()
+			partial[i] = n.Sum()
+		}(i, n)
+	}
+	wg.Wait()
+	var sum uint64
+	for _, p := range partial {
+		sum += p
+	}
+	return sum
+}
+
+// Min returns the smallest value over valid rows across shards; ok is
+// false when no shard has a valid row.
+func (h *NumericHandle[V]) Min() (V, bool) {
+	return h.combine(func(n *table.NumericHandle[V]) (V, bool) { return n.Min() },
+		func(a, b V) bool { return b < a })
+}
+
+// Max returns the largest value over valid rows across shards.
+func (h *NumericHandle[V]) Max() (V, bool) {
+	return h.combine(func(n *table.NumericHandle[V]) (V, bool) { return n.Max() },
+		func(a, b V) bool { return b > a })
+}
+
+func (h *NumericHandle[V]) combine(get func(*table.NumericHandle[V]) (V, bool), better func(cur, cand V) bool) (V, bool) {
+	vals := make([]V, len(h.ns))
+	oks := make([]bool, len(h.ns))
+	var wg sync.WaitGroup
+	for i, n := range h.ns {
+		wg.Add(1)
+		go func(i int, n *table.NumericHandle[V]) {
+			defer wg.Done()
+			vals[i], oks[i] = get(n)
+		}(i, n)
+	}
+	wg.Wait()
+	var best V
+	found := false
+	for i := range vals {
+		if !oks[i] {
+			continue
+		}
+		if !found || better(best, vals[i]) {
+			best, found = vals[i], true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,56 @@
+package shard
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"hyrise/internal/query"
+)
+
+// Query evaluates a conjunctive multi-column query against every shard in
+// parallel and fans the per-shard results back in: row ids are remapped to
+// global row ids and the combined result is sorted by global row id, with
+// projected values kept aligned.  Each shard evaluates under its own read
+// snapshot; there is no cross-shard snapshot (see the package comment).
+func Query(st *Table, filters []query.Filter, project []string) (*query.Result, error) {
+	results := make([]*query.Result, len(st.shards))
+	errs := make([]error, len(st.shards))
+	var wg sync.WaitGroup
+	for i := range st.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = query.Run(st.shards[i], filters, project)
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+
+	type hit struct {
+		gid  int
+		vals []any
+	}
+	var hits []hit
+	for i, r := range results {
+		for j, local := range r.Rows {
+			h := hit{gid: st.gid(i, local)}
+			if r.Values != nil {
+				h.vals = r.Values[j]
+			}
+			hits = append(hits, h)
+		}
+	}
+	sort.Slice(hits, func(a, b int) bool { return hits[a].gid < hits[b].gid })
+
+	out := &query.Result{Columns: project}
+	for _, h := range hits {
+		out.Rows = append(out.Rows, h.gid)
+		if project != nil {
+			out.Values = append(out.Values, h.vals)
+		}
+	}
+	return out, nil
+}

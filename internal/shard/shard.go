@@ -1,0 +1,434 @@
+// Package shard horizontally partitions the delta-merge column store: a
+// Table hash-partitions rows by one key column across N independent
+// table.Table shards, each with its own main partitions, delta partitions
+// and merge lifecycle.
+//
+// Sharding multiplies both halves of the paper's central trade (Krueger et
+// al., VLDB 2011): inserts route by key hash and contend only on their own
+// shard's lock, so write throughput scales with shards; and because every
+// shard runs the multi-core merge independently, merges parallelize across
+// shards as well as within columns, keeping each individual merge — and
+// its brief commit lock — small.
+//
+// Guarantees and non-guarantees:
+//
+//   - A row lives in exactly one shard, determined by the hash of its key
+//     column value.  Updates that change the key value may relocate the
+//     row to another shard (invalidate + re-insert, like any update).
+//   - Each shard's merge is individually atomic and online, exactly as in
+//     the flat table.  There is NO cross-shard snapshot: a fan-out query
+//     acquires shard read locks one at a time, so it can observe shard A
+//     before and shard B after a concurrent writer touches both.  Per-row
+//     reads are always consistent.
+//   - Global row ids are stable for the lifetime of the row version and
+//     encode the owning shard; they are not dense and their order is not
+//     global insertion order.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"hyrise/internal/table"
+)
+
+// Errors returned by sharded-table operations.
+var (
+	// ErrNoShards is returned by New for a shard count < 1.
+	ErrNoShards = errors.New("shard: shard count must be >= 1")
+	// ErrKeyColumn is returned by New when the key column does not exist.
+	ErrKeyColumn = errors.New("shard: no such key column")
+)
+
+// Table is a hash-partitioned collection of table.Table shards.
+type Table struct {
+	name   string
+	schema table.Schema
+	keyIdx int
+	shards []*table.Table
+}
+
+// New creates an empty sharded table partitioned by the named key column.
+func New(name string, schema table.Schema, key string, shards int) (*Table, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrNoShards, shards)
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	keyIdx := -1
+	for i, def := range schema {
+		if def.Name == key {
+			keyIdx = i
+		}
+	}
+	if keyIdx < 0 {
+		return nil, fmt.Errorf("%w: %q", ErrKeyColumn, key)
+	}
+	st := &Table{name: name, schema: schema, keyIdx: keyIdx}
+	for i := 0; i < shards; i++ {
+		s, err := table.New(fmt.Sprintf("%s/%d", name, i), schema)
+		if err != nil {
+			return nil, err
+		}
+		st.shards = append(st.shards, s)
+	}
+	return st, nil
+}
+
+// Name returns the table name.
+func (st *Table) Name() string { return st.name }
+
+// Schema returns the table schema.
+func (st *Table) Schema() table.Schema { return st.schema }
+
+// NumShards returns the shard count.
+func (st *Table) NumShards() int { return len(st.shards) }
+
+// KeyColumn returns the name of the hash-partitioning column.
+func (st *Table) KeyColumn() string { return st.schema[st.keyIdx].Name }
+
+// Shard returns the i-th underlying table (for inspection, per-shard
+// scheduling and tests).
+func (st *Table) Shard(i int) *table.Table { return st.shards[i] }
+
+// Shards returns all underlying tables in shard order.
+func (st *Table) Shards() []*table.Table {
+	out := make([]*table.Table, len(st.shards))
+	copy(out, st.shards)
+	return out
+}
+
+// Global row ids interleave shard-local row ids:
+// gid = local*NumShards + shard.  The encoding is stable across merges
+// (merges never renumber rows) and lets any layer route a gid back to its
+// shard without a lookup table.
+
+// gid encodes a shard-local row id as a global row id.
+func (st *Table) gid(shard, local int) int { return local*len(st.shards) + shard }
+
+// Locate decodes a global row id into its shard index and shard-local row
+// id.  It does not check that the local row exists.
+func (st *Table) Locate(gid int) (shard, local int, err error) {
+	if gid < 0 {
+		return 0, 0, fmt.Errorf("%w: %d", table.ErrRowRange, gid)
+	}
+	return gid % len(st.shards), gid / len(st.shards), nil
+}
+
+// shardFor hashes a key value to its owning shard.  The value is first
+// normalized through table.Convert so that e.g. int literals, uint32 and
+// uint64 spellings of the same key agree.
+func (st *Table) shardFor(key any) (int, error) {
+	cv, err := table.Convert(st.schema[st.keyIdx].Type, key)
+	if err != nil {
+		return 0, err
+	}
+	var h uint64
+	switch x := cv.(type) {
+	case uint32:
+		h = mix64(uint64(x))
+	case uint64:
+		h = mix64(x)
+	case string:
+		h = fnv1a(x)
+	}
+	return int(h % uint64(len(st.shards))), nil
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed integer
+// hash so that sequential keys spread evenly across shards.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// fnv1a hashes a string key (FNV-1a, 64-bit).
+func fnv1a(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Insert appends one row to the shard owning its key value and returns the
+// global row id.  Concurrent inserts to different shards do not contend.
+func (st *Table) Insert(values []any) (int, error) {
+	if len(values) != len(st.schema) {
+		return 0, fmt.Errorf("%w: got %d want %d", table.ErrArity, len(values), len(st.schema))
+	}
+	s, err := st.shardFor(values[st.keyIdx])
+	if err != nil {
+		return 0, err
+	}
+	local, err := st.shards[s].Insert(values)
+	if err != nil {
+		return 0, err
+	}
+	return st.gid(s, local), nil
+}
+
+// Update applies the insert-only update protocol to a global row id and
+// returns the new version's global row id.  If the key column changes to a
+// value hashing to a different shard, the row relocates: the old version
+// is invalidated in its shard and the new version inserted into the target
+// shard.  The invalidation atomically claims the row, so concurrent
+// updates of the same row resolve to exactly one winner (the losers see
+// table.ErrRowInvalid), but the invalidate and re-insert are not covered
+// by one lock — a fan-out query between them sees neither version.
+func (st *Table) Update(gid int, changes map[string]any) (int, error) {
+	s, local, err := st.Locate(gid)
+	if err != nil {
+		return 0, err
+	}
+	newKey, keyChanged := changes[st.schema[st.keyIdx].Name]
+	if !keyChanged {
+		nl, err := st.shards[s].Update(local, changes)
+		if err != nil {
+			return 0, err
+		}
+		return st.gid(s, nl), nil
+	}
+	s2, err := st.shardFor(newKey)
+	if err != nil {
+		return 0, err
+	}
+	if s2 == s {
+		nl, err := st.shards[s].Update(local, changes)
+		if err != nil {
+			return 0, err
+		}
+		return st.gid(s, nl), nil
+	}
+	// Cross-shard move.  Validate every changed value against the schema
+	// before touching either shard, so a bad value cannot strand the row.
+	values, err := st.shards[s].Row(local)
+	if err != nil {
+		return 0, err
+	}
+	for name, v := range changes {
+		ci := -1
+		for i, def := range st.schema {
+			if def.Name == name {
+				ci = i
+			}
+		}
+		if ci < 0 {
+			return 0, fmt.Errorf("%w: %q", table.ErrNoColumn, name)
+		}
+		cv, err := table.Convert(st.schema[ci].Type, v)
+		if err != nil {
+			return 0, err
+		}
+		values[ci] = cv
+	}
+	// Delete atomically claims the current version: if a concurrent update
+	// got there first this fails with ErrRowInvalid and nothing happened.
+	// Row versions are immutable, so the values read above are the claimed
+	// version's values.
+	if err := st.shards[s].Delete(local); err != nil {
+		return 0, err
+	}
+	nl, err := st.shards[s2].Insert(values)
+	if err != nil {
+		// Unreachable in practice: values were validated above.
+		return 0, err
+	}
+	return st.gid(s2, nl), nil
+}
+
+// Delete invalidates the row with the given global row id.
+func (st *Table) Delete(gid int) error {
+	s, local, err := st.Locate(gid)
+	if err != nil {
+		return err
+	}
+	return st.shards[s].Delete(local)
+}
+
+// Row materializes all column values of a global row id (valid or not).
+func (st *Table) Row(gid int) ([]any, error) {
+	s, local, err := st.Locate(gid)
+	if err != nil {
+		return nil, err
+	}
+	return st.shards[s].Row(local)
+}
+
+// IsValid reports whether the row is the current version.
+func (st *Table) IsValid(gid int) bool {
+	s, local, err := st.Locate(gid)
+	if err != nil {
+		return false
+	}
+	return st.shards[s].IsValid(local)
+}
+
+// Rows returns the total number of stored row versions across shards.
+func (st *Table) Rows() int {
+	n := 0
+	for _, s := range st.shards {
+		n += s.Rows()
+	}
+	return n
+}
+
+// ValidRows returns the number of current rows across shards.
+func (st *Table) ValidRows() int {
+	n := 0
+	for _, s := range st.shards {
+		n += s.ValidRows()
+	}
+	return n
+}
+
+// MainRows returns the summed main-partition tuple count.
+func (st *Table) MainRows() int {
+	n := 0
+	for _, s := range st.shards {
+		n += s.MainRows()
+	}
+	return n
+}
+
+// DeltaRows returns the summed delta tuple count.
+func (st *Table) DeltaRows() int {
+	n := 0
+	for _, s := range st.shards {
+		n += s.DeltaRows()
+	}
+	return n
+}
+
+// DeltaFractions returns every shard's N_D/N_M merge-trigger metric; the
+// per-shard scheduler watches these independently.
+func (st *Table) DeltaFractions() []float64 {
+	out := make([]float64, len(st.shards))
+	for i, s := range st.shards {
+		out[i] = s.DeltaFraction()
+	}
+	return out
+}
+
+// Merging reports whether any shard currently runs a merge.
+func (st *Table) Merging() bool {
+	for _, s := range st.shards {
+		if s.Merging() {
+			return true
+		}
+	}
+	return false
+}
+
+// MergeAllOptions configures a cross-shard parallel merge.
+type MergeAllOptions struct {
+	// Merge configures each shard's merge.  Merge.Threads is the TOTAL
+	// thread budget N_T (0 = GOMAXPROCS); it is divided evenly across the
+	// shards merging concurrently, each shard receiving at least one.
+	Merge table.MergeOptions
+	// MaxConcurrent caps how many shards merge at once (0 = all shards).
+	MaxConcurrent int
+}
+
+// MergeAllReport aggregates one MergeAll run.
+type MergeAllReport struct {
+	// Shards holds per-shard merge reports in shard order.
+	Shards []table.Report
+	// RowsMerged is the summed delta tuple count folded into mains.
+	RowsMerged int
+	// Wall is the end-to-end duration of the cross-shard merge.
+	Wall time.Duration
+	// ThreadsPerShard is the per-shard budget each merge ran with.
+	ThreadsPerShard int
+}
+
+// MergeAll runs the merge process on every shard, parallelized across
+// shards with a per-shard slice of the total thread budget.  Each shard's
+// merge is individually online and atomic (see table.Merge); there is no
+// cross-shard atomicity — queries may observe some shards merged and
+// others not, which changes no visible row content.
+//
+// On failure (including ctx cancellation) the joined per-shard errors are
+// returned after all in-flight shard merges settle — match with errors.Is,
+// not == — and shards that committed stay committed.
+func (st *Table) MergeAll(ctx context.Context, opts MergeAllOptions) (MergeAllReport, error) {
+	conc := opts.MaxConcurrent
+	if conc <= 0 || conc > len(st.shards) {
+		conc = len(st.shards)
+	}
+	total := opts.Merge.Threads
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	perShard := total / conc
+	if perShard < 1 {
+		perShard = 1
+	}
+
+	start := time.Now()
+	rep := MergeAllReport{
+		Shards:          make([]table.Report, len(st.shards)),
+		ThreadsPerShard: perShard,
+	}
+	errs := make([]error, len(st.shards))
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	for i, s := range st.shards {
+		wg.Add(1)
+		go func(i int, s *table.Table) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			o := opts.Merge
+			o.Threads = perShard
+			rep.Shards[i], errs[i] = s.Merge(ctx, o)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, r := range rep.Shards {
+		rep.RowsMerged += r.RowsMerged
+	}
+	rep.Wall = time.Since(start)
+	return rep, errors.Join(errs...)
+}
+
+// Stats aggregates storage statistics across shards.
+type Stats struct {
+	Name      string
+	Shards    int
+	Rows      int
+	ValidRows int
+	MainRows  int
+	DeltaRows int
+	SizeBytes int
+	// PerShard holds each shard's full statistics in shard order.
+	PerShard []table.Stats
+}
+
+// Stats returns per-shard and aggregated storage statistics.  Each shard's
+// snapshot is individually consistent; the aggregate is not a cross-shard
+// snapshot.
+func (st *Table) Stats() Stats {
+	out := Stats{Name: st.name, Shards: len(st.shards)}
+	for _, s := range st.shards {
+		ts := s.Stats()
+		out.PerShard = append(out.PerShard, ts)
+		out.Rows += ts.Rows
+		out.ValidRows += ts.ValidRows
+		out.MainRows += ts.MainRows
+		out.DeltaRows += ts.DeltaRows
+		out.SizeBytes += ts.SizeBytes
+	}
+	return out
+}

@@ -100,6 +100,25 @@ func convertString(v any) (string, error) {
 	return "", fmt.Errorf("table: cannot store %T in string column", v)
 }
 
+// Convert normalizes a caller-supplied value to the canonical Go type of a
+// column of the given Type (uint32, uint64 or string), applying the same
+// coercions Insert accepts (e.g. non-negative int literals for integer
+// columns).  Layers above the table — such as shard routing, which must
+// hash a key value exactly as the owning column would store it — use this
+// to agree with the storage layer on value identity.
+func Convert(typ Type, v any) (any, error) {
+	switch typ {
+	case Uint32:
+		return convertUint32(v)
+	case Uint64:
+		return convertUint64(v)
+	case String:
+		return convertString(v)
+	default:
+		return nil, fmt.Errorf("table: unknown column type %v", typ)
+	}
+}
+
 func (c *typedColumn[V]) def() ColumnDef { return c.d }
 
 func (c *typedColumn[V]) checkValue(v any) error {

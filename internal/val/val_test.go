@@ -1,0 +1,78 @@
+package val
+
+import "testing"
+
+func TestFixedSize(t *testing.T) {
+	if got := FixedSize[uint8](); got != 1 {
+		t.Errorf("uint8 = %d", got)
+	}
+	if got := FixedSize[int16](); got != 2 {
+		t.Errorf("int16 = %d", got)
+	}
+	if got := FixedSize[uint32](); got != 4 {
+		t.Errorf("uint32 = %d", got)
+	}
+	if got := FixedSize[float32](); got != 4 {
+		t.Errorf("float32 = %d", got)
+	}
+	if got := FixedSize[uint64](); got != 8 {
+		t.Errorf("uint64 = %d", got)
+	}
+	if got := FixedSize[int](); got != 8 {
+		t.Errorf("int = %d", got)
+	}
+	if got := FixedSize[float64](); got != 8 {
+		t.Errorf("float64 = %d", got)
+	}
+	// Strings are variable-length: no fixed size.
+	if got := FixedSize[string](); got != -1 {
+		t.Errorf("string = %d want -1", got)
+	}
+}
+
+func TestFixedSizeNamedType(t *testing.T) {
+	// FixedSize switches on the dynamic type, so a defined type does not
+	// match its underlying type's case and reports variable-length.  The
+	// column store only instantiates with the predeclared types, but the
+	// fallback must stay safe (ByteLen then uses the 8-byte default).
+	type myU32 uint32
+	if got := FixedSize[myU32](); got != -1 {
+		t.Errorf("defined type = %d want -1", got)
+	}
+	if got := ByteLen(myU32(7)); got != 8 {
+		t.Errorf("ByteLen(defined type) = %d want 8", got)
+	}
+}
+
+func TestByteLen(t *testing.T) {
+	if got := ByteLen(uint32(9)); got != 4 {
+		t.Errorf("uint32 = %d", got)
+	}
+	if got := ByteLen(uint64(9)); got != 8 {
+		t.Errorf("uint64 = %d", got)
+	}
+	if got := ByteLen(""); got != 0 {
+		t.Errorf("empty string = %d", got)
+	}
+	if got := ByteLen("sixteen-byte-str"); got != 16 {
+		t.Errorf("string = %d", got)
+	}
+}
+
+func TestSliceBytes(t *testing.T) {
+	if got := SliceBytes([]uint32{1, 2, 3}); got != 12 {
+		t.Errorf("uint32 slice = %d", got)
+	}
+	if got := SliceBytes([]uint64{1, 2, 3}); got != 24 {
+		t.Errorf("uint64 slice = %d", got)
+	}
+	if got := SliceBytes([]string{"ab", "cdef", ""}); got != 6 {
+		t.Errorf("string slice = %d", got)
+	}
+	if got := SliceBytes([]uint64(nil)); got != 0 {
+		t.Errorf("nil slice = %d", got)
+	}
+	if got := SliceBytes([]string(nil)); got != 0 {
+		t.Errorf("nil string slice = %d", got)
+	}
+}

@@ -8,12 +8,31 @@ import (
 	"hyrise/internal/table"
 )
 
+// Target is the write/metadata surface a driver exercises.  Both
+// table.Table and the sharded table (internal/shard) satisfy it, so mixed
+// workloads run unchanged against flat and hash-partitioned storage.
+type Target interface {
+	Schema() table.Schema
+	Insert([]any) (int, error)
+	Update(int, map[string]any) (int, error)
+	Delete(int) error
+	IsValid(int) bool
+}
+
+// Uint64Column is the read surface over the driver's key column:
+// table.Handle[uint64] and the sharded handle both satisfy it.
+type Uint64Column interface {
+	Lookup(uint64) []int
+	Range(lo, hi uint64) []int
+	Scan(func(row int, v uint64) bool)
+}
+
 // Driver executes a query mix against a single-key-column table, the shape
 // the paper's update-rate experiments assume: lookups, scans and range
 // selects read the key column; inserts, modifications and deletes exercise
 // the write path.
 type Driver struct {
-	Table  *table.Table
+	Table  Target
 	Column string
 	Mix    Mix
 	Gen    Generator
@@ -22,17 +41,23 @@ type Driver struct {
 	ScanLimit int
 
 	rng      *rand.Rand
-	handle   *table.Handle[uint64]
+	handle   Uint64Column
 	liveRows []int // rows known valid, for update/delete targets
 }
 
-// NewDriver builds a driver for the named uint64 column.
+// NewDriver builds a driver for the named uint64 column of a flat table.
 func NewDriver(t *table.Table, column string, mix Mix, gen Generator, seed int64) (*Driver, error) {
-	if err := mix.Validate(); err != nil {
-		return nil, err
-	}
 	h, err := table.ColumnOf[uint64](t, column)
 	if err != nil {
+		return nil, err
+	}
+	return NewDriverFor(t, column, h, mix, gen, seed)
+}
+
+// NewDriverFor builds a driver over any Target; h must be a handle on the
+// named uint64 column of t.
+func NewDriverFor(t Target, column string, h Uint64Column, mix Mix, gen Generator, seed int64) (*Driver, error) {
+	if err := mix.Validate(); err != nil {
 		return nil, err
 	}
 	return &Driver{

@@ -1,0 +1,117 @@
+package hyrise_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"hyrise"
+)
+
+// TestShardedPublicSurface exercises the sharded table end to end through
+// the re-exported API: creation, routed inserts, fan-out reads, the
+// cross-shard query runner, the parallel merge, the per-shard scheduler
+// and the workload driver.
+func TestShardedPublicSurface(t *testing.T) {
+	st, err := hyrise.NewShardedTable("sales", hyrise.Schema{
+		{Name: "order_id", Type: hyrise.Uint64},
+		{Name: "qty", Type: hyrise.Uint32},
+		{Name: "product", Type: hyrise.String},
+	}, "order_id", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		p := "widget"
+		if i%4 == 0 {
+			p = "gadget"
+		}
+		if _, err := st.Insert([]any{uint64(i), uint32(i % 7), p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	h, err := hyrise.ShardedColumnOf[uint64](st, "order_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := h.Lookup(42); len(rows) != 1 {
+		t.Fatalf("Lookup(42) = %v", rows)
+	}
+	if rows := h.Range(100, 149); len(rows) != 50 {
+		t.Fatalf("Range = %d rows", len(rows))
+	}
+
+	nh, err := hyrise.ShardedNumericColumnOf[uint32](st, "qty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumBefore := nh.Sum()
+
+	res, err := hyrise.ShardedQuery(st, []hyrise.Filter{
+		{Column: "product", Op: hyrise.FilterEq, Value: "gadget"},
+		{Column: "order_id", Op: hyrise.FilterBetween, Value: 0, Hi: 99},
+	}, []string{"order_id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 25 {
+		t.Fatalf("query matched %d rows want 25", res.Count())
+	}
+
+	rep, err := st.MergeAll(context.Background(), hyrise.MergeAllOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsMerged != 400 {
+		t.Fatalf("RowsMerged = %d", rep.RowsMerged)
+	}
+	if nh.Sum() != sumBefore {
+		t.Fatal("merge changed the aggregate")
+	}
+	if rows := h.Lookup(42); len(rows) != 1 {
+		t.Fatal("post-merge lookup missed")
+	}
+
+	// The driver runs a mixed workload against the sharded table.
+	drv, err := hyrise.NewShardedDriver(st, "order_id", hyrise.OLTPMix,
+		hyrise.NewUniformGenerator(1000, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := drv.Run(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts.Total() != 500 {
+		t.Fatalf("driver ran %d ops", counts.Total())
+	}
+
+	// The sharded scheduler merges hot shards on its own.
+	ms := hyrise.NewShardedScheduler(st, hyrise.SchedulerConfig{
+		Fraction: 0.01,
+		Interval: time.Millisecond,
+	})
+	if err := ms.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1000; i < 2000; i++ {
+		if _, err := st.Insert([]any{uint64(i), uint32(1), "widget"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for st.DeltaRows() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	ms.Stop()
+	if err := ms.LastErr(); err != nil {
+		t.Fatal(err)
+	}
+	if ms.Merges() == 0 {
+		t.Fatal("scheduler never merged")
+	}
+	if rows := h.Lookup(1500); len(rows) != 1 {
+		t.Fatal("row inserted during supervision lost")
+	}
+}
