@@ -1,6 +1,7 @@
 // Command hyrisecli is a small interactive shell over the hyrise library:
 // create tables, insert and query rows, trigger merges, inspect storage
-// statistics and save/load snapshots.
+// statistics and save/load snapshots.  Every command works identically on
+// flat and sharded tables through the unified Store surface.
 //
 //	$ hyrisecli
 //	> create sales id:uint64 qty:uint32 product:string
@@ -24,20 +25,8 @@ import (
 	"hyrise"
 )
 
-// dataTable is the surface shared by flat and sharded tables; commands
-// that need more (handles, merge, stats, persistence) type-switch on the
-// concrete table kind.
-type dataTable interface {
-	Schema() hyrise.Schema
-	Insert([]any) (int, error)
-	Update(int, map[string]any) (int, error)
-	Delete(int) error
-	Row(int) ([]any, error)
-	Rows() int
-}
-
 type shell struct {
-	tables map[string]dataTable
+	tables map[string]hyrise.Store
 	shards int // shard count for newly created tables (1 = flat)
 	out    *bufio.Writer
 }
@@ -45,7 +34,7 @@ type shell struct {
 func main() {
 	shards := flag.Int("shards", 1, "hash-partition created tables across N shards (keyed by the first column)")
 	flag.Parse()
-	sh := &shell{tables: map[string]dataTable{}, shards: *shards, out: bufio.NewWriter(os.Stdout)}
+	sh := &shell{tables: map[string]hyrise.Store{}, shards: *shards, out: bufio.NewWriter(os.Stdout)}
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Println("hyrise delta-merge column store — type 'help'")
@@ -121,19 +110,20 @@ func (s *shell) help() {
   sum    <table> <col>            aggregate a numeric column
   merge  <table> [naive]          run the merge process
   stats  <table>                  storage statistics
-  save   <table> <path>           write binary snapshot
-  load   <name> <path>            read binary snapshot
+  save   <table> <path>           write binary snapshot (any topology)
+  load   <name> <path>            read binary snapshot (topology
+                                  auto-detected from the header)
   loadcsv <name> <path.csv>       import CSV (header row, types inferred)
   workload <table> <col> <mix> <n>  run n ops of mix oltp|olap|tpcc
   quit
 
 started with -shards N > 1, 'create' hash-partitions tables across N
-shards keyed by the first column; merge then runs on all shards in
-parallel.
+shards keyed by the first column; every command above works the same on
+flat and sharded tables.
 `)
 }
 
-func (s *shell) table(name string) (dataTable, error) {
+func (s *shell) table(name string) (hyrise.Store, error) {
 	t, ok := s.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("no table %q", name)
@@ -183,7 +173,7 @@ func (s *shell) create(args []string) error {
 	return nil
 }
 
-func (s *shell) parseValue(t dataTable, col int, raw string) (any, error) {
+func (s *shell) parseValue(t hyrise.Store, col int, raw string) (any, error) {
 	switch t.Schema()[col].Type {
 	case hyrise.Uint32:
 		v, err := strconv.ParseUint(raw, 10, 32)
@@ -288,27 +278,16 @@ func (s *shell) lookup(args []string) error {
 	return s.printRows(t, rows)
 }
 
-// lookupTyped probes the column on either table kind.
-func lookupTyped[V hyrise.Value](t dataTable, col string, v V) ([]int, error) {
-	switch x := t.(type) {
-	case *hyrise.ShardedTable:
-		h, err := hyrise.ShardedColumnOf[V](x, col)
-		if err != nil {
-			return nil, err
-		}
-		return h.Lookup(v), nil
-	case *hyrise.Table:
-		h, err := hyrise.ColumnOf[V](x, col)
-		if err != nil {
-			return nil, err
-		}
-		return h.Lookup(v), nil
-	default:
-		return nil, fmt.Errorf("unsupported table kind %T", t)
+// lookupTyped probes the column through the unified handle.
+func lookupTyped[V hyrise.Value](t hyrise.Store, col string, v V) ([]int, error) {
+	h, err := hyrise.ColumnOf[V](t, col)
+	if err != nil {
+		return nil, err
 	}
+	return h.Lookup(v), nil
 }
 
-func lookupAny(t dataTable, col, raw string) ([]int, error) {
+func lookupAny(t hyrise.Store, col, raw string) ([]int, error) {
 	for _, def := range t.Schema() {
 		if def.Name != col {
 			continue
@@ -349,25 +328,14 @@ func (s *shell) rng(args []string) error {
 	if err != nil {
 		return err
 	}
-	var rows []int
-	switch x := t.(type) {
-	case *hyrise.ShardedTable:
-		h, err := hyrise.ShardedColumnOf[uint64](x, args[1])
-		if err != nil {
-			return err
-		}
-		rows = h.Range(lo, hi)
-	case *hyrise.Table:
-		h, err := hyrise.ColumnOf[uint64](x, args[1])
-		if err != nil {
-			return err
-		}
-		rows = h.Range(lo, hi)
+	h, err := hyrise.ColumnOf[uint64](t, args[1])
+	if err != nil {
+		return err
 	}
-	return s.printRows(t, rows)
+	return s.printRows(t, h.Range(lo, hi))
 }
 
-func (s *shell) printRows(t dataTable, rows []int) error {
+func (s *shell) printRows(t hyrise.Store, rows []int) error {
 	for _, r := range rows {
 		vals, err := t.Row(r)
 		if err != nil {
@@ -412,23 +380,12 @@ func (s *shell) sum(args []string) error {
 	return fmt.Errorf("no column %q", args[1])
 }
 
-func sumTyped[V interface{ ~uint32 | ~uint64 }](t dataTable, col string) (uint64, error) {
-	switch x := t.(type) {
-	case *hyrise.ShardedTable:
-		h, err := hyrise.ShardedNumericColumnOf[V](x, col)
-		if err != nil {
-			return 0, err
-		}
-		return h.Sum(), nil
-	case *hyrise.Table:
-		h, err := hyrise.NumericColumnOf[V](x, col)
-		if err != nil {
-			return 0, err
-		}
-		return h.Sum(), nil
-	default:
-		return 0, fmt.Errorf("unsupported table kind %T", t)
+func sumTyped[V interface{ ~uint32 | ~uint64 }](t hyrise.Store, col string) (uint64, error) {
+	h, err := hyrise.NumericColumnOf[V](t, col)
+	if err != nil {
+		return 0, err
 	}
+	return h.Sum(), nil
 }
 
 func (s *shell) merge(args []string) error {
@@ -443,19 +400,14 @@ func (s *shell) merge(args []string) error {
 	if len(args) > 1 && args[1] == "naive" {
 		opts.Algorithm = hyrise.Naive
 	}
-	switch x := t.(type) {
-	case *hyrise.ShardedTable:
-		rep, err := x.MergeAll(context.Background(), hyrise.MergeAllOptions{Merge: opts})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(s.out, "merged %d delta rows across %d shards in %s (%d threads/shard)\n",
-			rep.RowsMerged, len(rep.Shards), rep.Wall, rep.ThreadsPerShard)
-	case *hyrise.Table:
-		rep, err := x.Merge(context.Background(), opts)
-		if err != nil {
-			return err
-		}
+	rep, err := t.RequestMerge(context.Background(), opts)
+	if err != nil {
+		return err
+	}
+	if shards := t.StoreStats().Shards; shards > 1 {
+		fmt.Fprintf(s.out, "merged %d delta rows across %d shards in %s (%d threads total)\n",
+			rep.RowsMerged, shards, rep.Wall, rep.Threads)
+	} else {
 		fmt.Fprintf(s.out, "merged %d delta rows into %d main rows in %s (%v, %d threads)\n",
 			rep.RowsMerged, rep.MainRowsAfter, rep.Wall, rep.Algorithm, rep.Threads)
 	}
@@ -470,24 +422,22 @@ func (s *shell) stats(args []string) error {
 	if err != nil {
 		return err
 	}
-	switch x := t.(type) {
-	case *hyrise.ShardedTable:
-		st := x.Stats()
+	st := t.StoreStats()
+	if st.Shards > 1 {
 		fmt.Fprintf(s.out, "table %s: %d rows (%d valid) across %d shards, main %d, delta %d, %d bytes\n",
 			st.Name, st.Rows, st.ValidRows, st.Shards, st.MainRows, st.DeltaRows, st.SizeBytes)
-		for i, ts := range st.PerShard {
+		for i, ts := range st.Partitions {
 			fmt.Fprintf(s.out, "  shard %-3d %d rows (%d valid), main %d, delta %d, %d bytes\n",
 				i, ts.Rows, ts.ValidRows, ts.MainRows, ts.DeltaRows, ts.SizeBytes)
 		}
-	case *hyrise.Table:
-		st := x.Stats()
-		fmt.Fprintf(s.out, "table %s: %d rows (%d valid), main %d, delta %d, %d bytes\n",
-			st.Name, st.Rows, st.ValidRows, st.MainRows, st.DeltaRows, st.SizeBytes)
-		for _, c := range st.Columns {
-			fmt.Fprintf(s.out, "  %-16s %-7v main=%d delta=%d uniq=%d/%d bits=%d size=%d\n",
-				c.Def.Name, c.Def.Type, c.MainRows, c.DeltaRows,
-				c.UniqueMain, c.UniqueDelta, c.Bits, c.SizeBytes)
-		}
+		return nil
+	}
+	fmt.Fprintf(s.out, "table %s: %d rows (%d valid), main %d, delta %d, %d bytes\n",
+		st.Name, st.Rows, st.ValidRows, st.MainRows, st.DeltaRows, st.SizeBytes)
+	for _, c := range st.Partitions[0].Columns {
+		fmt.Fprintf(s.out, "  %-16s %-7v main=%d delta=%d uniq=%d/%d bits=%d size=%d\n",
+			c.Def.Name, c.Def.Type, c.MainRows, c.DeltaRows,
+			c.UniqueMain, c.UniqueDelta, c.Bits, c.SizeBytes)
 	}
 	return nil
 }
@@ -500,11 +450,7 @@ func (s *shell) save(args []string) error {
 	if err != nil {
 		return err
 	}
-	ft, ok := t.(*hyrise.Table)
-	if !ok {
-		return fmt.Errorf("save does not support sharded tables yet")
-	}
-	if err := hyrise.SaveFile(ft, args[1]); err != nil {
+	if err := hyrise.SaveFile(t, args[1]); err != nil {
 		return err
 	}
 	fmt.Fprintf(s.out, "saved %s\n", args[1])
@@ -520,7 +466,12 @@ func (s *shell) load(args []string) error {
 		return err
 	}
 	s.tables[args[0]] = t
-	fmt.Fprintf(s.out, "loaded %s: %d rows\n", args[0], t.Rows())
+	if st := t.StoreStats(); st.Shards > 1 {
+		fmt.Fprintf(s.out, "loaded %s: %d rows across %d shards (keyed by %s)\n",
+			args[0], t.Rows(), st.Shards, st.KeyColumn)
+	} else {
+		fmt.Fprintf(s.out, "loaded %s: %d rows\n", args[0], t.Rows())
+	}
 	return nil
 }
 
@@ -560,16 +511,7 @@ func (s *shell) workload(args []string) error {
 	if err != nil {
 		return err
 	}
-	gen := hyrise.NewUniformGenerator(10000, 1)
-	var drv *hyrise.Driver
-	switch x := t.(type) {
-	case *hyrise.ShardedTable:
-		drv, err = hyrise.NewShardedDriver(x, args[1], mix, gen, 1)
-	case *hyrise.Table:
-		drv, err = hyrise.NewDriver(x, args[1], mix, gen, 1)
-	default:
-		err = fmt.Errorf("unsupported table kind %T", t)
-	}
+	drv, err := hyrise.NewDriver(t, args[1], mix, hyrise.NewUniformGenerator(10000, 1), 1)
 	if err != nil {
 		return err
 	}

@@ -7,16 +7,18 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hyrise"
 )
 
 func newShell() (*shell, *bytes.Buffer) {
 	var buf bytes.Buffer
-	return &shell{tables: map[string]dataTable{}, shards: 1, out: bufio.NewWriter(&buf)}, &buf
+	return &shell{tables: map[string]hyrise.Store{}, shards: 1, out: bufio.NewWriter(&buf)}, &buf
 }
 
 func newShardedShell(shards int) (*shell, *bytes.Buffer) {
 	var buf bytes.Buffer
-	return &shell{tables: map[string]dataTable{}, shards: shards, out: bufio.NewWriter(&buf)}, &buf
+	return &shell{tables: map[string]hyrise.Store{}, shards: shards, out: bufio.NewWriter(&buf)}, &buf
 }
 
 func run(t *testing.T, sh *shell, buf *bytes.Buffer, lines ...string) string {
@@ -88,13 +90,43 @@ func TestShellShardedLifecycle(t *testing.T) {
 	}
 }
 
-func TestShellShardedSaveRejected(t *testing.T) {
-	sh, _ := newShardedShell(2)
-	if err := sh.exec("create t a:uint64"); err != nil {
-		t.Fatal(err)
+// TestShellShardedSaveLoad saves a sharded table and reloads it in a shell
+// started without -shards: the topology is auto-detected from the snapshot
+// header, not from the shell's creation default.
+func TestShellShardedSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sharded.hyr")
+	sh, buf := newShardedShell(4)
+	out := run(t, sh, buf,
+		"create sales id:uint64 qty:uint32 product:string",
+		"insert sales 1 3 widget",
+		"insert sales 2 5 gadget",
+		"insert sales 3 7 widget",
+		"merge sales",
+		"insert sales 4 2 widget",
+		"save sales "+path,
+	)
+	if !strings.Contains(out, "saved "+path) {
+		t.Fatalf("save output:\n%s", out)
 	}
-	if err := sh.exec("save t /tmp/should-not-exist.hyr"); err == nil {
-		t.Fatal("expected save on a sharded table to error")
+
+	flat, buf2 := newShell()
+	out2 := run(t, flat, buf2,
+		"load sales2 "+path,
+		"lookup sales2 product widget",
+		"sum sales2 qty",
+		"stats sales2",
+		"merge sales2",
+	)
+	for _, want := range []string{
+		"loaded sales2: 4 rows across 4 shards (keyed by id)",
+		"3 row(s)",        // widget lookup finds rows from main and delta
+		"\n17\n",          // sum(qty) = 3+5+7+2
+		"shard 0",         // stats shows the per-shard breakdown
+		"across 4 shards", // merge fans out over the reloaded topology
+	} {
+		if !strings.Contains(out2, want) {
+			t.Errorf("output missing %q:\n%s", want, out2)
+		}
 	}
 }
 

@@ -1,0 +1,60 @@
+package hyrise
+
+// Deprecated sharded-specific entry points, kept for one release while
+// callers migrate to the unified Store surface.  Every function here is a
+// thin wrapper over its generic replacement; the replacements accept a
+// *ShardedTable directly because it satisfies Store.
+
+// ShardedHandle is a typed single-column view across all shards.
+//
+// Deprecated: use Handle, returned by ColumnOf for either topology.
+type ShardedHandle[V Value] = Handle[V]
+
+// ShardedNumericHandle adds cross-shard Sum/Min/Max aggregation.
+//
+// Deprecated: use NumericHandle, returned by NumericColumnOf for either
+// topology.
+type ShardedNumericHandle[V interface{ ~uint32 | ~uint64 }] = NumericHandle[V]
+
+// MultiScheduler supervises every shard of a sharded table independently.
+//
+// Deprecated: use Scheduler, returned by NewScheduler for either topology.
+type MultiScheduler = Scheduler
+
+// ShardedColumnOf returns a typed cross-shard handle for the named column.
+//
+// Deprecated: use ColumnOf.
+func ShardedColumnOf[V Value](st *ShardedTable, name string) (*Handle[V], error) {
+	return ColumnOf[V](st, name)
+}
+
+// ShardedNumericColumnOf returns a cross-shard handle with aggregation
+// support.
+//
+// Deprecated: use NumericColumnOf.
+func ShardedNumericColumnOf[V interface{ ~uint32 | ~uint64 }](st *ShardedTable, name string) (*NumericHandle[V], error) {
+	return NumericColumnOf[V](st, name)
+}
+
+// ShardedQuery evaluates the conjunction of filters against every shard in
+// parallel and merges the results under global row ids.
+//
+// Deprecated: use Query.
+func ShardedQuery(st *ShardedTable, filters []Filter, project []string) (*QueryResult, error) {
+	return Query(st, filters, project)
+}
+
+// NewShardedScheduler supervises every shard of st independently.
+//
+// Deprecated: use NewScheduler.
+func NewShardedScheduler(st *ShardedTable, cfg SchedulerConfig) *Scheduler {
+	return NewScheduler(st, cfg)
+}
+
+// NewShardedDriver builds a workload driver targeting a sharded table's
+// uint64 key-distribution column.
+//
+// Deprecated: use NewDriver.
+func NewShardedDriver(st *ShardedTable, column string, mix Mix, gen Generator, seed int64) (*Driver, error) {
+	return NewDriver(st, column, mix, gen, seed)
+}

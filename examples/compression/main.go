@@ -52,7 +52,7 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		if _, err := t.Merge(context.Background(), hyrise.MergeOptions{}); err != nil {
+		if _, err := t.RequestMerge(context.Background(), hyrise.MergeOptions{}); err != nil {
 			log.Fatal(err)
 		}
 
@@ -74,12 +74,12 @@ func main() {
 	for i := 0; i < 1000; i++ {
 		t.Insert([]any{uint64(i % 6)}) // 6 distinct -> 3 bits
 	}
-	t.Merge(context.Background(), hyrise.MergeOptions{})
+	t.RequestMerge(context.Background(), hyrise.MergeOptions{})
 	before := t.Stats().Columns[0].Bits
 	for i := 0; i < 100; i++ {
 		t.Insert([]any{uint64(100 + i%3)}) // 3 new values -> 9 distinct
 	}
-	rep, _ := t.Merge(context.Background(), hyrise.MergeOptions{})
+	rep, _ := t.RequestMerge(context.Background(), hyrise.MergeOptions{})
 	fmt.Printf("code-width growth: dictionary %d -> %d entries, %d -> %d bits per tuple\n",
 		rep.Columns[0].UniqueMain, rep.Columns[0].UniqueMerged, before, rep.Columns[0].BitsAfter)
 	fmt.Println("(matches the paper's Figure 5 example: ceil(log2 6)=3, ceil(log2 9)=4)")

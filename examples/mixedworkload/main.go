@@ -4,10 +4,16 @@
 // deltas in the background.  OLTP writers, OLTP readers and OLAP scan
 // queries run concurrently; the output shows queries proceeding during
 // online merges and the delta fraction staying bounded.
+//
+// The whole pipeline is written against hyrise.Store: run it with
+// -shards 1 for a flat table or -shards 8 to hash-partition the same
+// workload across shards — the code path does not change, only the
+// topology and the contention profile.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"sync"
@@ -18,32 +24,45 @@ import (
 )
 
 func main() {
-	t, err := hyrise.NewTable("orders", hyrise.Schema{
+	shards := flag.Int("shards", 1, "hash-partition the table across N shards (1 = flat)")
+	flag.Parse()
+
+	schema := hyrise.Schema{
 		{Name: "customer", Type: hyrise.Uint64},
 		{Name: "amount", Type: hyrise.Uint32},
-	})
+	}
+	var s hyrise.Store
+	var err error
+	if *shards > 1 {
+		s, err = hyrise.NewShardedTable("orders", schema, "customer", *shards)
+	} else {
+		s, err = hyrise.NewTable("orders", schema)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("running over %d partition(s)\n", len(s.Partitions()))
+
 	// Seed historical data and compress it.
 	for i := 0; i < 200_000; i++ {
-		t.Insert([]any{uint64(i % 5000), uint32(i % 1000)})
+		s.Insert([]any{uint64(i % 5000), uint32(i % 1000)})
 	}
-	if _, err := t.Merge(context.Background(), hyrise.MergeOptions{}); err != nil {
+	if _, err := s.RequestMerge(context.Background(), hyrise.MergeOptions{}); err != nil {
 		log.Fatal(err)
 	}
 
-	// The scheduler merges whenever the delta exceeds 2% of the main
-	// partition (paper §4: the trigger is N_D > fraction * N_M).
+	// The scheduler supervises every partition independently, merging
+	// whenever its delta exceeds 2% of its main partition (paper §4: the
+	// trigger is N_D > fraction * N_M).
 	var merges atomic.Int32
-	scheduler := hyrise.NewScheduler(t, hyrise.SchedulerConfig{
+	scheduler := hyrise.NewScheduler(s, hyrise.SchedulerConfig{
 		Fraction:     0.02,
 		MinDeltaRows: 500,
 		Interval:     20 * time.Millisecond,
 		Strategy:     hyrise.AllResources,
 		OnMerge: func(r hyrise.MergeReport) {
 			merges.Add(1)
-			fmt.Printf("  [scheduler] merged %6d rows in %8s (main now %d rows)\n",
+			fmt.Printf("  [scheduler] merged %6d rows in %8s (partition main now %d rows)\n",
 				r.RowsMerged, r.Wall.Round(time.Millisecond), r.MainRowsAfter)
 		},
 	})
@@ -64,7 +83,7 @@ func main() {
 			defer wg.Done()
 			gen := hyrise.NewUniformGenerator(5000, int64(w))
 			for time.Now().Before(deadline) {
-				if _, err := t.Insert([]any{gen.Next(), uint32(w)}); err != nil {
+				if _, err := s.Insert([]any{gen.Next(), uint32(w)}); err != nil {
 					log.Println(err)
 					return
 				}
@@ -76,7 +95,7 @@ func main() {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		h, _ := hyrise.ColumnOf[uint64](t, "customer")
+		h, _ := hyrise.ColumnOf[uint64](s, "customer")
 		gen := hyrise.NewUniformGenerator(5000, 99)
 		for time.Now().Before(deadline) {
 			h.Lookup(gen.Next())
@@ -90,7 +109,7 @@ func main() {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		h, _ := hyrise.NumericColumnOf[uint32](t, "amount")
+		h, _ := hyrise.NumericColumnOf[uint32](s, "amount")
 		for time.Now().Before(deadline) {
 			_ = h.Sum()
 			scans.Add(1)
@@ -98,11 +117,19 @@ func main() {
 		}
 	}()
 
+	deltaPct := func() float64 {
+		main, delta := s.MainRows(), s.DeltaRows()
+		if main == 0 {
+			return 0
+		}
+		return 100 * float64(delta) / float64(main)
+	}
+
 	// Progress telemetry.
 	for time.Now().Before(deadline) {
 		time.Sleep(500 * time.Millisecond)
 		fmt.Printf("delta %5.2f%% of main | %7d inserts | %6d lookups | %4d scans | merging=%v\n",
-			100*t.DeltaFraction(), inserts.Load(), lookups.Load(), scans.Load(), t.Merging())
+			deltaPct(), inserts.Load(), lookups.Load(), scans.Load(), s.Merging())
 	}
 	wg.Wait()
 
@@ -110,6 +137,6 @@ func main() {
 		runFor, inserts.Load(), float64(inserts.Load())/runFor.Seconds(),
 		lookups.Load(), scans.Load(), merges.Load())
 	fmt.Printf("final state: main=%d rows, delta=%d rows (%.2f%%)\n",
-		t.MainRows(), t.DeltaRows(), 100*t.DeltaFraction())
+		s.MainRows(), s.DeltaRows(), deltaPct())
 	fmt.Println("\nthe delta fraction stays bounded while reads keep running: the merge is online")
 }

@@ -1,5 +1,8 @@
-// Quickstart: create a table, write rows, query across main and delta
-// partitions, run the merge process and inspect what it did.
+// Quickstart: one code path, two topologies.  The demo function below is
+// written purely against hyrise.Store — create, write, query, merge,
+// inspect — and main runs it twice: once over a flat table and once over
+// the same table hash-partitioned across 8 shards.  Nothing in the demo
+// knows which topology it is driving.
 package main
 
 import (
@@ -11,71 +14,101 @@ import (
 )
 
 func main() {
-	// Every attribute gets a compressed main partition and an uncompressed
-	// delta partition (paper §3).
-	t, err := hyrise.NewTable("sales", hyrise.Schema{
+	schema := hyrise.Schema{
 		{Name: "order_id", Type: hyrise.Uint64},
 		{Name: "qty", Type: hyrise.Uint32},
 		{Name: "product", Type: hyrise.String},
-	})
+	}
+
+	flat, err := hyrise.NewTable("sales", schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sharded, err := hyrise.NewShardedTable("sales", schema, "order_id", 8)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Writes append to the delta partitions.
-	products := []string{"widget", "gadget", "sprocket"}
-	for i := 0; i < 10000; i++ {
-		if _, err := t.Insert([]any{uint64(i), uint32(i % 7), products[i%3]}); err != nil {
-			log.Fatal(err)
-		}
+	for _, s := range []hyrise.Store{flat, sharded} {
+		demo(s)
 	}
-	fmt.Printf("after inserts:  main=%d rows, delta=%d rows\n", t.MainRows(), t.DeltaRows())
+}
+
+// demo drives the full surface through the Store interface only.
+func demo(s hyrise.Store) {
+	st := s.StoreStats()
+	if st.Shards > 1 {
+		fmt.Printf("=== sharded table: %d shards keyed by %q ===\n", st.Shards, st.KeyColumn)
+	} else {
+		fmt.Println("=== flat table ===")
+	}
+
+	// Writes append to the delta partitions (paper §3).  InsertRows
+	// batches validation and locking; on a sharded table it also groups
+	// rows per destination shard.
+	products := []string{"widget", "gadget", "sprocket"}
+	batch := make([][]any, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		batch = append(batch, []any{uint64(i), uint32(i % 7), products[i%3]})
+	}
+	ids, err := s.InsertRows(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after inserts:  main=%d rows, delta=%d rows\n", s.MainRows(), s.DeltaRows())
 
 	// Updates are insert-only: a new version is appended, the old one
 	// invalidated, and the history stays queryable.
-	newRow, err := t.Update(42, map[string]any{"qty": uint32(99)})
+	newRow, err := s.Update(ids[42], map[string]any{"qty": uint32(99)})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("update: row 42 -> new version at row %d (42 still stored, now invalid)\n", newRow)
-	if err := t.Delete(7); err != nil {
+	fmt.Printf("update: row %d -> new version at row %d (old version still stored, now invalid)\n",
+		ids[42], newRow)
+	if err := s.Delete(ids[7]); err != nil {
 		log.Fatal(err)
 	}
 
-	// Queries span both partitions transparently.
-	orders, err := hyrise.ColumnOf[uint64](t, "order_id")
+	// Typed handles span main and delta transparently; on a sharded table
+	// they fan out across shards in parallel.
+	orders, err := hyrise.ColumnOf[uint64](s, "order_id")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("lookup order 42 -> rows %v (the new version)\n", orders.Lookup(42))
 	fmt.Printf("range [100,104] -> %d rows\n", len(orders.Range(100, 104)))
 
-	qty, err := hyrise.NumericColumnOf[uint32](t, "qty")
+	qty, err := hyrise.NumericColumnOf[uint32](s, "qty")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("sum(qty) = %d\n", qty.Sum())
 
-	// The merge process folds the delta into the compressed main partition
-	// online and commits atomically (paper §5-6).
-	rep, err := t.Merge(context.Background(), hyrise.MergeOptions{})
+	// Conjunctive multi-column queries, column-at-a-time.
+	res, err := hyrise.Query(s, []hyrise.Filter{
+		{Column: "product", Op: hyrise.FilterEq, Value: "gadget"},
+		{Column: "order_id", Op: hyrise.FilterBetween, Value: 0, Hi: 299},
+	}, []string{"order_id"})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nmerge: %d delta rows folded, now main=%d rows in %s using %d threads\n",
-		rep.RowsMerged, rep.MainRowsAfter, rep.Wall, rep.Threads)
-	for _, cs := range rep.Columns[:1] {
-		fmt.Printf("column %q: dict %d -> %d entries, codes %d -> %d bits "+
-			"(step1a=%s step1b=%s step2=%s)\n",
-			"order_id", cs.UniqueMain, cs.UniqueMerged, cs.BitsBefore, cs.BitsAfter,
-			cs.Step1a, cs.Step1b, cs.Step2)
+	fmt.Printf("query product=gadget AND order_id in [0,299] -> %d rows\n", res.Count())
+
+	// The merge process folds the deltas into the compressed mains online
+	// and commits atomically (paper §5-6); a sharded table merges all
+	// shards in parallel.
+	rep, err := s.RequestMerge(context.Background(), hyrise.MergeOptions{})
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("merge: %d delta rows folded, now main=%d rows in %s using %d threads\n",
+		rep.RowsMerged, rep.MainRowsAfter, rep.Wall, rep.Threads)
 
 	// Same answers after the merge.
-	fmt.Printf("\npost-merge lookup order 42 -> rows %v\n", orders.Lookup(42))
+	fmt.Printf("post-merge lookup order 42 -> rows %v\n", orders.Lookup(42))
 	fmt.Printf("post-merge sum(qty) = %d\n", qty.Sum())
 
-	st := t.Stats()
-	fmt.Printf("\nstorage: %d bytes total for %d rows (%d valid)\n",
-		st.SizeBytes, st.Rows, st.ValidRows)
+	st = s.StoreStats()
+	fmt.Printf("storage: %d bytes total for %d rows (%d valid) in %d partition(s)\n\n",
+		st.SizeBytes, st.Rows, st.ValidRows, len(st.Partitions))
 }

@@ -33,17 +33,28 @@ func main() {
 	}
 
 	// Enterprise columns draw from small domains (paper Figure 4); order
-	// ids are unique.
+	// ids are unique.  Rows are staged in batches and appended through
+	// InsertRows, which validates the batch up front and takes the table
+	// lock once.
 	ids := hyrise.NewUniqueGenerator(1)
 	attrs := hyrise.NewUniformGenerator(512, 2)
 	insertRows := func(n int) {
-		row := make([]any, columns)
-		for r := 0; r < n; r++ {
-			row[0] = ids.Next()
-			for c := 1; c < columns; c++ {
-				row[c] = attrs.Next()
+		const batchSize = 10_000
+		for r := 0; r < n; r += batchSize {
+			m := batchSize
+			if r+m > n {
+				m = n - r
 			}
-			if _, err := t.Insert(row); err != nil {
+			batch := make([][]any, m)
+			for b := range batch {
+				row := make([]any, columns)
+				row[0] = ids.Next()
+				for c := 1; c < columns; c++ {
+					row[c] = attrs.Next()
+				}
+				batch[b] = row
+			}
+			if _, err := t.InsertRows(batch); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -52,7 +63,7 @@ func main() {
 	fmt.Printf("loading %d rows x %d columns of historical orders...\n", baseRows, columns)
 	start := time.Now()
 	insertRows(baseRows)
-	if _, err := t.Merge(context.Background(), hyrise.MergeOptions{}); err != nil {
+	if _, err := t.RequestMerge(context.Background(), hyrise.MergeOptions{}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("loaded and compressed in %s; main storage %d MB\n\n",
@@ -64,7 +75,7 @@ func main() {
 	fmt.Printf("delta now %.2f%% of main\n\n", 100*t.DeltaFraction())
 
 	// Naive merge (the paper's ~1,000 updates/second baseline).
-	repNaive, err := t.Merge(context.Background(), hyrise.MergeOptions{Algorithm: hyrise.Naive})
+	repNaive, err := t.RequestMerge(context.Background(), hyrise.MergeOptions{Algorithm: hyrise.Naive})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +84,7 @@ func main() {
 
 	// Refill an identical month and merge optimized.
 	insertRows(monthRows)
-	repOpt, err := t.Merge(context.Background(), hyrise.MergeOptions{Algorithm: hyrise.Optimized})
+	repOpt, err := t.RequestMerge(context.Background(), hyrise.MergeOptions{Algorithm: hyrise.Optimized})
 	if err != nil {
 		log.Fatal(err)
 	}

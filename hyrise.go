@@ -7,15 +7,27 @@
 //
 // # Quick start
 //
-//	t, _ := hyrise.NewTable("sales", hyrise.Schema{
-//		{Name: "order_id", Type: hyrise.Uint64},
-//		{Name: "qty", Type: hyrise.Uint32},
-//		{Name: "product", Type: hyrise.String},
-//	})
-//	t.Insert([]any{uint64(1), uint32(3), "widget"})
-//	rep, _ := t.Merge(context.Background(), hyrise.MergeOptions{})
-//	h, _ := hyrise.ColumnOf[uint64](t, "order_id")
+// Storage comes in two topologies — a flat table, and a table
+// hash-partitioned by a key column across N independent shards — and both
+// implement the one Store interface, so application code is written once:
+//
+//	var s hyrise.Store
+//	s, _ = hyrise.NewTable("sales", schema)                      // flat
+//	s, _ = hyrise.NewShardedTable("sales", schema, "order_id", 8) // or sharded
+//
+//	s.Insert([]any{uint64(1), uint32(3), "widget"})
+//	h, _ := hyrise.ColumnOf[uint64](s, "order_id")
 //	rows := h.Lookup(1)
+//	res, _ := hyrise.Query(s, []hyrise.Filter{
+//		{Column: "product", Op: hyrise.FilterEq, Value: "widget"},
+//	}, []string{"order_id"})
+//	s.RequestMerge(context.Background(), hyrise.MergeOptions{})
+//
+//	ms := hyrise.NewScheduler(s, hyrise.SchedulerConfig{Fraction: 0.05})
+//	ms.Start() // merges each partition when its delta outgrows the trigger
+//
+//	hyrise.Save(s, w)         // snapshot either topology
+//	s2, _ := hyrise.Load(r)   // topology auto-detected from the header
 //
 // Tables are insert-only (paper §3): updates append new row versions and
 // invalidate the old ones, deletes only invalidate, and the full version
@@ -23,31 +35,25 @@
 // a second delta while it runs, and the merged table is committed
 // atomically under a brief lock.
 //
-// # Sharded tables
+// # Topology semantics
 //
-// For write-heavy workloads a table can be hash-partitioned by a key
-// column across N independent shards, each with its own delta, main and
-// merge lifecycle.  Inserts route by key hash and contend only on their
-// shard; queries fan out across shards in parallel; MergeAll runs the
-// multi-core merge on all shards concurrently with a per-shard slice of
-// the thread budget; and NewShardedScheduler watches every shard's delta
-// fraction independently:
+// A flat table hands out dense, insertion-ordered row ids and gives one
+// atomic online merge over the whole table.
 //
-//	st, _ := hyrise.NewShardedTable("sales", schema, "order_id", 8)
-//	st.Insert([]any{uint64(1), uint32(3), "widget"})
-//	h, _ := hyrise.ShardedColumnOf[uint64](st, "order_id")
-//	rows := h.Lookup(1)                 // global row ids
-//	st.MergeAll(context.Background(), hyrise.MergeAllOptions{})
-//	ms := hyrise.NewShardedScheduler(st, hyrise.SchedulerConfig{Fraction: 0.05})
-//	ms.Start()
+// A sharded table multiplies both halves of the paper's central trade:
+// inserts route by key hash and contend only on their shard, and
+// RequestMerge fans the multi-core merge out across shards in parallel,
+// each with a slice of the thread budget.  The guarantees are weaker in
+// one documented way: every shard's merge is individually online and
+// atomic, but there is no cross-shard snapshot — a fan-out query can
+// observe one shard before and another after a concurrent multi-shard
+// writer.  Global row ids are stable and encode the owning shard; they are
+// not dense and not in global insertion order.  Updates that change the
+// key column may relocate a row to another shard.
 //
-// Sharding guarantees per-shard merge atomicity only: every shard's merge
-// is individually online and atomic, but there is no cross-shard snapshot
-// — a fan-out query can observe one shard before and another after a
-// concurrent multi-shard writer.  Global row ids are stable and encode
-// the owning shard; they are not dense and not in global insertion order.
-// Updates that change the key column may relocate a row to another shard
-// (the old version is invalidated, the new one inserted there).
+// The Sharded* entry points (ShardedColumnOf, ShardedQuery,
+// NewShardedScheduler, NewShardedDriver) are deprecated thin aliases of
+// the unified functions and will be removed after one release.
 //
 // The subpackages under internal implement the paper's substrate systems
 // (bit-packed vectors, sorted dictionaries, CSB+ trees, the merge itself,
@@ -65,7 +71,6 @@ import (
 	"hyrise/internal/csvload"
 	"hyrise/internal/membench"
 	"hyrise/internal/model"
-	"hyrise/internal/persist"
 	"hyrise/internal/query"
 	"hyrise/internal/sched"
 	"hyrise/internal/shard"
@@ -96,25 +101,42 @@ type ColumnDef = table.ColumnDef
 // Schema is an ordered list of column definitions.
 type Schema = table.Schema
 
-// Table is a column-store table with main/delta partitions per column.
+// Table is a flat column-store table with main/delta partitions per
+// column.  It implements Store.
 type Table = table.Table
 
-// NewTable creates an empty table.
+// NewTable creates an empty flat table.
 func NewTable(name string, schema Schema) (*Table, error) {
 	return table.New(name, schema)
 }
 
-// TableStats summarizes a table's storage (see Table.Stats).
+// ShardedTable hash-partitions rows by a key column across N shards, each
+// an independent Table with its own merge lifecycle.  It implements Store.
+type ShardedTable = shard.Table
+
+// NewShardedTable creates an empty sharded table hash-partitioned by the
+// named key column.
+func NewShardedTable(name string, schema Schema, key string, shards int) (*ShardedTable, error) {
+	return shard.New(name, schema, key, shards)
+}
+
+// TableStats summarizes a flat table's storage (see Table.Stats); each
+// partition entry of StoreStats is one of these.
 type TableStats = table.Stats
 
 // ColumnStats summarizes one column's storage.
 type ColumnStats = table.ColumnStats
 
+// ShardedStats aggregates per-shard storage statistics (ShardedTable.Stats).
+type ShardedStats = shard.Stats
+
 // Merge configuration and results.
 type (
-	// MergeOptions configures Table.Merge.
+	// MergeOptions configures RequestMerge (and Table.Merge).
 	MergeOptions = table.MergeOptions
-	// MergeReport summarizes a completed table merge.
+	// MergeReport summarizes a completed merge.  For a sharded merge,
+	// Columns is nil and the counts aggregate all shards; per-shard
+	// reports come from ShardedTable.MergeAll.
 	MergeReport = table.Report
 	// MergeStats holds one column's per-step merge timings.
 	MergeStats = core.Stats
@@ -122,6 +144,11 @@ type (
 	Algorithm = core.Algorithm
 	// MergeStrategy distributes threads across or within columns.
 	MergeStrategy = table.Strategy
+	// MergeAllOptions configures ShardedTable.MergeAll (per-shard merge
+	// options plus a concurrency cap).
+	MergeAllOptions = shard.MergeAllOptions
+	// MergeAllReport summarizes a cross-shard parallel merge per shard.
+	MergeAllReport = shard.MergeAllReport
 )
 
 // Merge algorithm variants.
@@ -153,80 +180,17 @@ var (
 	ErrArity           = table.ErrArity
 )
 
-// Handle is a typed single-column view supporting lookups, range selects
-// and scans.
-type Handle[V Value] = table.Handle[V]
+// Scheduler supervises every partition of a Store independently, merging a
+// partition when its delta grows past the configured fraction of its main.
+// Create with NewScheduler, then Start.
+type Scheduler = sched.Multi
 
-// NumericHandle adds Sum/Min/Max aggregation to integer columns.
-type NumericHandle[V interface{ ~uint32 | ~uint64 }] = table.NumericHandle[V]
+// PartitionScheduler supervises a single partition; Scheduler.Scheduler(i)
+// exposes the per-partition supervisors.
+type PartitionScheduler = sched.Scheduler
 
-// ColumnOf returns a typed handle for the named column.
-func ColumnOf[V Value](t *Table, name string) (*Handle[V], error) {
-	return table.ColumnOf[V](t, name)
-}
-
-// NumericColumnOf returns a handle with aggregation support.
-func NumericColumnOf[V interface{ ~uint32 | ~uint64 }](t *Table, name string) (*NumericHandle[V], error) {
-	return table.NumericColumnOf[V](t, name)
-}
-
-// Sharded tables (hash-partitioned across independent shards).
-type (
-	// ShardedTable hash-partitions rows by a key column across N shards.
-	ShardedTable = shard.Table
-	// ShardedStats aggregates per-shard storage statistics.
-	ShardedStats = shard.Stats
-	// MergeAllOptions configures ShardedTable.MergeAll.
-	MergeAllOptions = shard.MergeAllOptions
-	// MergeAllReport summarizes a cross-shard parallel merge.
-	MergeAllReport = shard.MergeAllReport
-	// ShardedHandle is a typed single-column view across all shards.
-	ShardedHandle[V Value] = shard.Handle[V]
-	// ShardedNumericHandle adds cross-shard Sum/Min/Max aggregation.
-	ShardedNumericHandle[V interface{ ~uint32 | ~uint64 }] = shard.NumericHandle[V]
-)
-
-// NewShardedTable creates an empty sharded table hash-partitioned by the
-// named key column.
-func NewShardedTable(name string, schema Schema, key string, shards int) (*ShardedTable, error) {
-	return shard.New(name, schema, key, shards)
-}
-
-// ShardedColumnOf returns a typed cross-shard handle for the named column.
-func ShardedColumnOf[V Value](st *ShardedTable, name string) (*ShardedHandle[V], error) {
-	return shard.ColumnOf[V](st, name)
-}
-
-// ShardedNumericColumnOf returns a cross-shard handle with aggregation
-// support.
-func ShardedNumericColumnOf[V interface{ ~uint32 | ~uint64 }](st *ShardedTable, name string) (*ShardedNumericHandle[V], error) {
-	return shard.NumericColumnOf[V](st, name)
-}
-
-// ShardedQuery evaluates the conjunction of filters against every shard in
-// parallel and merges the results under global row ids.
-func ShardedQuery(st *ShardedTable, filters []Filter, project []string) (*QueryResult, error) {
-	return shard.Query(st, filters, project)
-}
-
-// NewShardedDriver builds a workload driver targeting a sharded table's
-// uint64 key-distribution column.
-func NewShardedDriver(st *ShardedTable, column string, mix Mix, gen Generator, seed int64) (*Driver, error) {
-	h, err := shard.ColumnOf[uint64](st, column)
-	if err != nil {
-		return nil, err
-	}
-	return workload.NewDriverFor(st, column, h, mix, gen, seed)
-}
-
-// Scheduler triggers merges when the delta grows past a threshold.
-type (
-	Scheduler       = sched.Scheduler
-	SchedulerConfig = sched.Config
-	// MultiScheduler supervises every shard of a sharded table
-	// independently.
-	MultiScheduler = sched.Multi
-)
+// SchedulerConfig tunes merge triggering; it applies to every partition.
+type SchedulerConfig = sched.Config
 
 // Scheduler strategies (§3).
 const (
@@ -236,24 +200,6 @@ const (
 	Background = sched.Background
 )
 
-// NewScheduler supervises t, merging when N_D exceeds cfg.Fraction * N_M.
-func NewScheduler(t *Table, cfg SchedulerConfig) *Scheduler {
-	return sched.New(t, cfg)
-}
-
-// NewShardedScheduler supervises every shard of st independently: each
-// shard merges when its own delta fraction exceeds cfg.Fraction, and
-// unless cfg.Threads is set the machine's threads are divided evenly
-// across shards.
-func NewShardedScheduler(st *ShardedTable, cfg SchedulerConfig) *MultiScheduler {
-	shards := st.Shards()
-	targets := make([]sched.MergeTable, len(shards))
-	for i, s := range shards {
-		targets[i] = s
-	}
-	return sched.NewMulti(targets, cfg)
-}
-
 // Workload generation (paper §2).
 type (
 	// Mix is a query-kind distribution (Figure 1).
@@ -262,7 +208,7 @@ type (
 	QueryKind = workload.QueryKind
 	// Generator produces column values with a controlled distribution.
 	Generator = workload.Generator
-	// Driver executes a Mix against a table.
+	// Driver executes a Mix against a Store.
 	Driver = workload.Driver
 	// DriverCounts tallies a driver run.
 	DriverCounts = workload.Counts
@@ -294,11 +240,6 @@ func NewZipfGenerator(domain uint64, skew float64, seed int64) Generator {
 	return workload.NewZipf(domain, skew, seed)
 }
 
-// NewDriver builds a workload driver over the named uint64 column.
-func NewDriver(t *Table, column string, mix Mix, gen Generator, seed int64) (*Driver, error) {
-	return workload.NewDriver(t, column, mix, gen, seed)
-}
-
 // Multi-column queries (conjunctive predicates, positional refinement).
 type (
 	// Filter is one predicate of a conjunctive query.
@@ -317,18 +258,12 @@ const (
 	FilterBetween = query.Between
 )
 
-// Query evaluates the conjunction of filters column-at-a-time and projects
-// the named columns (nil projects nothing).
-func Query(t *Table, filters []Filter, project []string) (*QueryResult, error) {
-	return query.Run(t, filters, project)
-}
-
 // CSVOptions configures CSV import.
 type CSVOptions = csvload.Options
 
-// LoadCSV imports CSV data (header row required) into a new table; column
-// types are inferred unless fixed via CSVOptions.Types.  Rows land in the
-// delta partitions; merge when convenient.
+// LoadCSV imports CSV data (header row required) into a new flat table;
+// column types are inferred unless fixed via CSVOptions.Types.  Rows land
+// in the delta partitions; merge when convenient.
 func LoadCSV(r io.Reader, opts CSVOptions) (*Table, int, error) {
 	return csvload.Load(r, opts)
 }
@@ -337,20 +272,6 @@ func LoadCSV(r io.Reader, opts CSVOptions) (*Table, int, error) {
 func LoadCSVFile(path string, opts CSVOptions) (*Table, int, error) {
 	return csvload.LoadFile(path, opts)
 }
-
-// Persistence.
-
-// Save writes a binary snapshot of t.
-func Save(t *Table, w io.Writer) error { return persist.Save(t, w) }
-
-// Load reads a snapshot written by Save.
-func Load(r io.Reader) (*Table, error) { return persist.Load(r) }
-
-// SaveFile and LoadFile are file-path conveniences.
-func SaveFile(t *Table, path string) error { return persist.SaveFile(t, path) }
-
-// LoadFile reads a snapshot file.
-func LoadFile(path string) (*Table, error) { return persist.LoadFile(path) }
 
 // Analytical model (paper §6.1, §7.4).
 type (

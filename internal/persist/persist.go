@@ -1,29 +1,40 @@
 // Package persist serializes tables to a compact binary snapshot format.
 //
 // HYRISE is an in-memory engine; snapshots exist for operational reasons
-// (loading benchmark fixtures, the CLI's save/load).  The format stores
-// each column's merged representation: dictionary values plus bit-packed
-// codes for the main partition, raw values for the delta partition, and
-// the row-validity bitmap.  All integers are little-endian; strings are
-// length-prefixed.
+// (loading benchmark fixtures, the CLI's save/load).  Snapshots store
+// materialized column values (not the physical encoding): the loader
+// re-inserts and re-merges, which keeps the format independent of
+// dictionary layout while the merge regenerates identical structures.
+// All integers are little-endian; strings are length-prefixed.
 //
-// Layout:
+// Version 2 layout (current):
 //
-//	magic "HYRS" | version u32 | name | ncols u32
-//	per column: name | type u8
-//	rows u64 | validity words
-//	per column: main(dict len, values, code bits u8, code words) |
-//	            delta(len, values)
+//	magic "HYRS" | version u32 = 2 | topology u8 | name
+//	ncols u32 | per column: name | type u8
+//	if sharded: key column | shard count u32
+//	per partition (1 for flat, shard count for sharded):
+//	    rows u64 | main rows u64 | validity words |
+//	    per column: values (rows of u32 / u64 / string)
+//
+// The header records the topology, key column and shard count, so sharded
+// tables round-trip: each shard is encoded as its own partition and global
+// row ids (local*shards + shard) are preserved exactly.  The per-partition
+// main-row count lets the loader re-merge to the saved main/delta split.
+//
+// Version 1 snapshots (flat tables only: no topology byte, no main-row
+// count, rows reloaded into the delta) still load.
 package persist
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"os"
 
+	"hyrise/internal/shard"
 	"hyrise/internal/table"
 )
 
@@ -31,10 +42,23 @@ import (
 const Magic = "HYRS"
 
 // Version is the current format version.
-const Version uint32 = 1
+const Version uint32 = 2
+
+// VersionV1 is the legacy flat-only format, still readable.
+const VersionV1 uint32 = 1
+
+// Topology bytes in the v2 header.
+const (
+	topoFlat    uint8 = 0
+	topoSharded uint8 = 1
+)
 
 // ErrFormat reports a malformed snapshot.
 var ErrFormat = errors.New("persist: malformed snapshot")
+
+// maxRows bounds the per-partition row count a snapshot may claim, so a
+// corrupt header fails with ErrFormat instead of a huge allocation.
+const maxRows = 1 << 34
 
 type writer struct {
 	w   *bufio.Writer
@@ -115,71 +139,17 @@ func (r *reader) str() string {
 	return string(b)
 }
 
-// Save writes a snapshot of t.  The table should be quiescent; Save reads
-// through the public row interface, so a concurrent merge is tolerated but
-// the snapshot then reflects some point during it.
-func Save(t *table.Table, out io.Writer) error {
-	w := &writer{w: bufio.NewWriter(out)}
-	w.bytes([]byte(Magic))
-	w.u32(Version)
-	w.str(t.Name())
-	schema := t.Schema()
+// writeSchema emits the column definitions.
+func (w *writer) writeSchema(schema table.Schema) {
 	w.u32(uint32(len(schema)))
 	for _, def := range schema {
 		w.str(def.Name)
 		w.u8(uint8(def.Type))
 	}
-	rows := t.Rows()
-	w.u64(uint64(rows))
-	// Validity bitmap.
-	for i := 0; i < rows; i += 64 {
-		var word uint64
-		for j := 0; j < 64 && i+j < rows; j++ {
-			if t.IsValid(i + j) {
-				word |= 1 << uint(j)
-			}
-		}
-		w.u64(word)
-	}
-	// Column values, row-major per column.  We persist materialized values
-	// (not the physical encoding): the loader re-compresses on load, which
-	// keeps the format independent of dictionary layout while the merge
-	// regenerates identical structures anyway.
-	for ci, def := range schema {
-		for r := 0; r < rows; r++ {
-			row, err := t.Row(r)
-			if err != nil {
-				return err
-			}
-			switch def.Type {
-			case table.Uint32:
-				w.u32(row[ci].(uint32))
-			case table.Uint64:
-				w.u64(row[ci].(uint64))
-			case table.String:
-				w.str(row[ci].(string))
-			}
-		}
-	}
-	if w.err != nil {
-		return w.err
-	}
-	return w.w.Flush()
 }
 
-// Load reads a snapshot and rebuilds the table: all rows are inserted into
-// the delta and a merge is left to the caller (or the scheduler).
-func Load(in io.Reader) (*table.Table, error) {
-	r := &reader{r: bufio.NewReader(in)}
-	magic := make([]byte, 4)
-	r.bytes(magic)
-	if r.err != nil || string(magic) != Magic {
-		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
-	}
-	if v := r.u32(); v != Version {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, v)
-	}
-	name := r.str()
+// readSchema parses the column definitions.
+func (r *reader) readSchema() (table.Schema, error) {
 	ncols := int(r.u32())
 	if r.err != nil || ncols <= 0 || ncols > 1<<20 {
 		return nil, fmt.Errorf("%w: column count", ErrFormat)
@@ -189,39 +159,301 @@ func Load(in io.Reader) (*table.Table, error) {
 		schema[i].Name = r.str()
 		schema[i].Type = table.Type(r.u8())
 	}
-	if r.err != nil {
-		return nil, r.err
+	return schema, r.err
+}
+
+// maxPrealloc caps how many entries a loading slice pre-allocates before
+// any data is decoded.  The claimed row count is only trusted as capacity
+// up to this bound; beyond it slices grow with the data actually read, so
+// a corrupt header claiming billions of rows fails on the first missing
+// byte instead of allocating gigabytes up front.
+const maxPrealloc = 1 << 20
+
+// readValidity decodes the validity bitmap words for rows, failing fast on
+// short input.
+func (r *reader) readValidity(rows int) ([]uint64, error) {
+	words := (rows + 63) / 64
+	valid := make([]uint64, 0, min(words, maxPrealloc))
+	for i := 0; i < words; i++ {
+		w := r.u64()
+		if r.err != nil {
+			return nil, r.err
+		}
+		valid = append(valid, w)
+	}
+	return valid, nil
+}
+
+// readColumns decodes every column's values for rows, failing fast on
+// short input.
+func (r *reader) readColumns(schema table.Schema, rows int) ([][]any, error) {
+	cols := make([][]any, len(schema))
+	for ci, def := range schema {
+		col := make([]any, 0, min(rows, maxPrealloc))
+		for j := 0; j < rows; j++ {
+			var v any
+			switch def.Type {
+			case table.Uint32:
+				v = r.u32()
+			case table.Uint64:
+				v = r.u64()
+			case table.String:
+				v = r.str()
+			}
+			if r.err != nil {
+				return nil, r.err
+			}
+			col = append(col, v)
+		}
+		cols[ci] = col
+	}
+	return cols, nil
+}
+
+// writePartition encodes one physical table: row counts, the main/delta
+// boundary, the validity bitmap and every column's materialized values.
+// The table should be quiescent; a concurrent merge is tolerated but the
+// snapshot then reflects some point during it.
+func writePartition(w *writer, t *table.Table) error {
+	rows := t.Rows()
+	mainRows := t.MainRows()
+	if mainRows > rows {
+		mainRows = rows
+	}
+	w.u64(uint64(rows))
+	w.u64(uint64(mainRows))
+	for i := 0; i < rows; i += 64 {
+		var word uint64
+		for j := 0; j < 64 && i+j < rows; j++ {
+			if t.IsValid(i + j) {
+				word |= 1 << uint(j)
+			}
+		}
+		w.u64(word)
+	}
+	for _, def := range t.Schema() {
+		switch def.Type {
+		case table.Uint32:
+			h, err := table.ColumnOf[uint32](t, def.Name)
+			if err != nil {
+				return err
+			}
+			for r := 0; r < rows; r++ {
+				v, err := h.Get(r)
+				if err != nil {
+					return err
+				}
+				w.u32(v)
+			}
+		case table.Uint64:
+			h, err := table.ColumnOf[uint64](t, def.Name)
+			if err != nil {
+				return err
+			}
+			for r := 0; r < rows; r++ {
+				v, err := h.Get(r)
+				if err != nil {
+					return err
+				}
+				w.u64(v)
+			}
+		case table.String:
+			h, err := table.ColumnOf[string](t, def.Name)
+			if err != nil {
+				return err
+			}
+			for r := 0; r < rows; r++ {
+				v, err := h.Get(r)
+				if err != nil {
+					return err
+				}
+				w.str(v)
+			}
+		}
+	}
+	return w.err
+}
+
+// readPartitionInto decodes one partition into the (empty) table t,
+// restoring the saved main/delta split: the first mainRows rows are
+// inserted and merged into the main partitions, the rest stay in the
+// delta.  Row ids are assigned in insertion order, so they match the
+// saved table exactly.
+func (r *reader) readPartitionInto(t *table.Table, schema table.Schema) error {
+	rows64 := r.u64()
+	mainRows64 := r.u64()
+	if r.err != nil || rows64 > maxRows || mainRows64 > rows64 {
+		return fmt.Errorf("%w: row counts", ErrFormat)
+	}
+	rows, mainRows := int(rows64), int(mainRows64)
+	valid, err := r.readValidity(rows)
+	if err != nil {
+		return err
+	}
+	cols, err := r.readColumns(schema, rows)
+	if err != nil {
+		return err
+	}
+	insert := func(from, to int) error {
+		if from >= to {
+			return nil
+		}
+		batch := make([][]any, 0, to-from)
+		for j := from; j < to; j++ {
+			row := make([]any, len(schema))
+			for ci := range cols {
+				row[ci] = cols[ci][j]
+			}
+			batch = append(batch, row)
+		}
+		ids, err := t.InsertRows(batch)
+		if err != nil {
+			return err
+		}
+		for k, id := range ids {
+			j := from + k
+			if valid[j/64]&(1<<uint(j%64)) == 0 {
+				if err := t.Delete(id); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := insert(0, mainRows); err != nil {
+		return err
+	}
+	if mainRows > 0 {
+		if _, err := t.Merge(context.Background(), table.MergeOptions{}); err != nil {
+			return err
+		}
+	}
+	return insert(mainRows, rows)
+}
+
+// Save writes a v2 snapshot of a flat table.
+func Save(t *table.Table, out io.Writer) error {
+	w := &writer{w: bufio.NewWriter(out)}
+	w.bytes([]byte(Magic))
+	w.u32(Version)
+	w.u8(topoFlat)
+	w.str(t.Name())
+	w.writeSchema(t.Schema())
+	if err := writePartition(w, t); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// SaveSharded writes a v2 snapshot of a sharded table: the header records
+// the key column and shard count, then every shard is encoded as its own
+// partition, so global row ids survive the round trip.
+func SaveSharded(st *shard.Table, out io.Writer) error {
+	w := &writer{w: bufio.NewWriter(out)}
+	w.bytes([]byte(Magic))
+	w.u32(Version)
+	w.u8(topoSharded)
+	w.str(st.Name())
+	w.writeSchema(st.Schema())
+	w.str(st.KeyColumn())
+	w.u32(uint32(st.NumShards()))
+	for _, s := range st.Shards() {
+		if err := writePartition(w, s); err != nil {
+			return err
+		}
+	}
+	return w.w.Flush()
+}
+
+// LoadAny reads a snapshot of either topology; exactly one of the returned
+// tables is non-nil on success.  It accepts the current version and the
+// legacy v1 flat format.
+func LoadAny(in io.Reader) (*table.Table, *shard.Table, error) {
+	r := &reader{r: bufio.NewReader(in)}
+	magic := make([]byte, 4)
+	r.bytes(magic)
+	if r.err != nil || string(magic) != Magic {
+		return nil, nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	switch v := r.u32(); v {
+	case VersionV1:
+		t, err := loadV1(r)
+		return t, nil, err
+	case Version:
+	default:
+		return nil, nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, v)
+	}
+	topo := r.u8()
+	name := r.str()
+	schema, err := r.readSchema()
+	if err != nil {
+		return nil, nil, err
+	}
+	switch topo {
+	case topoFlat:
+		t, err := table.New(name, schema)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := r.readPartitionInto(t, schema); err != nil {
+			return nil, nil, err
+		}
+		return t, nil, nil
+	case topoSharded:
+		key := r.str()
+		shards := int(r.u32())
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+		if shards <= 0 || shards > shard.MaxShards {
+			return nil, nil, fmt.Errorf("%w: shard count %d", ErrFormat, shards)
+		}
+		st, err := shard.New(name, schema, key, shards)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Fill each shard directly, bypassing hash routing: the partition
+		// sections already are the routed per-shard contents, and direct
+		// insertion preserves every shard-local row id (hence every
+		// global id).
+		for i := 0; i < shards; i++ {
+			if err := r.readPartitionInto(st.Shard(i), schema); err != nil {
+				return nil, nil, err
+			}
+		}
+		return nil, st, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown topology %d", ErrFormat, topo)
+	}
+}
+
+// loadV1 decodes the legacy flat format (after magic and version): name,
+// schema, rows, validity, per-column values.  All rows land in the delta,
+// as the v1 loader always did; merge when convenient.
+func loadV1(r *reader) (*table.Table, error) {
+	name := r.str()
+	schema, err := r.readSchema()
+	if err != nil {
+		return nil, err
 	}
 	t, err := table.New(name, schema)
 	if err != nil {
 		return nil, err
 	}
-	rows := int(r.u64())
-	if r.err != nil || rows < 0 {
+	rows64 := r.u64()
+	if r.err != nil || rows64 > maxRows {
 		return nil, fmt.Errorf("%w: row count", ErrFormat)
 	}
-	valid := make([]uint64, (rows+63)/64)
-	for i := range valid {
-		valid[i] = r.u64()
+	rows := int(rows64)
+	valid, err := r.readValidity(rows)
+	if err != nil {
+		return nil, err
 	}
-	cols := make([][]any, ncols)
-	for ci, def := range schema {
-		cols[ci] = make([]any, rows)
-		for j := 0; j < rows; j++ {
-			switch def.Type {
-			case table.Uint32:
-				cols[ci][j] = r.u32()
-			case table.Uint64:
-				cols[ci][j] = r.u64()
-			case table.String:
-				cols[ci][j] = r.str()
-			}
-		}
+	cols, err := r.readColumns(schema, rows)
+	if err != nil {
+		return nil, err
 	}
-	if r.err != nil {
-		return nil, r.err
-	}
-	row := make([]any, ncols)
+	row := make([]any, len(schema))
 	for j := 0; j < rows; j++ {
 		for ci := range cols {
 			row[ci] = cols[ci][j]
@@ -239,7 +471,7 @@ func Load(in io.Reader) (*table.Table, error) {
 	return t, nil
 }
 
-// SaveFile writes a snapshot to path.
+// SaveFile writes a flat-table snapshot to path.
 func SaveFile(t *table.Table, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -252,12 +484,25 @@ func SaveFile(t *table.Table, path string) error {
 	return f.Close()
 }
 
-// LoadFile reads a snapshot from path.
-func LoadFile(path string) (*table.Table, error) {
+// SaveShardedFile writes a sharded-table snapshot to path.
+func SaveShardedFile(st *shard.Table, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveSharded(st, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadAnyFile reads a snapshot of either topology from path.
+func LoadAnyFile(path string) (*table.Table, *shard.Table, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
-	return Load(f)
+	return LoadAny(f)
 }

@@ -1,13 +1,17 @@
 package persist
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"errors"
+	"io"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"testing"
 
+	"hyrise/internal/shard"
 	"hyrise/internal/table"
 )
 
@@ -59,6 +63,29 @@ func equalTables(t *testing.T, a, b *table.Table) {
 	}
 }
 
+// loadFlat reads a snapshot through LoadAny and requires a flat table.
+func loadFlat(t *testing.T, r io.Reader) (*table.Table, error) {
+	t.Helper()
+	ft, st, err := LoadAny(r)
+	if err != nil {
+		return nil, err
+	}
+	if st != nil {
+		t.Fatal("expected a flat snapshot")
+	}
+	return ft, nil
+}
+
+func loadFlatFile(t *testing.T, path string) (*table.Table, error) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return loadFlat(t, f)
+}
+
 func TestRoundTrip(t *testing.T) {
 	tb := buildTable(t, 500)
 	tb.Delete(3)
@@ -67,7 +94,7 @@ func TestRoundTrip(t *testing.T) {
 	if err := Save(tb, &buf); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Load(&buf)
+	got, err := loadFlat(t, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +114,7 @@ func TestRoundTripAfterMerge(t *testing.T) {
 	if err := Save(tb, &buf); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Load(&buf)
+	got, err := loadFlat(t, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,11 +132,224 @@ func TestFileRoundTrip(t *testing.T) {
 	if err := SaveFile(tb, path); err != nil {
 		t.Fatal(err)
 	}
-	got, err := LoadFile(path)
+	got, err := loadFlatFile(t, path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	equalTables(t, tb, got)
+}
+
+// TestMainDeltaSplitRestored checks that the v2 loader re-merges to the
+// saved main/delta boundary instead of leaving everything in the delta.
+func TestMainDeltaSplitRestored(t *testing.T) {
+	tb := buildTable(t, 300)
+	if _, err := tb.Merge(context.Background(), table.MergeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		tb.Insert([]any{uint64(1000 + i), uint32(1), "x"})
+	}
+	tb.Delete(2)   // invalidation in the main partition
+	tb.Delete(310) // invalidation in the delta
+	var buf bytes.Buffer
+	if err := Save(tb, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadFlat(t, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalTables(t, tb, got)
+	if got.MainRows() != tb.MainRows() || got.DeltaRows() != tb.DeltaRows() {
+		t.Fatalf("split main=%d delta=%d want main=%d delta=%d",
+			got.MainRows(), got.DeltaRows(), tb.MainRows(), tb.DeltaRows())
+	}
+}
+
+// writeV1 encodes tb in the legacy v1 format (flat, no topology byte, no
+// main-row count, values row-major per column) for backward-compat tests.
+func writeV1(t *testing.T, tb *table.Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := &writer{w: bufio.NewWriter(&buf)}
+	w.bytes([]byte(Magic))
+	w.u32(VersionV1)
+	w.str(tb.Name())
+	schema := tb.Schema()
+	w.u32(uint32(len(schema)))
+	for _, def := range schema {
+		w.str(def.Name)
+		w.u8(uint8(def.Type))
+	}
+	rows := tb.Rows()
+	w.u64(uint64(rows))
+	for i := 0; i < rows; i += 64 {
+		var word uint64
+		for j := 0; j < 64 && i+j < rows; j++ {
+			if tb.IsValid(i + j) {
+				word |= 1 << uint(j)
+			}
+		}
+		w.u64(word)
+	}
+	for ci, def := range schema {
+		for r := 0; r < rows; r++ {
+			row, err := tb.Row(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch def.Type {
+			case table.Uint32:
+				w.u32(row[ci].(uint32))
+			case table.Uint64:
+				w.u64(row[ci].(uint64))
+			case table.String:
+				w.str(row[ci].(string))
+			}
+		}
+	}
+	if w.err != nil {
+		t.Fatal(w.err)
+	}
+	if err := w.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestV1BackwardCompat loads a legacy v1 snapshot through LoadAny and
+// checks full content equality.
+func TestV1BackwardCompat(t *testing.T) {
+	tb := buildTable(t, 200)
+	tb.Delete(5)
+	tb.Update(9, map[string]any{"qty": uint32(77)})
+	data := writeV1(t, tb)
+
+	got, err := loadFlat(t, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalTables(t, tb, got)
+
+	ft, st, err := LoadAny(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != nil || ft == nil {
+		t.Fatal("v1 snapshot should load as a flat table")
+	}
+	equalTables(t, tb, ft)
+}
+
+func buildSharded(t *testing.T, shards int) *shard.Table {
+	t.Helper()
+	st, err := shard.New("orders", table.Schema{
+		{Name: "id", Type: table.Uint64},
+		{Name: "qty", Type: table.Uint32},
+		{Name: "sku", Type: table.String},
+	}, "id", shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestShardedRoundTrip saves and reloads a sharded table spanning main and
+// delta partitions, checking topology, global row ids, invalidations and
+// the per-shard main/delta split all survive.
+func TestShardedRoundTrip(t *testing.T) {
+	st := buildSharded(t, 4)
+	var gids []int
+	for i := 0; i < 400; i++ {
+		gid, err := st.Insert([]any{uint64(i), uint32(i % 9), "sku-" + string(rune('a'+i%26))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gids = append(gids, gid)
+	}
+	if err := st.Delete(gids[3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Update(gids[7], map[string]any{"qty": uint32(99)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.MergeAll(context.Background(), shard.MergeAllOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh delta rows so the snapshot spans main and delta in every shard.
+	for i := 1000; i < 1100; i++ {
+		if _, err := st.Insert([]any{uint64(i), uint32(2), "y"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Delete(gids[11]); err != nil { // invalidation in a merged main
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := SaveSharded(st, &buf); err != nil {
+		t.Fatal(err)
+	}
+	ft, got, err := LoadAny(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft != nil || got == nil {
+		t.Fatal("sharded snapshot should load as a sharded table")
+	}
+	if got.Name() != st.Name() || got.NumShards() != st.NumShards() || got.KeyColumn() != st.KeyColumn() {
+		t.Fatalf("topology: %q/%d/%q want %q/%d/%q",
+			got.Name(), got.NumShards(), got.KeyColumn(),
+			st.Name(), st.NumShards(), st.KeyColumn())
+	}
+	for i := 0; i < st.NumShards(); i++ {
+		a, b := st.Shard(i), got.Shard(i)
+		equalTables(t, a, b)
+		if a.MainRows() != b.MainRows() || a.DeltaRows() != b.DeltaRows() {
+			t.Fatalf("shard %d split: main=%d delta=%d want main=%d delta=%d",
+				i, b.MainRows(), b.DeltaRows(), a.MainRows(), a.DeltaRows())
+		}
+	}
+	// Global row ids are preserved: every saved row reads back identically
+	// under its old gid, including validity.
+	for _, gid := range gids {
+		want, err := st.Row(gid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := got.Row(gid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range want {
+			if want[c] != have[c] {
+				t.Fatalf("gid %d col %d: %v want %v", gid, c, have[c], want[c])
+			}
+		}
+		if st.IsValid(gid) != got.IsValid(gid) {
+			t.Fatalf("gid %d validity diverged", gid)
+		}
+	}
+	// Lookups return the same global ids.
+	ha, err := shard.ColumnOf[uint64](st, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := shard.ColumnOf[uint64](got, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []uint64{0, 7, 42, 399, 1050} {
+		a, b := ha.Lookup(k), hb.Lookup(k)
+		if len(a) != len(b) {
+			t.Fatalf("lookup(%d): %v want %v", k, b, a)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("lookup(%d): %v want %v", k, b, a)
+			}
+		}
+	}
 }
 
 func TestLoadRejectsGarbage(t *testing.T) {
@@ -119,7 +359,42 @@ func TestLoadRejectsGarbage(t *testing.T) {
 		"truncated": append([]byte(Magic), 1, 0, 0, 0),
 	}
 	for name, data := range cases {
-		if _, err := Load(bytes.NewReader(data)); err == nil {
+		if _, _, err := LoadAny(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestLoadRejectsLyingRowCount feeds truncated snapshots whose headers
+// claim huge row counts: the loader must fail promptly on the missing
+// data instead of pre-allocating per the claimed count.
+func TestLoadRejectsLyingRowCount(t *testing.T) {
+	header := func(version uint32, rows uint64, withMain bool) []byte {
+		var buf bytes.Buffer
+		w := &writer{w: bufio.NewWriter(&buf)}
+		w.bytes([]byte(Magic))
+		w.u32(version)
+		if version >= 2 {
+			w.u8(topoFlat)
+		}
+		w.str("t")
+		w.u32(1)
+		w.str("k")
+		w.u8(uint8(table.Uint64))
+		w.u64(rows)
+		if withMain {
+			w.u64(0)
+		}
+		w.w.Flush()
+		return buf.Bytes()
+	}
+	for name, data := range map[string][]byte{
+		"v2 rows over bound": header(Version, 1<<62, true),
+		"v2 rows, no data":   header(Version, 1<<30, true),
+		"v1 rows over bound": header(VersionV1, 1<<62, false),
+		"v1 rows, no data":   header(VersionV1, 1<<30, false),
+	} {
+		if _, _, err := LoadAny(bytes.NewReader(data)); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
 	}
@@ -129,7 +404,7 @@ func TestLoadRejectsWrongVersion(t *testing.T) {
 	var buf bytes.Buffer
 	buf.WriteString(Magic)
 	buf.Write([]byte{99, 0, 0, 0}) // version 99
-	_, err := Load(&buf)
+	_, _, err := LoadAny(&buf)
 	if !errors.Is(err, ErrFormat) {
 		t.Fatalf("err=%v", err)
 	}
@@ -141,7 +416,7 @@ func TestEmptyTable(t *testing.T) {
 	if err := Save(tb, &buf); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Load(&buf)
+	got, err := loadFlat(t, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -75,6 +75,27 @@ func (m *Multi) Resume() {
 	}
 }
 
+// Paused reports whether triggering is suspended on every target.
+func (m *Multi) Paused() bool {
+	for _, s := range m.scheds {
+		if !s.Paused() {
+			return false
+		}
+	}
+	return true
+}
+
+// ShouldMerge reports whether any target currently meets its trigger
+// condition.
+func (m *Multi) ShouldMerge() bool {
+	for _, s := range m.scheds {
+		if s.ShouldMerge() {
+			return true
+		}
+	}
+	return false
+}
+
 // Merges returns the total number of merges completed across targets.
 func (m *Multi) Merges() int {
 	n := 0

@@ -36,10 +36,16 @@ import (
 	"hyrise/internal/table"
 )
 
+// MaxShards bounds the shard count a table may be created with; the
+// snapshot loader (internal/persist) trusts the same bound, so any table
+// New accepts round-trips through Save/Load.
+const MaxShards = 1 << 16
+
 // Errors returned by sharded-table operations.
 var (
-	// ErrNoShards is returned by New for a shard count < 1.
-	ErrNoShards = errors.New("shard: shard count must be >= 1")
+	// ErrNoShards is returned by New for a shard count outside
+	// [1, MaxShards].
+	ErrNoShards = errors.New("shard: shard count must be in [1, 65536]")
 	// ErrKeyColumn is returned by New when the key column does not exist.
 	ErrKeyColumn = errors.New("shard: no such key column")
 )
@@ -54,7 +60,7 @@ type Table struct {
 
 // New creates an empty sharded table partitioned by the named key column.
 func New(name string, schema table.Schema, key string, shards int) (*Table, error) {
-	if shards < 1 {
+	if shards < 1 || shards > MaxShards {
 		return nil, fmt.Errorf("%w: %d", ErrNoShards, shards)
 	}
 	if err := schema.Validate(); err != nil {
@@ -345,7 +351,9 @@ type MergeAllOptions struct {
 type MergeAllReport struct {
 	// Shards holds per-shard merge reports in shard order.
 	Shards []table.Report
-	// RowsMerged is the summed delta tuple count folded into mains.
+	// RowsMerged is the summed delta tuple count folded into mains by the
+	// shards that committed; rows of aborted shards stay in their deltas
+	// and are not counted.
 	RowsMerged int
 	// Wall is the end-to-end duration of the cross-shard merge.
 	Wall time.Duration
@@ -396,8 +404,12 @@ func (st *Table) MergeAll(ctx context.Context, opts MergeAllOptions) (MergeAllRe
 		}(i, s)
 	}
 	wg.Wait()
-	for _, r := range rep.Shards {
-		rep.RowsMerged += r.RowsMerged
+	for i, r := range rep.Shards {
+		// An aborted shard's report still carries the frozen delta count;
+		// only committed shards actually folded rows into their mains.
+		if errs[i] == nil {
+			rep.RowsMerged += r.RowsMerged
+		}
 	}
 	rep.Wall = time.Since(start)
 	return rep, errors.Join(errs...)

@@ -1,0 +1,110 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"hyrise/internal/table"
+)
+
+// This file implements the topology-independent store surface on the
+// sharded table — the method set it shares with table.Table so both
+// satisfy one Store interface at the package root.
+
+// InsertRows appends a batch of rows, routing each to the shard owning its
+// key value, and returns their global row ids in input order.  Rows bound
+// for the same shard are inserted under one lock acquisition.  Every row is
+// validated (arity, value types, key hashability) before any row lands, so
+// a bad value rejects the whole batch with no shard touched.
+func (st *Table) InsertRows(rows [][]any) ([]int, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	// Validate the whole batch and compute routing up front: shards
+	// re-validate on insert, but by then earlier shards would already have
+	// accepted their slice of the batch.
+	perShard := make([][]int, len(st.shards)) // input indices per shard
+	for i, values := range rows {
+		if err := st.shards[0].CheckRow(values); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		s, err := st.shardFor(values[st.keyIdx])
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		perShard[s] = append(perShard[s], i)
+	}
+	ids := make([]int, len(rows))
+	for s, idxs := range perShard {
+		if len(idxs) == 0 {
+			continue
+		}
+		batch := make([][]any, len(idxs))
+		for j, i := range idxs {
+			batch[j] = rows[i]
+		}
+		locals, err := st.shards[s].InsertRows(batch)
+		if err != nil {
+			// Unreachable in practice: the batch was validated above.
+			return nil, err
+		}
+		for j, local := range locals {
+			ids[idxs[j]] = st.gid(s, local)
+		}
+	}
+	return ids, nil
+}
+
+// RequestMerge is the unified merge entry point: it fans the merge out
+// across every shard (MergeAll) with opts.Threads as the total budget and
+// condenses the per-shard reports into one table.Report.  Report.Columns is
+// nil for a sharded table — per-shard, per-column detail is available from
+// MergeAll or each shard's LastMergeReport.  Report.Threads echoes the
+// summed per-shard budget actually used.
+//
+// Sharded merges are atomic per shard only, so Report.Aborted keeps its
+// "nothing changed" meaning: it is true only when NO shard committed.  On
+// partial failure the error is non-nil while Aborted is false — committed
+// shards stay committed and their rows are counted in RowsMerged.
+func (st *Table) RequestMerge(ctx context.Context, opts table.MergeOptions) (table.Report, error) {
+	rep, err := st.MergeAll(ctx, MergeAllOptions{Merge: opts})
+	committed := false
+	for _, sr := range rep.Shards {
+		// Per-shard Columns is populated only when that shard's merge
+		// committed.
+		if len(sr.Columns) > 0 {
+			committed = true
+			break
+		}
+	}
+	out := table.Report{
+		RowsMerged:    rep.RowsMerged,
+		MainRowsAfter: st.MainRows(),
+		Wall:          rep.Wall,
+		Algorithm:     opts.Algorithm,
+		Threads:       rep.ThreadsPerShard * len(st.shards),
+		Strategy:      opts.Strategy,
+		Aborted:       err != nil && !committed,
+	}
+	return out, err
+}
+
+// Partitions returns the underlying physical tables in shard order.
+func (st *Table) Partitions() []*table.Table { return st.Shards() }
+
+// StoreStats returns the unified statistics snapshot: aggregate counts
+// plus every shard's table.Stats as a partition entry.
+func (st *Table) StoreStats() table.StoreStats {
+	s := st.Stats()
+	return table.StoreStats{
+		Name:       s.Name,
+		Shards:     s.Shards,
+		KeyColumn:  st.KeyColumn(),
+		Rows:       s.Rows,
+		ValidRows:  s.ValidRows,
+		MainRows:   s.MainRows,
+		DeltaRows:  s.DeltaRows,
+		SizeBytes:  s.SizeBytes,
+		Partitions: s.PerShard,
+	}
+}

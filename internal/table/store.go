@@ -1,0 +1,89 @@
+package table
+
+import (
+	"context"
+	"fmt"
+)
+
+// This file implements the topology-independent store surface on the flat
+// table: the method set shared with the sharded table (internal/shard) so
+// both satisfy one Store interface at the package root.  A flat table is
+// the degenerate one-partition case.
+
+// CheckRow validates a row's arity and value types against the schema
+// without inserting it.  InsertRows callers (and the sharded router) use it
+// to reject a whole batch before any row lands.
+func (t *Table) CheckRow(values []any) error {
+	if len(values) != len(t.cols) {
+		return fmt.Errorf("%w: got %d want %d", ErrArity, len(values), len(t.cols))
+	}
+	for i, v := range values {
+		if err := t.cols[i].checkValue(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InsertRows appends a batch of rows under one lock acquisition and returns
+// their row ids in input order.  Every row is validated before any row is
+// inserted, so a bad value rejects the whole batch and the table is
+// untouched.
+func (t *Table) InsertRows(rows [][]any) ([]int, error) {
+	for _, values := range rows {
+		if err := t.CheckRow(values); err != nil {
+			return nil, err
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make([]int, len(rows))
+	for i, values := range rows {
+		ids[i] = t.insertLocked(values)
+	}
+	return ids, nil
+}
+
+// RequestMerge runs the merge process; on a flat table it is exactly Merge.
+// It exists so flat and sharded tables expose merge control under one name
+// (the sharded implementation fans out across shards).
+func (t *Table) RequestMerge(ctx context.Context, opts MergeOptions) (Report, error) {
+	return t.Merge(ctx, opts)
+}
+
+// Partitions returns the physical table partitions in order: the table
+// itself for a flat table, one entry per shard for a sharded one.
+func (t *Table) Partitions() []*Table { return []*Table{t} }
+
+// StoreStats is the topology-independent statistics snapshot shared by
+// flat and sharded tables: aggregate counts plus per-partition detail.
+type StoreStats struct {
+	Name string
+	// Shards is the physical partition count (1 for a flat table).
+	Shards int
+	// KeyColumn is the hash-partitioning column ("" for a flat table).
+	KeyColumn string
+	Rows      int
+	ValidRows int
+	MainRows  int
+	DeltaRows int
+	SizeBytes int
+	// Partitions holds each physical partition's full statistics in
+	// partition order; a flat table has exactly one entry.
+	Partitions []Stats
+}
+
+// StoreStats returns the unified statistics snapshot.
+func (t *Table) StoreStats() StoreStats {
+	s := t.Stats()
+	return StoreStats{
+		Name:       s.Name,
+		Shards:     1,
+		Rows:       s.Rows,
+		ValidRows:  s.ValidRows,
+		MainRows:   s.MainRows,
+		DeltaRows:  s.DeltaRows,
+		SizeBytes:  s.SizeBytes,
+		Partitions: []Stats{s},
+	}
+}

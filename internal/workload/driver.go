@@ -1,12 +1,34 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"hyrise/internal/table"
 )
+
+// ErrDriverColumnType is returned when the driver's key-distribution
+// column is not uint64.  The driver generates, looks up and range-scans
+// uint64 key values, so every other column type is rejected up front with
+// this typed error instead of failing deep inside handle resolution.
+var ErrDriverColumnType = errors.New("workload: driver column must be uint64")
+
+// CheckDriverColumn validates that the named column exists and is uint64
+// — the single source of the driver-column rule, shared by NewDriverFor
+// and the package root's unified NewDriver.
+func CheckDriverColumn(t Target, column string) error {
+	for _, def := range t.Schema() {
+		if def.Name == column {
+			if def.Type != table.Uint64 {
+				return fmt.Errorf("%w: column %q is %v", ErrDriverColumnType, column, def.Type)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("workload: %w: %q", table.ErrNoColumn, column)
+}
 
 // Target is the write/metadata surface a driver exercises.  Both
 // table.Table and the sharded table (internal/shard) satisfy it, so mixed
@@ -57,6 +79,9 @@ func NewDriver(t *table.Table, column string, mix Mix, gen Generator, seed int64
 // NewDriverFor builds a driver over any Target; h must be a handle on the
 // named uint64 column of t.
 func NewDriverFor(t Target, column string, h Uint64Column, mix Mix, gen Generator, seed int64) (*Driver, error) {
+	if err := CheckDriverColumn(t, column); err != nil {
+		return nil, err
+	}
 	if err := mix.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,438 @@
+package hyrise_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hyrise"
+)
+
+func kvSchema() hyrise.Schema {
+	return hyrise.Schema{
+		{Name: "k", Type: hyrise.Uint64},
+		{Name: "v", Type: hyrise.Uint64},
+	}
+}
+
+// newStores returns one Store per topology, built from the same schema.
+func newStores(t *testing.T) map[string]hyrise.Store {
+	t.Helper()
+	flat, err := hyrise.NewTable("kv", kvSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := hyrise.NewShardedTable("kv", kvSchema(), "k", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]hyrise.Store{"flat": flat, "sharded": sharded}
+}
+
+// replayStore replays a deterministic operation sequence against s purely
+// through the Store surface (Insert/InsertRows/Update/Delete/RequestMerge
+// and the unified ColumnOf/NumericColumnOf/Query reads) and returns a
+// transcript of every observation.  Two stores replayed with the same seed
+// must produce identical transcripts — row ids are deliberately excluded,
+// since the id spaces differ by topology.
+func replayStore(t *testing.T, s hyrise.Store, seed int64) []string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	kh, err := hyrise.ColumnOf[uint64](s, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vn, err := hyrise.NumericColumnOf[uint64](s, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const domain = 40 // dense key collisions
+	var live []int    // row ids known valid, in replay order
+	var obs []string
+
+	// vals materializes the (k, v) pairs of rows as a sorted multiset.
+	vals := func(rows []int) [][2]uint64 {
+		out := make([][2]uint64, 0, len(rows))
+		for _, r := range rows {
+			row, err := s.Row(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, [2]uint64{row[0].(uint64), row[1].(uint64)})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i][0] != out[j][0] {
+				return out[i][0] < out[j][0]
+			}
+			return out[i][1] < out[j][1]
+		})
+		return out
+	}
+
+	record := func(step int) {
+		obs = append(obs, fmt.Sprintf("step=%d rows=%d valid=%d main=%d delta=%d",
+			step, s.Rows(), s.ValidRows(), s.MainRows(), s.DeltaRows()))
+		for k := uint64(0); k < domain; k++ {
+			obs = append(obs, fmt.Sprintf("lookup(%d)=%v", k, vals(kh.Lookup(k))))
+		}
+		lo := rng.Uint64() % domain
+		hi := lo + rng.Uint64()%10
+		obs = append(obs, fmt.Sprintf("range(%d,%d)=%v", lo, hi, vals(kh.Range(lo, hi))))
+		obs = append(obs, fmt.Sprintf("sum=%d distinct=%d", vn.Sum(), kh.Distinct()))
+		res, err := hyrise.Query(s, []hyrise.Filter{
+			{Column: "k", Op: hyrise.FilterBetween, Value: lo, Hi: hi},
+		}, []string{"v"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		projected := make([]uint64, 0, len(res.Values))
+		for _, row := range res.Values {
+			projected = append(projected, row[0].(uint64))
+		}
+		sort.Slice(projected, func(i, j int) bool { return projected[i] < projected[j] })
+		obs = append(obs, fmt.Sprintf("query(%d,%d)=%v", lo, hi, projected))
+	}
+
+	for step := 0; step < 30; step++ {
+		for op := 0; op < 80; op++ {
+			switch rng.Intn(12) {
+			case 0, 1, 2: // single insert
+				id, err := s.Insert([]any{rng.Uint64() % domain, rng.Uint64() % 1000})
+				if err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, id)
+			case 3, 4: // batch insert
+				n := 1 + rng.Intn(5)
+				batch := make([][]any, n)
+				for i := range batch {
+					batch[i] = []any{rng.Uint64() % domain, rng.Uint64() % 1000}
+				}
+				ids, err := s.InsertRows(batch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, ids...)
+			case 5, 6, 7: // update a live row; half the time change the key
+				if len(live) == 0 {
+					continue
+				}
+				i := rng.Intn(len(live))
+				changes := map[string]any{"v": rng.Uint64() % 1000}
+				if rng.Intn(2) == 0 {
+					changes["k"] = rng.Uint64() % domain
+				}
+				nid, err := s.Update(live[i], changes)
+				if err != nil {
+					t.Fatalf("update: %v", err)
+				}
+				live[i] = nid
+			case 8: // delete a live row
+				if len(live) == 0 {
+					continue
+				}
+				i := rng.Intn(len(live))
+				if err := s.Delete(live[i]); err != nil {
+					t.Fatalf("delete: %v", err)
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			case 9: // stale-id operations fail identically
+				if len(live) == 0 {
+					continue
+				}
+				i := rng.Intn(len(live))
+				id := live[i]
+				_ = s.Delete(id)
+				err := s.Delete(id)
+				obs = append(obs, fmt.Sprintf("stale-delete-errors=%v", err != nil))
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			default: // read keeps the mix honest
+				_ = kh.Lookup(rng.Uint64() % domain)
+			}
+		}
+		if step%3 == 2 {
+			if _, err := s.RequestMerge(context.Background(), hyrise.MergeOptions{
+				Threads: 1 + rng.Intn(4),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		record(step)
+	}
+	return obs
+}
+
+// TestStoreModelEquivalence replays the same deterministic workload once
+// per topology, driving each store exclusively through the unified Store
+// surface, and requires byte-identical observation transcripts: both
+// topologies must expose exactly the same visible data at every step.
+func TestStoreModelEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			stores := newStores(t)
+			want := replayStore(t, stores["flat"], seed)
+			got := replayStore(t, stores["sharded"], seed)
+			if len(want) != len(got) {
+				t.Fatalf("transcript lengths: flat=%d sharded=%d", len(want), len(got))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("transcript diverged at entry %d:\nflat:    %s\nsharded: %s",
+						i, want[i], got[i])
+				}
+			}
+		})
+	}
+}
+
+// TestStoreConformance pins the interface contract: both topologies
+// satisfy Store (also asserted at compile time in the package itself) and
+// agree on basic behavior through the interface.
+func TestStoreConformance(t *testing.T) {
+	for name, s := range newStores(t) {
+		t.Run(name, func(t *testing.T) {
+			if s.Name() != "kv" || len(s.Schema()) != 2 {
+				t.Fatalf("identity: %q %v", s.Name(), s.Schema())
+			}
+			ids, err := s.InsertRows([][]any{
+				{uint64(1), uint64(10)},
+				{uint64(2), uint64(20)},
+				{uint64(3), uint64(30)},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ids) != 3 {
+				t.Fatalf("ids=%v", ids)
+			}
+			// A bad batch is rejected whole: nothing lands.
+			if _, err := s.InsertRows([][]any{{uint64(4), uint64(40)}, {uint64(5)}}); err == nil {
+				t.Fatal("short row accepted")
+			}
+			if s.Rows() != 3 {
+				t.Fatalf("rows=%d after rejected batch", s.Rows())
+			}
+			if !s.IsValid(ids[0]) {
+				t.Fatal("inserted row invalid")
+			}
+			row, err := s.Row(ids[1])
+			if err != nil || row[0].(uint64) != 2 {
+				t.Fatalf("row=%v err=%v", row, err)
+			}
+			rep, err := s.RequestMerge(context.Background(), hyrise.MergeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.RowsMerged != 3 || s.MainRows() != 3 || s.DeltaRows() != 0 {
+				t.Fatalf("merge: %+v main=%d delta=%d", rep, s.MainRows(), s.DeltaRows())
+			}
+			st := s.StoreStats()
+			if st.Rows != 3 || len(st.Partitions) != len(s.Partitions()) {
+				t.Fatalf("stats: %+v", st)
+			}
+			if _, ok := s.(*hyrise.ShardedTable); ok {
+				if st.Shards != 8 || st.KeyColumn != "k" {
+					t.Fatalf("sharded stats: %+v", st)
+				}
+			} else if st.Shards != 1 || st.KeyColumn != "" {
+				t.Fatalf("flat stats: %+v", st)
+			}
+		})
+	}
+}
+
+// TestNewDriverColumnType checks the typed error on non-uint64 driver
+// columns, for both topologies.
+func TestNewDriverColumnType(t *testing.T) {
+	schema := hyrise.Schema{
+		{Name: "k", Type: hyrise.Uint64},
+		{Name: "qty", Type: hyrise.Uint32},
+		{Name: "sku", Type: hyrise.String},
+	}
+	flat, err := hyrise.NewTable("t", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := hyrise.NewShardedTable("t", schema, "k", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]hyrise.Store{"flat": flat, "sharded": sharded} {
+		for _, col := range []string{"qty", "sku"} {
+			if _, err := hyrise.NewDriver(s, col, hyrise.OLTPMix, hyrise.NewUniformGenerator(10, 1), 1); !errors.Is(err, hyrise.ErrDriverColumnType) {
+				t.Errorf("%s/%s: err=%v want ErrDriverColumnType", name, col, err)
+			}
+		}
+		if _, err := hyrise.NewDriver(s, "missing", hyrise.OLTPMix, hyrise.NewUniformGenerator(10, 1), 1); !errors.Is(err, hyrise.ErrNoColumn) {
+			t.Errorf("%s/missing: err=%v want ErrNoColumn", name, err)
+		}
+		if _, err := hyrise.NewDriver(s, "k", hyrise.OLTPMix, hyrise.NewUniformGenerator(10, 1), 1); err != nil {
+			t.Errorf("%s/k: %v", name, err)
+		}
+	}
+	// The deprecated sharded entry point reports the same typed error.
+	if _, err := hyrise.NewShardedDriver(sharded, "qty", hyrise.OLTPMix, hyrise.NewUniformGenerator(10, 1), 1); !errors.Is(err, hyrise.ErrDriverColumnType) {
+		t.Errorf("NewShardedDriver: err=%v want ErrDriverColumnType", err)
+	}
+}
+
+// TestStorePersistenceRoundTrip drives Save/Load through the Store surface
+// for both topologies: the loaded store has the same topology, identical
+// query results, and — for the sharded table — the same global row ids,
+// invalidations and per-shard main/delta split.
+func TestStorePersistenceRoundTrip(t *testing.T) {
+	for name, s := range newStores(t) {
+		t.Run(name, func(t *testing.T) {
+			var ids []int
+			for i := 0; i < 500; i++ {
+				id, err := s.Insert([]any{uint64(i % 50), uint64(i)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids = append(ids, id)
+			}
+			if err := s.Delete(ids[3]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Update(ids[7], map[string]any{"v": uint64(9999)}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.RequestMerge(context.Background(), hyrise.MergeOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			// Fresh delta rows and a main invalidation after the merge.
+			if _, err := s.InsertRows([][]any{{uint64(1), uint64(111)}, {uint64(2), uint64(222)}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Delete(ids[10]); err != nil {
+				t.Fatal(err)
+			}
+
+			var buf bytes.Buffer
+			if err := hyrise.Save(s, &buf); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := hyrise.Load(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, isSharded := s.(*hyrise.ShardedTable); isSharded {
+				lt, ok := loaded.(*hyrise.ShardedTable)
+				if !ok {
+					t.Fatalf("loaded %T, want *ShardedTable", loaded)
+				}
+				if lt.NumShards() != 8 || lt.KeyColumn() != "k" {
+					t.Fatalf("topology: %d/%q", lt.NumShards(), lt.KeyColumn())
+				}
+			} else if _, ok := loaded.(*hyrise.Table); !ok {
+				t.Fatalf("loaded %T, want *Table", loaded)
+			}
+
+			if loaded.Rows() != s.Rows() || loaded.ValidRows() != s.ValidRows() ||
+				loaded.MainRows() != s.MainRows() || loaded.DeltaRows() != s.DeltaRows() {
+				t.Fatalf("counts: rows=%d/%d valid=%d/%d main=%d/%d delta=%d/%d",
+					loaded.Rows(), s.Rows(), loaded.ValidRows(), s.ValidRows(),
+					loaded.MainRows(), s.MainRows(), loaded.DeltaRows(), s.DeltaRows())
+			}
+			// Every original row id resolves to the same values and validity
+			// — for the sharded store this proves global ids survived.
+			for _, id := range ids {
+				want, err := s.Row(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				have, err := loaded.Row(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for c := range want {
+					if want[c] != have[c] {
+						t.Fatalf("id %d col %d: %v want %v", id, c, have[c], want[c])
+					}
+				}
+				if s.IsValid(id) != loaded.IsValid(id) {
+					t.Fatalf("id %d validity diverged", id)
+				}
+			}
+			// Identical query results, including row ids.
+			for _, filters := range [][]hyrise.Filter{
+				{{Column: "k", Op: hyrise.FilterEq, Value: uint64(7)}},
+				{{Column: "k", Op: hyrise.FilterBetween, Value: uint64(10), Hi: uint64(20)}},
+			} {
+				want, err := hyrise.Query(s, filters, []string{"v"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				have, err := hyrise.Query(loaded, filters, []string{"v"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(want.Rows) != len(have.Rows) {
+					t.Fatalf("query rows: %d want %d", len(have.Rows), len(want.Rows))
+				}
+				for i := range want.Rows {
+					if want.Rows[i] != have.Rows[i] || want.Values[i][0] != have.Values[i][0] {
+						t.Fatalf("query row %d diverged", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDeprecatedShardedAliases keeps the one-release compatibility window
+// honest: the old entry points still compile and answer identically to the
+// unified ones.
+func TestDeprecatedShardedAliases(t *testing.T) {
+	st, err := hyrise.NewShardedTable("kv", kvSchema(), "k", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := st.Insert([]any{uint64(i % 10), uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldH, err := hyrise.ShardedColumnOf[uint64](st, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newH, err := hyrise.ColumnOf[uint64](st, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(oldH.Lookup(3)) != fmt.Sprint(newH.Lookup(3)) {
+		t.Fatal("alias lookup diverged")
+	}
+	oldN, err := hyrise.ShardedNumericColumnOf[uint64](st, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newN, err := hyrise.NumericColumnOf[uint64](st, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldN.Sum() != newN.Sum() {
+		t.Fatal("alias sum diverged")
+	}
+	oldQ, err := hyrise.ShardedQuery(st, []hyrise.Filter{{Column: "k", Op: hyrise.FilterEq, Value: uint64(3)}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newQ, err := hyrise.Query(st, []hyrise.Filter{{Column: "k", Op: hyrise.FilterEq, Value: uint64(3)}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldQ.Count() != newQ.Count() {
+		t.Fatal("alias query diverged")
+	}
+	ms := hyrise.NewShardedScheduler(st, hyrise.SchedulerConfig{Fraction: 0.5})
+	var _ *hyrise.Scheduler = ms // same type behind the alias
+}
