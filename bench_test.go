@@ -374,6 +374,142 @@ func BenchmarkShardedWorkloadMix(b *testing.B) {
 	}
 }
 
+// snapshotScanShards is the scaling axis of the snapshot benchmarks.
+var snapshotScanShards = []int{1, 4, 8}
+
+// snapshotBenchStore builds a merged store with rows spread across shards
+// plus a fresh delta tail, so scans cross main and delta partitions.
+func snapshotBenchStore(b *testing.B, shards, rows int) hyrise.Store {
+	b.Helper()
+	var s hyrise.Store
+	if shards == 1 {
+		tb, err := hyrise.NewTable("b", hyrise.Schema{
+			{Name: "k", Type: hyrise.Uint64},
+			{Name: "v", Type: hyrise.Uint64},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s = tb
+	} else {
+		s = newShardedBench(b, shards)
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := s.Insert([]any{uint64(i), uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := s.RequestMerge(context.Background(), hyrise.MergeOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	for i := rows; i < rows+rows/20; i++ {
+		if _, err := s.Insert([]any{uint64(i), uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// BenchmarkSnapshotScan measures a full-column aggregate scan under a
+// frozen snapshot view (capture + SumAt) as shards scale — the epoch-read
+// path every consistent analytical query pays.
+func BenchmarkSnapshotScan(b *testing.B) {
+	const rows = 500_000
+	for _, shards := range snapshotScanShards {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := snapshotBenchStore(b, shards, rows)
+			h, err := hyrise.NumericColumnOf[uint64](s, "v")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				view := s.Snapshot()
+				if h.SumAt(view) == 0 {
+					b.Fatal("empty sum")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotScanLatest is the locked-scan baseline: the same
+// aggregate through the latest-read path (per-shard read locks, no view).
+// Comparing against BenchmarkSnapshotScan isolates the epoch-filter cost.
+func BenchmarkSnapshotScanLatest(b *testing.B) {
+	const rows = 500_000
+	for _, shards := range snapshotScanShards {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := snapshotBenchStore(b, shards, rows)
+			h, err := hyrise.NumericColumnOf[uint64](s, "v")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if h.Sum() == 0 {
+					b.Fatal("empty sum")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotScanDuringMerge measures the snapshot scan while
+// cross-shard merges continuously commit underneath: the view keeps the
+// aggregate consistent and the scan only ever waits for the brief merge
+// lock phases, not for whole merges.
+func BenchmarkSnapshotScanDuringMerge(b *testing.B) {
+	const rows = 200_000
+	for _, shards := range snapshotScanShards {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := snapshotBenchStore(b, shards, rows)
+			h, err := hyrise.NumericColumnOf[uint64](s, "v")
+			if err != nil {
+				b.Fatal(err)
+			}
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				i := rows * 2
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for j := 0; j < 1000; j++ {
+						s.Insert([]any{uint64(i), uint64(i)})
+						i++
+					}
+					s.RequestMerge(context.Background(), hyrise.MergeOptions{Threads: 2})
+				}
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				view := s.Snapshot()
+				if h.SumAt(view) == 0 {
+					b.Fatal("empty sum")
+				}
+			}
+			b.StopTimer()
+			close(stop)
+			<-done
+		})
+	}
+}
+
+// BenchmarkSnapshotCapture measures the capture itself: one atomic
+// fetch-add on the shared clock, independent of shard count and row count.
+func BenchmarkSnapshotCapture(b *testing.B) {
+	s := snapshotBenchStore(b, 8, 10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Snapshot()
+	}
+}
+
 // BenchmarkDeltaInsert measures the write path (T_U): CSB+ indexed
 // appends, the per-update cost in Equation 1.
 func BenchmarkDeltaInsert(b *testing.B) {

@@ -27,14 +27,16 @@ import (
 
 type shell struct {
 	tables map[string]hyrise.Store
-	shards int // shard count for newly created tables (1 = flat)
+	snaps  map[string]hyrise.ReadView // last captured snapshot per table
+	shards int                        // shard count for newly created tables (1 = flat)
 	out    *bufio.Writer
 }
 
 func main() {
 	shards := flag.Int("shards", 1, "hash-partition created tables across N shards (keyed by the first column)")
 	flag.Parse()
-	sh := &shell{tables: map[string]hyrise.Store{}, shards: *shards, out: bufio.NewWriter(os.Stdout)}
+	sh := &shell{tables: map[string]hyrise.Store{}, snaps: map[string]hyrise.ReadView{},
+		shards: *shards, out: bufio.NewWriter(os.Stdout)}
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Println("hyrise delta-merge column store — type 'help'")
@@ -84,6 +86,8 @@ func (s *shell) exec(line string) error {
 		return s.sum(rest)
 	case "merge":
 		return s.merge(rest)
+	case "snapshot":
+		return s.snapshot(rest)
 	case "stats":
 		return s.stats(rest)
 	case "save":
@@ -105,10 +109,14 @@ func (s *shell) help() {
   insert <table> <values>...      one value per column
   update <table> <row> <col>=<v>  insert-only update (new version)
   delete <table> <row>            invalidate a row
-  lookup <table> <col> <value>    key lookup
-  range  <table> <col> <lo> <hi>  range select (numeric columns)
-  sum    <table> <col>            aggregate a numeric column
+  lookup <table> <col> <value> [snap]  key lookup
+  range  <table> <col> <lo> <hi> [snap] range select (numeric columns)
+  sum    <table> <col> [snap]     aggregate a numeric column
   merge  <table> [naive]          run the merge process
+  snapshot <table>                capture a consistent read view; later
+                                  reads with a trailing 'snap' argument
+                                  run against it, frozen across merges
+                                  and updates (even cross-shard)
   stats  <table>                  storage statistics
   save   <table> <path>           write binary snapshot (any topology)
   load   <name> <path>            read binary snapshot (topology
@@ -119,7 +127,8 @@ func (s *shell) help() {
 
 started with -shards N > 1, 'create' hash-partitions tables across N
 shards keyed by the first column; every command above works the same on
-flat and sharded tables.
+flat and sharded tables.  'snapshot' captures one epoch across ALL
+shards atomically, so snap reads are cross-shard consistent.
 `)
 }
 
@@ -159,7 +168,7 @@ func (s *shell) create(args []string) error {
 		if err != nil {
 			return err
 		}
-		s.tables[args[0]] = st
+		s.setTable(args[0], st)
 		fmt.Fprintf(s.out, "created %s with %d columns across %d shards (keyed by %s)\n",
 			args[0], len(schema), s.shards, schema[0].Name)
 		return nil
@@ -168,7 +177,7 @@ func (s *shell) create(args []string) error {
 	if err != nil {
 		return err
 	}
-	s.tables[args[0]] = t
+	s.setTable(args[0], t)
 	fmt.Fprintf(s.out, "created %s with %d columns\n", args[0], len(schema))
 	return nil
 }
@@ -263,15 +272,58 @@ func (s *shell) del(args []string) error {
 	return t.Delete(row)
 }
 
-func (s *shell) lookup(args []string) error {
-	if len(args) != 3 {
-		return fmt.Errorf("usage: lookup <table> <col> <value>")
+// view resolves an optional trailing "snap" argument to the table's last
+// captured snapshot; without it reads run latest (zero ReadView).
+func (s *shell) view(name string, args []string, n int) (hyrise.ReadView, []string, error) {
+	if len(args) == n+1 {
+		if args[n] != "snap" {
+			return hyrise.ReadView{}, nil, fmt.Errorf("unknown argument %q (did you mean 'snap'?)", args[n])
+		}
+		v, ok := s.snaps[name]
+		if !ok {
+			return hyrise.ReadView{}, nil, fmt.Errorf("no snapshot for %q (run: snapshot %s)", name, name)
+		}
+		return v, args[:n], nil
+	}
+	return hyrise.ReadView{}, args, nil
+}
+
+// setTable installs (or replaces) a table and drops any snapshot captured
+// on the table previously bound to the name: a ReadView's epoch is only
+// meaningful against the clock of the store that captured it.
+func (s *shell) setTable(name string, t hyrise.Store) {
+	s.tables[name] = t
+	delete(s.snaps, name)
+}
+
+func (s *shell) snapshot(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: snapshot <table>")
 	}
 	t, err := s.table(args[0])
 	if err != nil {
 		return err
 	}
-	rows, err := lookupAny(t, args[1], args[2])
+	v := t.Snapshot()
+	s.snaps[args[0]] = v
+	fmt.Fprintf(s.out, "snapshot of %s at epoch %d (%d rows visible)\n",
+		args[0], v.Epoch(), t.ValidRowsAt(v))
+	return nil
+}
+
+func (s *shell) lookup(args []string) error {
+	if len(args) != 3 && len(args) != 4 {
+		return fmt.Errorf("usage: lookup <table> <col> <value> [snap]")
+	}
+	t, err := s.table(args[0])
+	if err != nil {
+		return err
+	}
+	view, args, err := s.view(args[0], args, 3)
+	if err != nil {
+		return err
+	}
+	rows, err := lookupAny(t, view, args[1], args[2])
 	if err != nil {
 		return err
 	}
@@ -279,15 +331,15 @@ func (s *shell) lookup(args []string) error {
 }
 
 // lookupTyped probes the column through the unified handle.
-func lookupTyped[V hyrise.Value](t hyrise.Store, col string, v V) ([]int, error) {
+func lookupTyped[V hyrise.Value](t hyrise.Store, view hyrise.ReadView, col string, v V) ([]int, error) {
 	h, err := hyrise.ColumnOf[V](t, col)
 	if err != nil {
 		return nil, err
 	}
-	return h.Lookup(v), nil
+	return h.LookupAt(view, v), nil
 }
 
-func lookupAny(t hyrise.Store, col, raw string) ([]int, error) {
+func lookupAny(t hyrise.Store, view hyrise.ReadView, col, raw string) ([]int, error) {
 	for _, def := range t.Schema() {
 		if def.Name != col {
 			continue
@@ -298,25 +350,29 @@ func lookupAny(t hyrise.Store, col, raw string) ([]int, error) {
 			if err != nil {
 				return nil, err
 			}
-			return lookupTyped(t, col, uint32(v))
+			return lookupTyped(t, view, col, uint32(v))
 		case hyrise.Uint64:
 			v, err := strconv.ParseUint(raw, 10, 64)
 			if err != nil {
 				return nil, err
 			}
-			return lookupTyped(t, col, v)
+			return lookupTyped(t, view, col, v)
 		default:
-			return lookupTyped(t, col, raw)
+			return lookupTyped(t, view, col, raw)
 		}
 	}
 	return nil, fmt.Errorf("no column %q", col)
 }
 
 func (s *shell) rng(args []string) error {
-	if len(args) != 4 {
-		return fmt.Errorf("usage: range <table> <col> <lo> <hi>")
+	if len(args) != 4 && len(args) != 5 {
+		return fmt.Errorf("usage: range <table> <col> <lo> <hi> [snap]")
 	}
 	t, err := s.table(args[0])
+	if err != nil {
+		return err
+	}
+	view, args, err := s.view(args[0], args, 4)
 	if err != nil {
 		return err
 	}
@@ -332,7 +388,7 @@ func (s *shell) rng(args []string) error {
 	if err != nil {
 		return err
 	}
-	return s.printRows(t, h.Range(lo, hi))
+	return s.printRows(t, h.RangeAt(view, lo, hi))
 }
 
 func (s *shell) printRows(t hyrise.Store, rows []int) error {
@@ -348,10 +404,14 @@ func (s *shell) printRows(t hyrise.Store, rows []int) error {
 }
 
 func (s *shell) sum(args []string) error {
-	if len(args) != 2 {
-		return fmt.Errorf("usage: sum <table> <col>")
+	if len(args) != 2 && len(args) != 3 {
+		return fmt.Errorf("usage: sum <table> <col> [snap]")
 	}
 	t, err := s.table(args[0])
+	if err != nil {
+		return err
+	}
+	view, args, err := s.view(args[0], args, 2)
 	if err != nil {
 		return err
 	}
@@ -365,9 +425,9 @@ func (s *shell) sum(args []string) error {
 		)
 		switch def.Type {
 		case hyrise.Uint32:
-			sum, err = sumTyped[uint32](t, args[1])
+			sum, err = sumTyped[uint32](t, view, args[1])
 		case hyrise.Uint64:
-			sum, err = sumTyped[uint64](t, args[1])
+			sum, err = sumTyped[uint64](t, view, args[1])
 		default:
 			return fmt.Errorf("sum needs a numeric column")
 		}
@@ -380,12 +440,12 @@ func (s *shell) sum(args []string) error {
 	return fmt.Errorf("no column %q", args[1])
 }
 
-func sumTyped[V interface{ ~uint32 | ~uint64 }](t hyrise.Store, col string) (uint64, error) {
+func sumTyped[V interface{ ~uint32 | ~uint64 }](t hyrise.Store, view hyrise.ReadView, col string) (uint64, error) {
 	h, err := hyrise.NumericColumnOf[V](t, col)
 	if err != nil {
 		return 0, err
 	}
-	return h.Sum(), nil
+	return h.SumAt(view), nil
 }
 
 func (s *shell) merge(args []string) error {
@@ -465,7 +525,7 @@ func (s *shell) load(args []string) error {
 	if err != nil {
 		return err
 	}
-	s.tables[args[0]] = t
+	s.setTable(args[0], t)
 	if st := t.StoreStats(); st.Shards > 1 {
 		fmt.Fprintf(s.out, "loaded %s: %d rows across %d shards (keyed by %s)\n",
 			args[0], t.Rows(), st.Shards, st.KeyColumn)
@@ -483,7 +543,7 @@ func (s *shell) loadcsv(args []string) error {
 	if err != nil {
 		return err
 	}
-	s.tables[args[0]] = t
+	s.setTable(args[0], t)
 	fmt.Fprintf(s.out, "imported %d rows into %s (%d columns)\n", n, args[0], len(t.Schema()))
 	return nil
 }

@@ -26,6 +26,9 @@
 //	ms := hyrise.NewScheduler(s, hyrise.SchedulerConfig{Fraction: 0.05})
 //	ms.Start() // merges each partition when its delta outgrows the trigger
 //
+//	view := s.Snapshot()      // freeze a consistent read view (one atomic op)
+//	old := h.LookupAt(view, 1) // reads under the view never change
+//
 //	hyrise.Save(s, w)         // snapshot either topology
 //	s2, _ := hyrise.Load(r)   // topology auto-detected from the header
 //
@@ -35,6 +38,47 @@
 // a second delta while it runs, and the merged table is committed
 // atomically under a brief lock.
 //
+// # Visibility and snapshots
+//
+// Visibility is multi-versioned: every row records the epoch it was
+// inserted (begin) and the epoch it was invalidated (end; 0 while it is
+// the current version), stamped from the store's epoch clock.  A row is
+// visible at epoch E iff begin <= E and (end == 0 or end > E).  The clock
+// advances only when Store.Snapshot captures it — one atomic fetch-add, no
+// locks, no coordination with writers — so all mutations between two
+// captures share an epoch and the write path pays a single atomic load.
+//
+// The epoch lifecycle per mutation: an insert stamps begin with the
+// current epoch; a delete stamps end; an update stamps the old version's
+// end and the new version's begin with the SAME epoch, so every snapshot
+// sees exactly one of the two versions.  A key-changing update that moves
+// a row between shards performs the invalidate and the re-insert under
+// both shard locks with one stamp — atomic to snapshots too.  A row
+// inserted and deleted between two captures is visible to no snapshot.
+//
+// What a snapshot sees: reads through a ReadView (LookupAt, RangeAt,
+// ScanAt, SumAt/MinAt/MaxAt, CountEqualAt, QueryAt, ValidRowsAt,
+// VisibleAt) return exactly the rows visible at the captured epoch, no
+// matter how many inserts, updates, deletes, cross-shard moves or merges
+// commit afterwards.  On a sharded table the epoch is shared by every
+// shard, so one capture freezes a cross-shard-consistent state — the
+// fan-out reads agree with each other even mid-reorganization.  Reads
+// without a view ("latest") see current versions only and are equivalent
+// to a view at epoch infinity.
+//
+// Interaction with the merge: merges move rows between partitions but
+// never renumber them, change their values or touch their epochs, so
+// in-flight views read identically before, during and after any merge
+// (including aborted ones).  Snapshot persistence (format v3) records the
+// epoch columns and the clock, so version history and row ages survive a
+// Save/Load round trip; v1/v2 snapshot files still load, with their
+// history collapsed to load time.
+//
+// Views are plain values: cheap to copy, never closed, valid for the life
+// of the store.  One caution: Scan/ScanAt callbacks run under the table's
+// read lock and must not call back into the table — collect row ids and
+// read other columns after the scan (row versions are immutable).
+//
 // # Topology semantics
 //
 // A flat table hands out dense, insertion-ordered row ids and gives one
@@ -43,13 +87,11 @@
 // A sharded table multiplies both halves of the paper's central trade:
 // inserts route by key hash and contend only on their shard, and
 // RequestMerge fans the multi-core merge out across shards in parallel,
-// each with a slice of the thread budget.  The guarantees are weaker in
-// one documented way: every shard's merge is individually online and
-// atomic, but there is no cross-shard snapshot — a fan-out query can
-// observe one shard before and another after a concurrent multi-shard
-// writer.  Global row ids are stable and encode the owning shard; they are
-// not dense and not in global insertion order.  Updates that change the
-// key column may relocate a row to another shard.
+// each with a slice of the thread budget.  Every shard's merge is
+// individually online and atomic; cross-shard consistency comes from
+// snapshots (see above).  Global row ids are stable and encode the owning
+// shard; they are not dense and not in global insertion order.  Updates
+// that change the key column may relocate a row to another shard.
 //
 // The Sharded* entry points (ShardedColumnOf, ShardedQuery,
 // NewShardedScheduler, NewShardedDriver) are deprecated thin aliases of

@@ -1,0 +1,149 @@
+// Package epoch implements the multi-version visibility substrate for
+// snapshot reads: a shared monotonic epoch clock plus per-row begin/end
+// epoch columns.
+//
+// The insert-only protocol of the paper (§3) — an UPDATE appends a new row
+// version and invalidates the old one, a DELETE only invalidates — already
+// stores every version; epochs make the version history navigable.  Each
+// row records the epoch it became visible (begin) and the epoch it was
+// invalidated (end, 0 while it is the current version).  A row is visible
+// to a snapshot at epoch E iff
+//
+//	begin <= E && (end == 0 || end > E)
+//
+// The clock only advances when a snapshot is captured (Capture is one
+// atomic fetch-add), so all mutations between two captures share an epoch
+// and the common write path pays a single atomic load.  Larson et al.
+// (VLDB 2011) and Faleiro & Abadi (VLDB 2014) use the same begin/end
+// timestamp shape to keep readers out of writers' way in main-memory
+// stores.
+//
+// Concurrency contract: Clock methods are safe for unsynchronized use.
+// Rows methods are NOT internally synchronized — the owning table guards
+// them with the same mutex that guards its column data, and every mutation
+// must read its stamp (Clock.Now) while holding all locks it writes under.
+// That protocol makes each mutation atomic with respect to any capture:
+// the set "rows stamped <= E" is causally consistent for every captured E.
+package epoch
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Latest is the sentinel read epoch that sees exactly the current versions
+// (end == 0).  Real epochs are far below it: the clock starts at 1 and
+// advances once per capture.
+const Latest uint64 = math.MaxUint64
+
+// Clock is a shared monotonic epoch counter.  One clock serves a whole
+// store: a flat table owns one, a sharded table shares one across all its
+// shards so a single capture freezes every shard at the same epoch.
+type Clock struct {
+	cur atomic.Uint64
+}
+
+// NewClock returns a clock at epoch 1.
+func NewClock() *Clock {
+	c := &Clock{}
+	c.cur.Store(1)
+	return c
+}
+
+// Now returns the current epoch, the stamp mutations write.
+func (c *Clock) Now() uint64 { return c.cur.Load() }
+
+// Capture atomically closes the current epoch and returns it as a read
+// epoch: every mutation stamped at or below the returned value is part of
+// the snapshot, every later mutation stamps a higher epoch.
+func (c *Clock) Capture() uint64 { return c.cur.Add(1) - 1 }
+
+// AdvanceTo moves the clock forward to at least e (never backward); the
+// snapshot loader uses it to resume a persisted clock.
+func (c *Clock) AdvanceTo(e uint64) {
+	for {
+		cur := c.cur.Load()
+		if cur >= e || c.cur.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// Rows holds the begin/end epoch columns of one table, indexed by row id.
+// The zero value is an empty column pair.  Methods require external
+// synchronization (the owning table's mutex).
+type Rows struct {
+	begin []uint64
+	end   []uint64 // 0 = current version
+}
+
+// Len returns the number of stamped rows.
+func (r *Rows) Len() int { return len(r.begin) }
+
+// Append stamps a new row as inserted at epoch begin.
+func (r *Rows) Append(begin uint64) {
+	r.begin = append(r.begin, begin)
+	r.end = append(r.end, 0)
+}
+
+// Begin returns row i's insertion epoch.
+func (r *Rows) Begin(i int) uint64 { return r.begin[i] }
+
+// End returns row i's invalidation epoch (0 while current).
+func (r *Rows) End(i int) uint64 { return r.end[i] }
+
+// Alive reports whether row i is the current version.
+func (r *Rows) Alive(i int) bool { return r.end[i] == 0 }
+
+// Invalidate stamps row i as invalidated at epoch end.
+func (r *Rows) Invalidate(i int, end uint64) { r.end[i] = end }
+
+// VisibleAt reports whether row i is visible to a snapshot at epoch e.
+// With e == Latest this degenerates to Alive.
+func (r *Rows) VisibleAt(i int, e uint64) bool {
+	return r.begin[i] <= e && (r.end[i] == 0 || r.end[i] > e)
+}
+
+// CountAlive returns the number of current versions.
+func (r *Rows) CountAlive() int {
+	n := 0
+	for _, e := range r.end {
+		if e == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// CountVisibleAt returns the number of rows visible at epoch e.
+func (r *Rows) CountVisibleAt(e uint64) int {
+	n := 0
+	for i := range r.begin {
+		if r.VisibleAt(i, e) {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns copies of the begin and end columns (for persistence).
+func (r *Rows) Snapshot() (begin, end []uint64) {
+	begin = append([]uint64(nil), r.begin...)
+	end = append([]uint64(nil), r.end...)
+	return begin, end
+}
+
+// Restore overwrites both columns; len(begin) must equal len(end) and the
+// current Len.  The loader uses it to re-stamp freshly rebuilt rows with
+// their persisted epochs.
+func (r *Rows) Restore(begin, end []uint64) bool {
+	if len(begin) != len(r.begin) || len(end) != len(r.end) {
+		return false
+	}
+	copy(r.begin, begin)
+	copy(r.end, end)
+	return true
+}
+
+// SizeBytes returns the memory consumed by the epoch columns.
+func (r *Rows) SizeBytes() int { return (len(r.begin) + len(r.end)) * 8 }

@@ -1,0 +1,121 @@
+package epoch
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClockCapture(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 1 {
+		t.Fatalf("fresh clock at %d, want 1", c.Now())
+	}
+	if e := c.Capture(); e != 1 {
+		t.Fatalf("first capture %d, want 1", e)
+	}
+	if c.Now() != 2 {
+		t.Fatalf("post-capture clock %d, want 2", c.Now())
+	}
+	if e := c.Capture(); e != 2 {
+		t.Fatalf("second capture %d, want 2", e)
+	}
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock()
+	c.AdvanceTo(10)
+	if c.Now() != 10 {
+		t.Fatalf("clock %d, want 10", c.Now())
+	}
+	c.AdvanceTo(5) // never backward
+	if c.Now() != 10 {
+		t.Fatalf("clock moved backward to %d", c.Now())
+	}
+}
+
+// TestClockConcurrentCapture checks captures are unique and monotone under
+// concurrency (run with -race).
+func TestClockConcurrentCapture(t *testing.T) {
+	c := NewClock()
+	const n, per = 8, 1000
+	got := make([][]uint64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				got[i] = append(got[i], c.Capture())
+			}
+		}(i)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	for i := range got {
+		prev := uint64(0)
+		for _, e := range got[i] {
+			if e <= prev {
+				t.Fatalf("non-monotone capture %d after %d", e, prev)
+			}
+			if seen[e] {
+				t.Fatalf("duplicate capture %d", e)
+			}
+			seen[e] = true
+			prev = e
+		}
+	}
+}
+
+func TestRowsVisibility(t *testing.T) {
+	var r Rows
+	r.Append(1) // row 0: inserted at epoch 1, current
+	r.Append(2) // row 1: inserted at epoch 2
+	r.Invalidate(1, 4)
+	r.Append(3) // row 2: inserted and invalidated in the same epoch
+	r.Invalidate(2, 3)
+
+	cases := []struct {
+		row  int
+		e    uint64
+		want bool
+	}{
+		{0, 1, true}, {0, 5, true}, {0, Latest, true},
+		{1, 1, false}, // not yet inserted
+		{1, 2, true}, {1, 3, true},
+		{1, 4, false}, // invalidated at 4: epoch-4 snapshot sees the successor
+		{1, Latest, false},
+		{2, 2, false}, {2, 3, false}, {2, 4, false}, {2, Latest, false},
+	}
+	for _, c := range cases {
+		if got := r.VisibleAt(c.row, c.e); got != c.want {
+			t.Errorf("VisibleAt(%d, %d) = %v want %v", c.row, c.e, got, c.want)
+		}
+	}
+	if r.CountAlive() != 1 {
+		t.Fatalf("CountAlive = %d want 1", r.CountAlive())
+	}
+	if r.CountVisibleAt(3) != 2 { // rows 0 and 1
+		t.Fatalf("CountVisibleAt(3) = %d want 2", r.CountVisibleAt(3))
+	}
+}
+
+func TestRowsSnapshotRestore(t *testing.T) {
+	var r Rows
+	r.Append(1)
+	r.Append(2)
+	r.Invalidate(0, 3)
+	b, e := r.Snapshot()
+
+	var q Rows
+	q.Append(9)
+	q.Append(9)
+	if !q.Restore(b, e) {
+		t.Fatal("restore rejected matching lengths")
+	}
+	if q.Begin(0) != 1 || q.End(0) != 3 || q.Begin(1) != 2 || !q.Alive(1) {
+		t.Fatalf("restored state wrong: %v %v", b, e)
+	}
+	if q.Restore(b[:1], e[:1]) {
+		t.Fatal("restore accepted short columns")
+	}
+}

@@ -7,22 +7,30 @@
 // dictionary layout while the merge regenerates identical structures.
 // All integers are little-endian; strings are length-prefixed.
 //
-// Version 2 layout (current):
+// Version 3 layout (current):
 //
-//	magic "HYRS" | version u32 = 2 | topology u8 | name
+//	magic "HYRS" | version u32 = 3 | topology u8 | name
 //	ncols u32 | per column: name | type u8
 //	if sharded: key column | shard count u32
+//	clock u64 (the store's epoch clock)
 //	per partition (1 for flat, shard count for sharded):
-//	    rows u64 | main rows u64 | validity words |
+//	    rows u64 | main rows u64 |
+//	    begin epochs (rows of u64) | end epochs (rows of u64) |
 //	    per column: values (rows of u32 / u64 / string)
 //
 // The header records the topology, key column and shard count, so sharded
 // tables round-trip: each shard is encoded as its own partition and global
 // row ids (local*shards + shard) are preserved exactly.  The per-partition
 // main-row count lets the loader re-merge to the saved main/delta split.
+// v3 replaces the v2 validity bitmap with the per-row begin/end visibility
+// epochs and persists the epoch clock, so the multi-version history and
+// row ages survive a round trip (a row's end epoch of 0 means current).
 //
-// Version 1 snapshots (flat tables only: no topology byte, no main-row
-// count, rows reloaded into the delta) still load.
+// Version 2 snapshots (validity bitmap instead of epochs, no clock) and
+// version 1 snapshots (flat tables only: no topology byte, no main-row
+// count, rows reloaded into the delta) still load; their rows are stamped
+// with load-time epochs, collapsing the pre-save history — equivalent
+// because snapshots never outlive a process.
 package persist
 
 import (
@@ -42,7 +50,10 @@ import (
 const Magic = "HYRS"
 
 // Version is the current format version.
-const Version uint32 = 2
+const Version uint32 = 3
+
+// VersionV2 is the validity-bitmap format (no epochs), still readable.
+const VersionV2 uint32 = 2
 
 // VersionV1 is the legacy flat-only format, still readable.
 const VersionV1 uint32 = 1
@@ -211,25 +222,25 @@ func (r *reader) readColumns(schema table.Schema, rows int) ([][]any, error) {
 }
 
 // writePartition encodes one physical table: row counts, the main/delta
-// boundary, the validity bitmap and every column's materialized values.
-// The table should be quiescent; a concurrent merge is tolerated but the
-// snapshot then reflects some point during it.
+// boundary, the per-row begin/end epochs and every column's materialized
+// values.  The table should be quiescent; a concurrent merge is tolerated
+// but the snapshot then reflects some point during it.
 func writePartition(w *writer, t *table.Table) error {
-	rows := t.Rows()
+	// Capture the epoch columns first and size the partition from them:
+	// rows only ever grow, so every row id below len(begin) has values.
+	begin, end := t.RowEpochs()
+	rows := len(begin)
 	mainRows := t.MainRows()
 	if mainRows > rows {
 		mainRows = rows
 	}
 	w.u64(uint64(rows))
 	w.u64(uint64(mainRows))
-	for i := 0; i < rows; i += 64 {
-		var word uint64
-		for j := 0; j < 64 && i+j < rows; j++ {
-			if t.IsValid(i + j) {
-				word |= 1 << uint(j)
-			}
-		}
-		w.u64(word)
+	for _, e := range begin {
+		w.u64(e)
+	}
+	for _, e := range end {
+		w.u64(e)
 	}
 	for _, def := range t.Schema() {
 		switch def.Type {
@@ -274,11 +285,79 @@ func writePartition(w *writer, t *table.Table) error {
 	return w.err
 }
 
-// readPartitionInto decodes one partition into the (empty) table t,
+// readEpochColumn decodes one per-row epoch column, failing fast on short
+// input.
+func (r *reader) readEpochColumn(rows int) ([]uint64, error) {
+	out := make([]uint64, 0, min(rows, maxPrealloc))
+	for i := 0; i < rows; i++ {
+		e := r.u64()
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// readPartitionIntoV3 decodes one v3 partition into the (empty) table t,
 // restoring the saved main/delta split: the first mainRows rows are
 // inserted and merged into the main partitions, the rest stay in the
-// delta.  Row ids are assigned in insertion order, so they match the
-// saved table exactly.
+// delta.  Row ids are assigned in insertion order, so they match the saved
+// table exactly; the rebuilt rows are then re-stamped with the persisted
+// begin/end epochs, restoring the full multi-version visibility history.
+func (r *reader) readPartitionIntoV3(t *table.Table, schema table.Schema) error {
+	rows64 := r.u64()
+	mainRows64 := r.u64()
+	if r.err != nil || rows64 > maxRows || mainRows64 > rows64 {
+		return fmt.Errorf("%w: row counts", ErrFormat)
+	}
+	rows, mainRows := int(rows64), int(mainRows64)
+	begin, err := r.readEpochColumn(rows)
+	if err != nil {
+		return err
+	}
+	end, err := r.readEpochColumn(rows)
+	if err != nil {
+		return err
+	}
+	cols, err := r.readColumns(schema, rows)
+	if err != nil {
+		return err
+	}
+	insert := func(from, to int) error {
+		if from >= to {
+			return nil
+		}
+		batch := make([][]any, 0, to-from)
+		for j := from; j < to; j++ {
+			row := make([]any, len(schema))
+			for ci := range cols {
+				row[ci] = cols[ci][j]
+			}
+			batch = append(batch, row)
+		}
+		_, err := t.InsertRows(batch)
+		return err
+	}
+	if err := insert(0, mainRows); err != nil {
+		return err
+	}
+	if mainRows > 0 {
+		if _, err := t.Merge(context.Background(), table.MergeOptions{}); err != nil {
+			return err
+		}
+	}
+	if err := insert(mainRows, rows); err != nil {
+		return err
+	}
+	return t.RestoreRowEpochs(begin, end)
+}
+
+// readPartitionInto decodes one v2 partition (validity bitmap) into the
+// (empty) table t, restoring the saved main/delta split: the first
+// mainRows rows are inserted and merged into the main partitions, the
+// rest stay in the delta.  Row ids are assigned in insertion order, so
+// they match the saved table exactly.
 func (r *reader) readPartitionInto(t *table.Table, schema table.Schema) error {
 	rows64 := r.u64()
 	mainRows64 := r.u64()
@@ -331,7 +410,7 @@ func (r *reader) readPartitionInto(t *table.Table, schema table.Schema) error {
 	return insert(mainRows, rows)
 }
 
-// Save writes a v2 snapshot of a flat table.
+// Save writes a v3 snapshot of a flat table.
 func Save(t *table.Table, out io.Writer) error {
 	w := &writer{w: bufio.NewWriter(out)}
 	w.bytes([]byte(Magic))
@@ -339,15 +418,17 @@ func Save(t *table.Table, out io.Writer) error {
 	w.u8(topoFlat)
 	w.str(t.Name())
 	w.writeSchema(t.Schema())
+	w.u64(t.Clock().Now())
 	if err := writePartition(w, t); err != nil {
 		return err
 	}
 	return w.w.Flush()
 }
 
-// SaveSharded writes a v2 snapshot of a sharded table: the header records
-// the key column and shard count, then every shard is encoded as its own
-// partition, so global row ids survive the round trip.
+// SaveSharded writes a v3 snapshot of a sharded table: the header records
+// the key column, shard count and the shared epoch clock, then every shard
+// is encoded as its own partition, so global row ids survive the round
+// trip.
 func SaveSharded(st *shard.Table, out io.Writer) error {
 	w := &writer{w: bufio.NewWriter(out)}
 	w.bytes([]byte(Magic))
@@ -357,6 +438,7 @@ func SaveSharded(st *shard.Table, out io.Writer) error {
 	w.writeSchema(st.Schema())
 	w.str(st.KeyColumn())
 	w.u32(uint32(st.NumShards()))
+	w.u64(st.Clock().Now())
 	for _, s := range st.Shards() {
 		if err := writePartition(w, s); err != nil {
 			return err
@@ -367,7 +449,7 @@ func SaveSharded(st *shard.Table, out io.Writer) error {
 
 // LoadAny reads a snapshot of either topology; exactly one of the returned
 // tables is non-nil on success.  It accepts the current version and the
-// legacy v1 flat format.
+// legacy v2 and v1 formats.
 func LoadAny(in io.Reader) (*table.Table, *shard.Table, error) {
 	r := &reader{r: bufio.NewReader(in)}
 	magic := make([]byte, 4)
@@ -375,11 +457,13 @@ func LoadAny(in io.Reader) (*table.Table, *shard.Table, error) {
 	if r.err != nil || string(magic) != Magic {
 		return nil, nil, fmt.Errorf("%w: bad magic", ErrFormat)
 	}
+	var version uint32
 	switch v := r.u32(); v {
 	case VersionV1:
 		t, err := loadV1(r)
 		return t, nil, err
-	case Version:
+	case VersionV2, Version:
+		version = v
 	default:
 		return nil, nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, v)
 	}
@@ -389,13 +473,28 @@ func LoadAny(in io.Reader) (*table.Table, *shard.Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// readPartition dispatches on version: v3 restores epochs, v2 stamps
+	// load-time epochs from the validity bitmap.
+	readPartition := func(t *table.Table) error {
+		if version == Version {
+			return r.readPartitionIntoV3(t, schema)
+		}
+		return r.readPartitionInto(t, schema)
+	}
 	switch topo {
 	case topoFlat:
 		t, err := table.New(name, schema)
 		if err != nil {
 			return nil, nil, err
 		}
-		if err := r.readPartitionInto(t, schema); err != nil {
+		if version == Version {
+			clock := r.u64()
+			if r.err != nil {
+				return nil, nil, r.err
+			}
+			t.Clock().AdvanceTo(clock)
+		}
+		if err := readPartition(t); err != nil {
 			return nil, nil, err
 		}
 		return t, nil, nil
@@ -412,12 +511,19 @@ func LoadAny(in io.Reader) (*table.Table, *shard.Table, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		if version == Version {
+			clock := r.u64()
+			if r.err != nil {
+				return nil, nil, r.err
+			}
+			st.Clock().AdvanceTo(clock)
+		}
 		// Fill each shard directly, bypassing hash routing: the partition
 		// sections already are the routed per-shard contents, and direct
 		// insertion preserves every shard-local row id (hence every
 		// global id).
 		for i := 0; i < shards; i++ {
-			if err := r.readPartitionInto(st.Shard(i), schema); err != nil {
+			if err := readPartition(st.Shard(i)); err != nil {
 				return nil, nil, err
 			}
 		}

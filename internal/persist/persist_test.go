@@ -381,6 +381,9 @@ func TestLoadRejectsLyingRowCount(t *testing.T) {
 		w.u32(1)
 		w.str("k")
 		w.u8(uint8(table.Uint64))
+		if version >= 3 {
+			w.u64(1) // clock
+		}
 		w.u64(rows)
 		if withMain {
 			w.u64(0)
@@ -389,14 +392,160 @@ func TestLoadRejectsLyingRowCount(t *testing.T) {
 		return buf.Bytes()
 	}
 	for name, data := range map[string][]byte{
-		"v2 rows over bound": header(Version, 1<<62, true),
-		"v2 rows, no data":   header(Version, 1<<30, true),
+		"v3 rows over bound": header(Version, 1<<62, true),
+		"v3 rows, no data":   header(Version, 1<<30, true),
+		"v2 rows over bound": header(VersionV2, 1<<62, true),
+		"v2 rows, no data":   header(VersionV2, 1<<30, true),
 		"v1 rows over bound": header(VersionV1, 1<<62, false),
 		"v1 rows, no data":   header(VersionV1, 1<<30, false),
 	} {
 		if _, _, err := LoadAny(bytes.NewReader(data)); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+// writeV2 encodes tb in the v2 format (validity bitmap, no epochs, no
+// clock) for backward-compat tests.
+func writeV2(t *testing.T, topo uint8, name string, schema table.Schema, key string, parts []*table.Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := &writer{w: bufio.NewWriter(&buf)}
+	w.bytes([]byte(Magic))
+	w.u32(VersionV2)
+	w.u8(topo)
+	w.str(name)
+	w.writeSchema(schema)
+	if topo == topoSharded {
+		w.str(key)
+		w.u32(uint32(len(parts)))
+	}
+	for _, tb := range parts {
+		rows := tb.Rows()
+		mainRows := tb.MainRows()
+		w.u64(uint64(rows))
+		w.u64(uint64(mainRows))
+		for i := 0; i < rows; i += 64 {
+			var word uint64
+			for j := 0; j < 64 && i+j < rows; j++ {
+				if tb.IsValid(i + j) {
+					word |= 1 << uint(j)
+				}
+			}
+			w.u64(word)
+		}
+		for ci, def := range schema {
+			for r := 0; r < rows; r++ {
+				row, err := tb.Row(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				switch def.Type {
+				case table.Uint32:
+					w.u32(row[ci].(uint32))
+				case table.Uint64:
+					w.u64(row[ci].(uint64))
+				case table.String:
+					w.str(row[ci].(string))
+				}
+			}
+		}
+	}
+	if w.err != nil {
+		t.Fatal(w.err)
+	}
+	if err := w.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestV2BackwardCompat loads v2 snapshots (flat and sharded) through
+// LoadAny and checks full content equality, including the restored
+// main/delta split.
+func TestV2BackwardCompat(t *testing.T) {
+	t.Run("flat", func(t *testing.T) {
+		tb := buildTable(t, 200)
+		if _, err := tb.Merge(context.Background(), table.MergeOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		tb.Insert([]any{uint64(900), uint32(1), "x"})
+		tb.Delete(5)
+		tb.Update(9, map[string]any{"qty": uint32(77)})
+		data := writeV2(t, topoFlat, tb.Name(), tb.Schema(), "", []*table.Table{tb})
+		got, err := loadFlat(t, bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalTables(t, tb, got)
+		if got.MainRows() != tb.MainRows() || got.DeltaRows() != tb.DeltaRows() {
+			t.Fatalf("split main=%d delta=%d want main=%d delta=%d",
+				got.MainRows(), got.DeltaRows(), tb.MainRows(), tb.DeltaRows())
+		}
+	})
+	t.Run("sharded", func(t *testing.T) {
+		st := buildSharded(t, 4)
+		var gids []int
+		for i := 0; i < 200; i++ {
+			gid, err := st.Insert([]any{uint64(i), uint32(i % 7), "s"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gids = append(gids, gid)
+		}
+		st.Delete(gids[3])
+		data := writeV2(t, topoSharded, st.Name(), st.Schema(), st.KeyColumn(), st.Shards())
+		ft, got, err := LoadAny(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ft != nil || got == nil {
+			t.Fatal("v2 sharded snapshot should load as a sharded table")
+		}
+		if got.NumShards() != st.NumShards() || got.KeyColumn() != st.KeyColumn() {
+			t.Fatalf("topology %d/%q", got.NumShards(), got.KeyColumn())
+		}
+		for i := range st.Shards() {
+			equalTables(t, st.Shard(i), got.Shard(i))
+		}
+	})
+}
+
+// TestEpochRoundTrip checks the v3-only guarantees: per-row begin/end
+// epochs and the epoch clock survive the round trip, so a snapshot taken
+// on the loaded store sees exactly what one taken pre-save would have.
+func TestEpochRoundTrip(t *testing.T) {
+	tb := buildTable(t, 50)
+	tb.Snapshot() // advance the clock so rows land in distinct epochs
+	tb.Delete(3)
+	tb.Update(7, map[string]any{"qty": uint32(99)})
+	tb.Snapshot()
+	tb.Insert([]any{uint64(1000), uint32(1), "late"})
+
+	wantBegin, wantEnd := tb.RowEpochs()
+	var buf bytes.Buffer
+	if err := Save(tb, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadFlat(t, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBegin, gotEnd := got.RowEpochs()
+	for i := range wantBegin {
+		if wantBegin[i] != gotBegin[i] || wantEnd[i] != gotEnd[i] {
+			t.Fatalf("row %d epochs %d/%d want %d/%d",
+				i, gotBegin[i], gotEnd[i], wantBegin[i], wantEnd[i])
+		}
+	}
+	if got.Clock().Now() != tb.Clock().Now() {
+		t.Fatalf("clock %d want %d", got.Clock().Now(), tb.Clock().Now())
+	}
+	// A historical view reads identically on both: row 3 was alive at the
+	// first captured epoch and dead afterwards.
+	old := table.ViewAt(1)
+	if !got.VisibleAt(old, 3) || got.VisibleAt(table.Latest(), 3) {
+		t.Fatal("loaded table lost the pre-delete history")
 	}
 }
 

@@ -59,10 +59,17 @@ type Result struct {
 // Count returns the number of matching rows.
 func (r *Result) Count() int { return len(r.Rows) }
 
-// Run evaluates the conjunction of filters against t and projects the
-// named columns (project == nil skips materialization).  At least one
-// filter is required.
+// Run evaluates the conjunction of filters against t's current rows and
+// projects the named columns (project == nil skips materialization).  At
+// least one filter is required.
 func Run(t *table.Table, filters []Filter, project []string) (*Result, error) {
+	return RunAt(t, table.Latest(), filters, project)
+}
+
+// RunAt is Run against the rows visible at the view's epoch: every
+// predicate filters through the frozen view, so the result reflects one
+// consistent state even while writers and merges proceed.
+func RunAt(t *table.Table, view table.View, filters []Filter, project []string) (*Result, error) {
 	if len(filters) == 0 {
 		return nil, fmt.Errorf("query: no filters (use a full-column handle scan instead)")
 	}
@@ -81,7 +88,7 @@ func Run(t *table.Table, filters []Filter, project []string) (*Result, error) {
 			break
 		}
 	}
-	rows, err := seed(t, filters[drive])
+	rows, err := seed(t, view, filters[drive])
 	if err != nil {
 		return nil, err
 	}
@@ -139,23 +146,23 @@ func colIndex(t *table.Table, name string) (int, error) {
 }
 
 // seed produces the driving predicate's candidate rows using the column's
-// own access paths (valid rows only).
-func seed(t *table.Table, f Filter) ([]int, error) {
+// own access paths (rows visible at the view only).
+func seed(t *table.Table, view table.View, f Filter) ([]int, error) {
 	ci, err := colIndex(t, f.Column)
 	if err != nil {
 		return nil, err
 	}
 	switch t.Schema()[ci].Type {
 	case table.Uint32:
-		return seedTyped[uint32](t, f)
+		return seedTyped[uint32](t, view, f)
 	case table.Uint64:
-		return seedTyped[uint64](t, f)
+		return seedTyped[uint64](t, view, f)
 	default:
-		return seedTyped[string](t, f)
+		return seedTyped[string](t, view, f)
 	}
 }
 
-func seedTyped[V val.Value](t *table.Table, f Filter) ([]int, error) {
+func seedTyped[V val.Value](t *table.Table, view table.View, f Filter) ([]int, error) {
 	h, err := table.ColumnOf[V](t, f.Column)
 	if err != nil {
 		return nil, err
@@ -166,7 +173,7 @@ func seedTyped[V val.Value](t *table.Table, f Filter) ([]int, error) {
 		if err != nil {
 			return nil, err
 		}
-		return h.Lookup(v), nil
+		return h.LookupAt(view, v), nil
 	case Between:
 		lo, err := coerce[V](f.Value, f.Column)
 		if err != nil {
@@ -176,7 +183,7 @@ func seedTyped[V val.Value](t *table.Table, f Filter) ([]int, error) {
 		if err != nil {
 			return nil, err
 		}
-		return h.Range(lo, hi), nil
+		return h.RangeAt(view, lo, hi), nil
 	default:
 		return nil, fmt.Errorf("query: unknown op %v", f.Op)
 	}

@@ -9,8 +9,11 @@ import (
 )
 
 // Handle is a typed single-column view over every shard, mirroring
-// table.Handle: key lookups, range selects and scans, filtered to valid
-// rows and returning global row ids.
+// table.Handle: key lookups, range selects and scans, returning global row
+// ids.  Methods without an At suffix read current rows; the At variants
+// read through a View captured by Table.Snapshot, whose single epoch is
+// valid across every shard — the fanned-out reads are consistent with each
+// other even while writers, cross-shard moves and merges proceed.
 //
 // Lookup and Range fan out to all shards in parallel and fan the per-shard
 // results back in as a sorted global row id list.  Scan visits shards
@@ -67,25 +70,34 @@ func (h *Handle[V]) fanOut(fn func(sh *table.Handle[V]) []int) []int {
 	return out
 }
 
-// Lookup returns the global row ids of valid rows whose value equals v.
+// Lookup returns the global row ids of current rows whose value equals v.
 // Every shard is probed in parallel (dictionary binary search + CSB+ tree
 // per shard).
-func (h *Handle[V]) Lookup(v V) []int {
-	return h.fanOut(func(sh *table.Handle[V]) []int { return sh.Lookup(v) })
+func (h *Handle[V]) Lookup(v V) []int { return h.LookupAt(table.Latest(), v) }
+
+// LookupAt is Lookup against the rows visible at the view's epoch.
+func (h *Handle[V]) LookupAt(view table.View, v V) []int {
+	return h.fanOut(func(sh *table.Handle[V]) []int { return sh.LookupAt(view, v) })
 }
 
-// Range returns the global row ids of valid rows with value in [lo, hi],
+// Range returns the global row ids of current rows with value in [lo, hi],
 // fanned out across shards in parallel.
-func (h *Handle[V]) Range(lo, hi V) []int {
-	return h.fanOut(func(sh *table.Handle[V]) []int { return sh.Range(lo, hi) })
+func (h *Handle[V]) Range(lo, hi V) []int { return h.RangeAt(table.Latest(), lo, hi) }
+
+// RangeAt is Range against the rows visible at the view's epoch.
+func (h *Handle[V]) RangeAt(view table.View, lo, hi V) []int {
+	return h.fanOut(func(sh *table.Handle[V]) []int { return sh.RangeAt(view, lo, hi) })
 }
 
-// Scan streams every valid row's value through fn, shard by shard.
+// Scan streams every current row's value through fn, shard by shard.
 // Iteration stops early if fn returns false.
-func (h *Handle[V]) Scan(fn func(gid int, v V) bool) {
+func (h *Handle[V]) Scan(fn func(gid int, v V) bool) { h.ScanAt(table.Latest(), fn) }
+
+// ScanAt is Scan against the rows visible at the view's epoch.
+func (h *Handle[V]) ScanAt(view table.View, fn func(gid int, v V) bool) {
 	for i, sh := range h.hs {
 		stop := false
-		sh.Scan(func(local int, v V) bool {
+		sh.ScanAt(view, func(local int, v V) bool {
 			if !fn(h.st.gid(i, local), v) {
 				stop = true
 				return false
@@ -98,8 +110,11 @@ func (h *Handle[V]) Scan(fn func(gid int, v V) bool) {
 	}
 }
 
-// CountEqual returns the number of valid rows with value v.
+// CountEqual returns the number of current rows with value v.
 func (h *Handle[V]) CountEqual(v V) int { return len(h.Lookup(v)) }
+
+// CountEqualAt is CountEqual at the view's epoch.
+func (h *Handle[V]) CountEqualAt(view table.View, v V) int { return len(h.LookupAt(view, v)) }
 
 // Distinct returns the number of distinct values among all stored row
 // versions across shards.  Like table.Handle.Distinct this includes
@@ -143,16 +158,20 @@ func NumericColumnOf[V interface{ ~uint32 | ~uint64 }](st *Table, name string) (
 	return nh, nil
 }
 
-// Sum aggregates the column over valid rows, computing per-shard partial
+// Sum aggregates the column over current rows, computing per-shard partial
 // sums in parallel and combining them.
-func (h *NumericHandle[V]) Sum() uint64 {
+func (h *NumericHandle[V]) Sum() uint64 { return h.SumAt(table.Latest()) }
+
+// SumAt aggregates over the rows visible at the view's epoch; the shared
+// epoch makes the combined sum a consistent cross-shard aggregate.
+func (h *NumericHandle[V]) SumAt(view table.View) uint64 {
 	partial := make([]uint64, len(h.ns))
 	var wg sync.WaitGroup
 	for i, n := range h.ns {
 		wg.Add(1)
 		go func(i int, n *table.NumericHandle[V]) {
 			defer wg.Done()
-			partial[i] = n.Sum()
+			partial[i] = n.SumAt(view)
 		}(i, n)
 	}
 	wg.Wait()
@@ -163,16 +182,22 @@ func (h *NumericHandle[V]) Sum() uint64 {
 	return sum
 }
 
-// Min returns the smallest value over valid rows across shards; ok is
-// false when no shard has a valid row.
-func (h *NumericHandle[V]) Min() (V, bool) {
-	return h.combine(func(n *table.NumericHandle[V]) (V, bool) { return n.Min() },
+// Min returns the smallest value over current rows across shards; ok is
+// false when no shard has a current row.
+func (h *NumericHandle[V]) Min() (V, bool) { return h.MinAt(table.Latest()) }
+
+// MinAt is Min at the view's epoch.
+func (h *NumericHandle[V]) MinAt(view table.View) (V, bool) {
+	return h.combine(func(n *table.NumericHandle[V]) (V, bool) { return n.MinAt(view) },
 		func(a, b V) bool { return b < a })
 }
 
-// Max returns the largest value over valid rows across shards.
-func (h *NumericHandle[V]) Max() (V, bool) {
-	return h.combine(func(n *table.NumericHandle[V]) (V, bool) { return n.Max() },
+// Max returns the largest value over current rows across shards.
+func (h *NumericHandle[V]) Max() (V, bool) { return h.MaxAt(table.Latest()) }
+
+// MaxAt is Max at the view's epoch.
+func (h *NumericHandle[V]) MaxAt(view table.View) (V, bool) {
+	return h.combine(func(n *table.NumericHandle[V]) (V, bool) { return n.MaxAt(view) },
 		func(a, b V) bool { return b > a })
 }
 

@@ -6,14 +6,23 @@ import (
 	"sync"
 
 	"hyrise/internal/query"
+	"hyrise/internal/table"
 )
 
 // Query evaluates a conjunctive multi-column query against every shard in
 // parallel and fans the per-shard results back in: row ids are remapped to
 // global row ids and the combined result is sorted by global row id, with
-// projected values kept aligned.  Each shard evaluates under its own read
-// snapshot; there is no cross-shard snapshot (see the package comment).
+// projected values kept aligned.  It reads current rows; each shard
+// evaluates under its own per-shard read snapshot.  Use QueryAt with a
+// view from Table.Snapshot for a cross-shard-consistent result.
 func Query(st *Table, filters []query.Filter, project []string) (*query.Result, error) {
+	return QueryAt(st, table.Latest(), filters, project)
+}
+
+// QueryAt is Query against the rows visible at the view's epoch: because
+// the epoch is shared by all shards, the fanned-out evaluation reflects
+// one frozen state of the whole table.
+func QueryAt(st *Table, view table.View, filters []query.Filter, project []string) (*query.Result, error) {
 	results := make([]*query.Result, len(st.shards))
 	errs := make([]error, len(st.shards))
 	var wg sync.WaitGroup
@@ -21,7 +30,7 @@ func Query(st *Table, filters []query.Filter, project []string) (*query.Result, 
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = query.Run(st.shards[i], filters, project)
+			results[i], errs[i] = query.RunAt(st.shards[i], view, filters, project)
 		}(i)
 	}
 	wg.Wait()

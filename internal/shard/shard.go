@@ -10,16 +10,23 @@
 // shards as well as within columns, keeping each individual merge — and
 // its brief commit lock — small.
 //
-// Guarantees and non-guarantees:
+// Guarantees:
 //
 //   - A row lives in exactly one shard, determined by the hash of its key
 //     column value.  Updates that change the key value may relocate the
-//     row to another shard (invalidate + re-insert, like any update).
+//     row to another shard; the move invalidates the old version and
+//     inserts the new one under both shard locks with ONE epoch stamp, so
+//     it is atomic to snapshots.
 //   - Each shard's merge is individually atomic and online, exactly as in
-//     the flat table.  There is NO cross-shard snapshot: a fan-out query
-//     acquires shard read locks one at a time, so it can observe shard A
-//     before and shard B after a concurrent writer touches both.  Per-row
-//     reads are always consistent.
+//     the flat table.
+//   - All shards share one epoch clock, so Snapshot() captures a single
+//     epoch that is consistent across every shard: reads through the view
+//     (LookupAt/RangeAt/ScanAt/QueryAt/ValidRowsAt) reflect one frozen
+//     state of the whole table, even while inserts, updates, deletes,
+//     cross-shard moves and per-shard merges proceed underneath.  Latest
+//     reads (no view) still acquire shard read locks one at a time and can
+//     observe shard A before and shard B after a concurrent multi-shard
+//     writer; use a snapshot when that matters.
 //   - Global row ids are stable for the lifetime of the row version and
 //     encode the owning shard; they are not dense and their order is not
 //     global insertion order.
@@ -33,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"hyrise/internal/epoch"
 	"hyrise/internal/table"
 )
 
@@ -50,11 +58,13 @@ var (
 	ErrKeyColumn = errors.New("shard: no such key column")
 )
 
-// Table is a hash-partitioned collection of table.Table shards.
+// Table is a hash-partitioned collection of table.Table shards sharing one
+// epoch clock.
 type Table struct {
 	name   string
 	schema table.Schema
 	keyIdx int
+	clock  *epoch.Clock // shared by all shards; one capture = one epoch everywhere
 	shards []*table.Table
 }
 
@@ -75,15 +85,33 @@ func New(name string, schema table.Schema, key string, shards int) (*Table, erro
 	if keyIdx < 0 {
 		return nil, fmt.Errorf("%w: %q", ErrKeyColumn, key)
 	}
-	st := &Table{name: name, schema: schema, keyIdx: keyIdx}
+	st := &Table{name: name, schema: schema, keyIdx: keyIdx, clock: epoch.NewClock()}
 	for i := 0; i < shards; i++ {
-		s, err := table.New(fmt.Sprintf("%s/%d", name, i), schema)
+		s, err := table.NewWithClock(fmt.Sprintf("%s/%d", name, i), schema, st.clock)
 		if err != nil {
 			return nil, err
 		}
 		st.shards = append(st.shards, s)
 	}
 	return st, nil
+}
+
+// Clock returns the epoch clock shared by every shard.
+func (st *Table) Clock() *epoch.Clock { return st.clock }
+
+// Snapshot captures one epoch across ALL shards atomically (a single
+// lock-free fetch-add on the shared clock) and returns it as a read view:
+// reads through the view see one frozen, cross-shard-consistent state.
+func (st *Table) Snapshot() table.View { return table.ViewAt(st.clock.Capture()) }
+
+// VisibleAt reports whether the row exists and is visible at the view's
+// epoch.
+func (st *Table) VisibleAt(v table.View, gid int) bool {
+	s, local, err := st.Locate(gid)
+	if err != nil {
+		return false
+	}
+	return st.shards[s].VisibleAt(v, local)
 }
 
 // Name returns the table name.
@@ -187,12 +215,11 @@ func (st *Table) Insert(values []any) (int, error) {
 
 // Update applies the insert-only update protocol to a global row id and
 // returns the new version's global row id.  If the key column changes to a
-// value hashing to a different shard, the row relocates: the old version
-// is invalidated in its shard and the new version inserted into the target
-// shard.  The invalidation atomically claims the row, so concurrent
-// updates of the same row resolve to exactly one winner (the losers see
-// table.ErrRowInvalid), but the invalidate and re-insert are not covered
-// by one lock — a fan-out query between them sees neither version.
+// value hashing to a different shard, the row relocates atomically
+// (table.MoveRow): the invalidation and the re-insert happen under both
+// shard locks with one epoch stamp, so concurrent updates of the same row
+// resolve to exactly one winner (the losers see table.ErrRowInvalid) and
+// any snapshot or fan-out query sees exactly one of the two versions.
 func (st *Table) Update(gid int, changes map[string]any) (int, error) {
 	s, local, err := st.Locate(gid)
 	if err != nil {
@@ -239,16 +266,13 @@ func (st *Table) Update(gid int, changes map[string]any) (int, error) {
 		}
 		values[ci] = cv
 	}
-	// Delete atomically claims the current version: if a concurrent update
-	// got there first this fails with ErrRowInvalid and nothing happened.
-	// Row versions are immutable, so the values read above are the claimed
+	// MoveRow atomically claims the current version and re-inserts it into
+	// the target shard under both locks: if a concurrent update got there
+	// first this fails with ErrRowInvalid and nothing happened.  Row
+	// versions are immutable, so the values read above are the claimed
 	// version's values.
-	if err := st.shards[s].Delete(local); err != nil {
-		return 0, err
-	}
-	nl, err := st.shards[s2].Insert(values)
+	nl, err := table.MoveRow(st.shards[s], local, st.shards[s2], values)
 	if err != nil {
-		// Unreachable in practice: values were validated above.
 		return 0, err
 	}
 	return st.gid(s2, nl), nil
@@ -290,11 +314,18 @@ func (st *Table) Rows() int {
 	return n
 }
 
-// ValidRows returns the number of current rows across shards.
-func (st *Table) ValidRows() int {
+// ValidRows returns the number of current rows across shards, counted
+// under one epoch capture: a row mid-move between shards is counted
+// exactly once, where per-shard counting could see it in both shards or
+// neither.
+func (st *Table) ValidRows() int { return st.ValidRowsAt(st.Snapshot()) }
+
+// ValidRowsAt returns the number of rows visible at the view's epoch
+// across all shards.
+func (st *Table) ValidRowsAt(v table.View) int {
 	n := 0
 	for _, s := range st.shards {
-		n += s.ValidRows()
+		n += s.ValidRowsAt(v)
 	}
 	return n
 }

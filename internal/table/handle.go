@@ -9,7 +9,10 @@ import (
 // Handle is a typed view of one column, providing the read operations of
 // the paper's workload taxonomy (§2): key lookups, table scans and range
 // selects.  All operations span the main partition, the frozen delta and
-// the second delta, and by default filter to valid (current-version) rows.
+// the second delta.  The methods without an At suffix filter to current
+// (latest-version) rows; each has an At variant taking a View that filters
+// to the rows visible at the view's epoch instead, so a multi-operation
+// read plan can run against one frozen state while writers proceed.
 //
 // Lookups use the main dictionary's binary search plus the delta's CSB+
 // tree; scans stream the compressed codes and materialize delta values —
@@ -51,24 +54,28 @@ func (h *Handle[V]) Get(row int) (V, error) {
 	return v, nil
 }
 
-// Lookup returns the row ids of valid rows whose value equals v — the key
-// lookup of Figure 1.  The main partition is searched through its
-// dictionary (one binary search, then a code scan); the deltas through
-// their CSB+ trees (no scan at all).
-func (h *Handle[V]) Lookup(v V) []int {
+// Lookup returns the row ids of current rows whose value equals v — the
+// key lookup of Figure 1.
+func (h *Handle[V]) Lookup(v V) []int { return h.LookupAt(Latest(), v) }
+
+// LookupAt is Lookup against the rows visible at the view's epoch.  The
+// main partition is searched through its dictionary (one binary search,
+// then a code scan); the deltas through their CSB+ trees (no scan at all).
+func (h *Handle[V]) LookupAt(view View, v V) []int {
 	h.t.mu.RLock()
 	defer h.t.mu.RUnlock()
+	e := view.resolve()
 	c := h.col()
 	var rows []int
 	for _, r := range c.main.ScanEqual(v, nil) {
-		if h.t.validity.Get(r) {
+		if h.t.epochs.VisibleAt(r, e) {
 			rows = append(rows, r)
 		}
 	}
 	base := c.main.Len()
 	if tids, ok := c.dlt.Find(v); ok {
 		for _, tid := range tids {
-			if r := base + int(tid); h.t.validity.Get(r) {
+			if r := base + int(tid); h.t.epochs.VisibleAt(r, e) {
 				rows = append(rows, r)
 			}
 		}
@@ -77,7 +84,7 @@ func (h *Handle[V]) Lookup(v V) []int {
 		base2 := base + c.dlt.Len()
 		if tids, ok := c.dlt2.Find(v); ok {
 			for _, tid := range tids {
-				if r := base2 + int(tid); h.t.validity.Get(r) {
+				if r := base2 + int(tid); h.t.epochs.VisibleAt(r, e) {
 					rows = append(rows, r)
 				}
 			}
@@ -86,28 +93,32 @@ func (h *Handle[V]) Lookup(v V) []int {
 	return rows
 }
 
-// Range returns the row ids of valid rows whose value lies in [lo, hi] —
+// Range returns the row ids of current rows whose value lies in [lo, hi] —
 // the range select of Figure 1.
-func (h *Handle[V]) Range(lo, hi V) []int {
+func (h *Handle[V]) Range(lo, hi V) []int { return h.RangeAt(Latest(), lo, hi) }
+
+// RangeAt is Range against the rows visible at the view's epoch.
+func (h *Handle[V]) RangeAt(view View, lo, hi V) []int {
 	h.t.mu.RLock()
 	defer h.t.mu.RUnlock()
+	e := view.resolve()
 	c := h.col()
 	var rows []int
 	for _, r := range c.main.ScanRange(lo, hi, nil) {
-		if h.t.validity.Get(r) {
+		if h.t.epochs.VisibleAt(r, e) {
 			rows = append(rows, r)
 		}
 	}
 	base := c.main.Len()
 	for i, v := range c.dlt.Values() {
-		if v >= lo && v <= hi && h.t.validity.Get(base+i) {
+		if v >= lo && v <= hi && h.t.epochs.VisibleAt(base+i, e) {
 			rows = append(rows, base+i)
 		}
 	}
 	if c.dlt2 != nil {
 		base2 := base + c.dlt.Len()
 		for i, v := range c.dlt2.Values() {
-			if v >= lo && v <= hi && h.t.validity.Get(base2+i) {
+			if v >= lo && v <= hi && h.t.epochs.VisibleAt(base2+i, e) {
 				rows = append(rows, base2+i)
 			}
 		}
@@ -115,20 +126,30 @@ func (h *Handle[V]) Range(lo, hi V) []int {
 	return rows
 }
 
-// Scan streams every valid row's value through fn — the table scan of
+// Scan streams every current row's value through fn — the table scan of
 // Figure 1.  Main-partition values are materialized through the
 // dictionary; delta values are read directly.  Iteration stops early if fn
 // returns false.
-func (h *Handle[V]) Scan(fn func(row int, v V) bool) {
+//
+// fn runs with the table's read lock held and must not call back into the
+// table (Get, Row, other handles): a concurrent writer queued between the
+// two acquisitions would deadlock the re-entrant read.  Collect row ids in
+// fn and read other columns after the scan returns — row versions are
+// immutable, so the values cannot change in between.
+func (h *Handle[V]) Scan(fn func(row int, v V) bool) { h.ScanAt(Latest(), fn) }
+
+// ScanAt is Scan against the rows visible at the view's epoch.
+func (h *Handle[V]) ScanAt(view View, fn func(row int, v V) bool) {
 	h.t.mu.RLock()
 	defer h.t.mu.RUnlock()
+	e := view.resolve()
 	c := h.col()
 	nm := c.main.Len()
 	dict := c.main.Dict()
 	r := c.main.Codes().Reader()
 	for i := 0; i < nm; i++ {
 		code := r.Next()
-		if !h.t.validity.Get(i) {
+		if !h.t.epochs.VisibleAt(i, e) {
 			continue
 		}
 		if !fn(i, dict.At(int(code))) {
@@ -136,7 +157,7 @@ func (h *Handle[V]) Scan(fn func(row int, v V) bool) {
 		}
 	}
 	for i, v := range c.dlt.Values() {
-		if row := nm + i; h.t.validity.Get(row) {
+		if row := nm + i; h.t.epochs.VisibleAt(row, e) {
 			if !fn(row, v) {
 				return
 			}
@@ -145,7 +166,7 @@ func (h *Handle[V]) Scan(fn func(row int, v V) bool) {
 	if c.dlt2 != nil {
 		base2 := nm + c.dlt.Len()
 		for i, v := range c.dlt2.Values() {
-			if row := base2 + i; h.t.validity.Get(row) {
+			if row := base2 + i; h.t.epochs.VisibleAt(row, e) {
 				if !fn(row, v) {
 					return
 				}
@@ -154,12 +175,16 @@ func (h *Handle[V]) Scan(fn func(row int, v V) bool) {
 	}
 }
 
-// CountEqual returns the number of valid rows with value v.
+// CountEqual returns the number of current rows with value v.
 func (h *Handle[V]) CountEqual(v V) int { return len(h.Lookup(v)) }
+
+// CountEqualAt is CountEqual at the view's epoch.
+func (h *Handle[V]) CountEqualAt(view View, v V) int { return len(h.LookupAt(view, v)) }
 
 // Distinct returns the number of distinct values among all stored row
 // versions (main dictionary merged with delta uniques; an upper bound on
-// the post-merge dictionary size).
+// the post-merge dictionary size).  It spans the full version history, so
+// it is view-independent.
 func (h *Handle[V]) Distinct() int {
 	h.t.mu.RLock()
 	defer h.t.mu.RUnlock()
@@ -193,23 +218,29 @@ func NumericColumnOf[V interface{ ~uint32 | ~uint64 }](t *Table, name string) (*
 	return &NumericHandle[V]{Handle: h}, nil
 }
 
-// Sum aggregates the column over valid rows — the analytic aggregation
+// Sum aggregates the column over current rows — the analytic aggregation
 // query of §2 ("large sequential scans spanning few columns").
-func (h *NumericHandle[V]) Sum() uint64 {
+func (h *NumericHandle[V]) Sum() uint64 { return h.SumAt(Latest()) }
+
+// SumAt aggregates the column over the rows visible at the view's epoch.
+func (h *NumericHandle[V]) SumAt(view View) uint64 {
 	var sum uint64
-	h.Scan(func(_ int, v V) bool {
+	h.ScanAt(view, func(_ int, v V) bool {
 		sum += uint64(v)
 		return true
 	})
 	return sum
 }
 
-// Min returns the smallest value over valid rows; ok is false for an
+// Min returns the smallest value over current rows; ok is false for an
 // effectively empty column.
-func (h *NumericHandle[V]) Min() (V, bool) {
+func (h *NumericHandle[V]) Min() (V, bool) { return h.MinAt(Latest()) }
+
+// MinAt is Min at the view's epoch.
+func (h *NumericHandle[V]) MinAt(view View) (V, bool) {
 	var best V
 	found := false
-	h.Scan(func(_ int, v V) bool {
+	h.ScanAt(view, func(_ int, v V) bool {
 		if !found || v < best {
 			best, found = v, true
 		}
@@ -218,11 +249,14 @@ func (h *NumericHandle[V]) Min() (V, bool) {
 	return best, found
 }
 
-// Max returns the largest value over valid rows.
-func (h *NumericHandle[V]) Max() (V, bool) {
+// Max returns the largest value over current rows.
+func (h *NumericHandle[V]) Max() (V, bool) { return h.MaxAt(Latest()) }
+
+// MaxAt is Max at the view's epoch.
+func (h *NumericHandle[V]) MaxAt(view View) (V, bool) {
 	var best V
 	found := false
-	h.Scan(func(_ int, v V) bool {
+	h.ScanAt(view, func(_ int, v V) bool {
 		if !found || v > best {
 			best, found = v, true
 		}

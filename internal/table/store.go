@@ -37,9 +37,10 @@ func (t *Table) InsertRows(rows [][]any) ([]int, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	at := t.clock.Now()
 	ids := make([]int, len(rows))
 	for i, values := range rows {
-		ids[i] = t.insertLocked(values)
+		ids[i] = t.insertLocked(values, at)
 	}
 	return ids, nil
 }

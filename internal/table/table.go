@@ -12,15 +12,22 @@
 // delta and create a second delta (start) and to atomically install the
 // merged mains and promote the second delta (end).  Queries and inserts
 // proceed against main + frozen delta + second delta in between.
+//
+// Row visibility is multi-versioned: every row carries the epoch it was
+// inserted and the epoch it was invalidated (internal/epoch), stamped from
+// the table's epoch clock.  Snapshot captures one epoch (View); reads
+// filtered through a View see exactly the rows current at that epoch, no
+// matter how many updates, deletes or merges commit afterwards.
 package table
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
-	"hyrise/internal/bitvec"
 	"hyrise/internal/core"
+	"hyrise/internal/epoch"
 )
 
 // Type enumerates supported column types.
@@ -90,15 +97,21 @@ var (
 	ErrArity           = errors.New("table: value count does not match schema")
 )
 
+// lockSeq hands every table a unique id; MoveRow orders its two lock
+// acquisitions by it to stay deadlock-free.
+var lockSeq atomic.Uint64
+
 // Table is a column store with main/delta partitions per attribute.
 type Table struct {
 	name   string
 	schema Schema
+	clock  *epoch.Clock // epoch source; shared across shards of one store
+	lockID uint64       // MoveRow lock-ordering id
 
-	mu       sync.RWMutex // guards cols' partition pointers, validity, rows
-	cols     []column
-	validity *bitvec.Vector
-	rows     int
+	mu     sync.RWMutex // guards cols' partition pointers, epochs, rows
+	cols   []column
+	epochs epoch.Rows // per-row begin/end visibility epochs
+	rows   int
 
 	mergeMu   sync.Mutex // serializes whole merges; held across a merge
 	merging   bool       // true between beginMerge and commit/abort (under mu)
@@ -106,17 +119,27 @@ type Table struct {
 	lastMerge Report
 }
 
-// New creates an empty table.
+// New creates an empty table with its own epoch clock.
 func New(name string, schema Schema) (*Table, error) {
+	return NewWithClock(name, schema, epoch.NewClock())
+}
+
+// NewWithClock creates an empty table stamping row epochs from the given
+// clock.  A sharded store passes one clock to all its shards so a single
+// capture freezes every shard at the same epoch.
+func NewWithClock(name string, schema Schema, clock *epoch.Clock) (*Table, error) {
 	if err := schema.Validate(); err != nil {
 		return nil, err
 	}
-	t := &Table{name: name, schema: schema, validity: bitvec.New(0)}
+	t := &Table{name: name, schema: schema, clock: clock, lockID: lockSeq.Add(1)}
 	for _, def := range schema {
 		t.cols = append(t.cols, newColumn(def))
 	}
 	return t, nil
 }
+
+// Clock returns the table's epoch clock.
+func (t *Table) Clock() *epoch.Clock { return t.clock }
 
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
@@ -152,16 +175,19 @@ func (t *Table) Insert(values []any) (int, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.insertLocked(values), nil
+	return t.insertLocked(values, t.clock.Now()), nil
 }
 
-func (t *Table) insertLocked(values []any) int {
+// insertLocked appends a row stamped as inserted at epoch at.  The stamp
+// must have been read from the clock while t.mu was already held — that is
+// what makes each mutation atomic with respect to snapshot captures.
+func (t *Table) insertLocked(values []any, at uint64) int {
 	for i, v := range values {
 		t.cols[i].appendValue(v)
 	}
 	row := t.rows
 	t.rows++
-	t.validity.AppendSet(true)
+	t.epochs.Append(at)
 	return row
 }
 
@@ -183,7 +209,7 @@ func (t *Table) Update(row int, changes map[string]any) (int, error) {
 	if row < 0 || row >= t.rows {
 		return 0, fmt.Errorf("%w: %d", ErrRowRange, row)
 	}
-	if !t.validity.Get(row) {
+	if !t.epochs.Alive(row) {
 		return 0, fmt.Errorf("%w: %d", ErrRowInvalid, row)
 	}
 	values := make([]any, len(t.cols))
@@ -194,8 +220,11 @@ func (t *Table) Update(row int, changes map[string]any) (int, error) {
 		i, _ := t.columnIndex(name)
 		values[i] = v
 	}
-	t.validity.Clear(row)
-	return t.insertLocked(values), nil
+	// One stamp for both sides makes the version switch atomic: a snapshot
+	// at any epoch sees exactly one of the two versions.
+	at := t.clock.Now()
+	t.epochs.Invalidate(row, at)
+	return t.insertLocked(values, at), nil
 }
 
 // Delete invalidates a row; the version history remains stored.
@@ -205,10 +234,10 @@ func (t *Table) Delete(row int) error {
 	if row < 0 || row >= t.rows {
 		return fmt.Errorf("%w: %d", ErrRowRange, row)
 	}
-	if !t.validity.Get(row) {
+	if !t.epochs.Alive(row) {
 		return fmt.Errorf("%w: %d", ErrRowInvalid, row)
 	}
-	t.validity.Clear(row)
+	t.epochs.Invalidate(row, t.clock.Now())
 	return nil
 }
 
@@ -230,7 +259,7 @@ func (t *Table) Row(row int) ([]any, error) {
 func (t *Table) IsValid(row int) bool {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return row >= 0 && row < t.rows && t.validity.Get(row)
+	return row >= 0 && row < t.rows && t.epochs.Alive(row)
 }
 
 // Rows returns the total number of stored row versions.
@@ -244,7 +273,14 @@ func (t *Table) Rows() int {
 func (t *Table) ValidRows() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.validity.Count()
+	return t.epochs.CountAlive()
+}
+
+// ValidRowsAt returns the number of rows visible at the view's epoch.
+func (t *Table) ValidRowsAt(v View) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.epochs.CountVisibleAt(v.resolve())
 }
 
 // MainRows returns the tuple count of the main partitions.
@@ -327,7 +363,7 @@ type Stats struct {
 func (t *Table) Stats() Stats {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	s := Stats{Name: t.name, Rows: t.rows, ValidRows: t.validity.Count()}
+	s := Stats{Name: t.name, Rows: t.rows, ValidRows: t.epochs.CountAlive()}
 	for _, c := range t.cols {
 		cs := c.stats()
 		s.Columns = append(s.Columns, cs)
@@ -337,6 +373,6 @@ func (t *Table) Stats() Stats {
 		s.MainRows = t.cols[0].mainLen()
 		s.DeltaRows = t.cols[0].deltaLen()
 	}
-	s.SizeBytes += t.validity.SizeBytes()
+	s.SizeBytes += t.epochs.SizeBytes()
 	return s
 }

@@ -1,0 +1,117 @@
+package table
+
+import (
+	"fmt"
+
+	"hyrise/internal/epoch"
+)
+
+// View is a frozen read epoch: reads filtered through it see exactly the
+// rows current at the captured epoch, regardless of later updates, deletes
+// or merges (merges never renumber rows or change row content, so an
+// in-flight view stays readable across merge commits).  Views are plain
+// values — cheap to copy, never "closed", valid for the life of the store.
+//
+// The zero View reads latest (current versions only), as do the read
+// methods without an At suffix.
+type View struct {
+	epoch uint64 // 0 = latest
+}
+
+// Latest returns the view that always reads current versions.
+func Latest() View { return View{} }
+
+// ViewAt returns a view pinned to an explicit epoch (tests, tooling).
+func ViewAt(e uint64) View { return View{epoch: e} }
+
+// Epoch returns the captured epoch, or epoch.Latest for a latest view.
+func (v View) Epoch() uint64 { return v.resolve() }
+
+// resolve maps the zero view to the Latest sentinel.
+func (v View) resolve() uint64 {
+	if v.epoch == 0 {
+		return epoch.Latest
+	}
+	return v.epoch
+}
+
+// Snapshot captures the current epoch as a consistent read view.  The
+// capture is one atomic fetch-add on the table's clock — no locks, no
+// coordination with writers: every mutation stamped at or below the
+// captured epoch is included, every later mutation excluded, and because
+// mutations read their stamp while holding every lock they write under,
+// inclusion is all-or-nothing per mutation.
+func (t *Table) Snapshot() View { return View{epoch: t.clock.Capture()} }
+
+// VisibleAt reports whether the row exists and is visible at the view's
+// epoch.  It is IsValid generalized to snapshots.
+func (t *Table) VisibleAt(v View, row int) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return row >= 0 && row < t.rows && t.epochs.VisibleAt(row, v.resolve())
+}
+
+// MoveRow atomically relocates a row version between two tables sharing
+// one epoch clock: it invalidates src's row and inserts values into dst
+// under BOTH table locks with a single epoch stamp, so any snapshot sees
+// exactly one of the two versions — never both, never neither.  The
+// sharded table uses it for key-changing updates that cross shards.
+//
+// Locks are acquired in creation order (lockID), keeping concurrent moves
+// in opposite directions deadlock-free.  values must already be validated
+// and converted for dst's schema.
+func MoveRow(src *Table, row int, dst *Table, values []any) (int, error) {
+	if src == dst {
+		return 0, fmt.Errorf("table: MoveRow within one table (use Update)")
+	}
+	if src.clock != dst.clock {
+		return 0, fmt.Errorf("table: MoveRow across tables with different epoch clocks")
+	}
+	if len(values) != len(dst.cols) {
+		return 0, fmt.Errorf("%w: got %d want %d", ErrArity, len(values), len(dst.cols))
+	}
+	for i, v := range values {
+		if err := dst.cols[i].checkValue(v); err != nil {
+			return 0, err
+		}
+	}
+	first, second := src, dst
+	if second.lockID < first.lockID {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+	if row < 0 || row >= src.rows {
+		return 0, fmt.Errorf("%w: %d", ErrRowRange, row)
+	}
+	if !src.epochs.Alive(row) {
+		return 0, fmt.Errorf("%w: %d", ErrRowInvalid, row)
+	}
+	at := src.clock.Now()
+	src.epochs.Invalidate(row, at)
+	return dst.insertLocked(values, at), nil
+}
+
+// RowEpochs returns copies of the per-row begin/end epoch columns (the
+// snapshot writer persists them).
+func (t *Table) RowEpochs() (begin, end []uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.epochs.Snapshot()
+}
+
+// RestoreRowEpochs overwrites the per-row epochs with persisted values;
+// both slices must cover exactly the current row count.  The snapshot
+// loader rebuilds rows by re-insertion (stamping load-time epochs) and
+// then restores the saved history with this.
+func (t *Table) RestoreRowEpochs(begin, end []uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.epochs.Restore(begin, end) {
+		return fmt.Errorf("table: epoch restore length %d/%d, want %d rows",
+			len(begin), len(end), t.rows)
+	}
+	return nil
+}

@@ -59,12 +59,31 @@ type Store interface {
 	// itself, a sharded table fans out across all shards in parallel
 	// (MergeAll) and condenses the result into one report.
 	RequestMerge(ctx context.Context, opts MergeOptions) (MergeReport, error)
+	// Snapshot captures a consistent read view of the whole store with one
+	// atomic epoch capture — no locks, no coordination with writers.  For
+	// a sharded table the epoch is shared by all shards, so the view is
+	// consistent across them.  Reads through the view (the *At methods,
+	// QueryAt) see exactly the rows current at the captured epoch, no
+	// matter how many updates, deletes, key moves or merges commit
+	// afterwards.
+	Snapshot() ReadView
+	// ValidRowsAt returns the number of rows visible at the view's epoch
+	// (consistent across shards, unlike summing per-partition counts).
+	ValidRowsAt(v ReadView) int
+	// VisibleAt reports whether the row exists and is visible at the
+	// view's epoch — IsValid generalized to snapshots.
+	VisibleAt(v ReadView, row int) bool
 	// StoreStats returns the topology-independent statistics snapshot.
 	StoreStats() StoreStats
 	// Partitions returns the physical table partitions in order: the table
 	// itself for a flat table, one entry per shard otherwise.
 	Partitions() []*Table
 }
+
+// ReadView is a frozen read epoch captured by Store.Snapshot.  Views are
+// plain values: cheap to copy, never closed, valid for the life of the
+// store.  The zero ReadView reads latest (current versions only).
+type ReadView = table.View
 
 // Both topologies satisfy Store.
 var (
@@ -89,8 +108,11 @@ var ErrDriverColumnType = workload.ErrDriverColumnType
 type columnReader[V Value] interface {
 	Get(row int) (V, error)
 	Lookup(v V) []int
+	LookupAt(view ReadView, v V) []int
 	Range(lo, hi V) []int
+	RangeAt(view ReadView, lo, hi V) []int
 	Scan(fn func(row int, v V) bool)
+	ScanAt(view ReadView, fn func(row int, v V) bool)
 	Distinct() int
 }
 
@@ -106,19 +128,31 @@ type Handle[V Value] struct {
 // Get returns the value at a row id (valid or not).
 func (h *Handle[V]) Get(row int) (V, error) { return h.r.Get(row) }
 
-// Lookup returns the row ids of valid rows whose value equals v.
+// Lookup returns the row ids of current rows whose value equals v.
 func (h *Handle[V]) Lookup(v V) []int { return h.r.Lookup(v) }
 
-// Range returns the row ids of valid rows with value in [lo, hi].
+// LookupAt is Lookup against the rows visible at the view's epoch.
+func (h *Handle[V]) LookupAt(view ReadView, v V) []int { return h.r.LookupAt(view, v) }
+
+// Range returns the row ids of current rows with value in [lo, hi].
 func (h *Handle[V]) Range(lo, hi V) []int { return h.r.Range(lo, hi) }
 
-// Scan streams every valid row's value through fn; iteration stops early
+// RangeAt is Range against the rows visible at the view's epoch.
+func (h *Handle[V]) RangeAt(view ReadView, lo, hi V) []int { return h.r.RangeAt(view, lo, hi) }
+
+// Scan streams every current row's value through fn; iteration stops early
 // if fn returns false.  On a sharded table rows stream shard by shard, in
 // per-shard insertion order.
 func (h *Handle[V]) Scan(fn func(row int, v V) bool) { h.r.Scan(fn) }
 
-// CountEqual returns the number of valid rows with value v.
+// ScanAt is Scan against the rows visible at the view's epoch.
+func (h *Handle[V]) ScanAt(view ReadView, fn func(row int, v V) bool) { h.r.ScanAt(view, fn) }
+
+// CountEqual returns the number of current rows with value v.
 func (h *Handle[V]) CountEqual(v V) int { return len(h.r.Lookup(v)) }
+
+// CountEqualAt is CountEqual at the view's epoch.
+func (h *Handle[V]) CountEqualAt(view ReadView, v V) int { return len(h.r.LookupAt(view, v)) }
 
 // Distinct returns the number of distinct values among all stored row
 // versions.
@@ -128,8 +162,11 @@ func (h *Handle[V]) Distinct() int { return h.r.Distinct() }
 // sharded numeric views.
 type numericReader[V interface{ ~uint32 | ~uint64 }] interface {
 	Sum() uint64
+	SumAt(view ReadView) uint64
 	Min() (V, bool)
+	MinAt(view ReadView) (V, bool)
 	Max() (V, bool)
+	MaxAt(view ReadView) (V, bool)
 }
 
 // NumericHandle adds Sum/Min/Max aggregation over valid rows to integer
@@ -140,15 +177,25 @@ type NumericHandle[V interface{ ~uint32 | ~uint64 }] struct {
 	n numericReader[V]
 }
 
-// Sum aggregates the column over valid rows.
+// Sum aggregates the column over current rows.
 func (h *NumericHandle[V]) Sum() uint64 { return h.n.Sum() }
 
-// Min returns the smallest value over valid rows; ok is false when the
-// store has no valid row.
+// SumAt aggregates over the rows visible at the view's epoch — on a
+// sharded table a consistent cross-shard aggregate.
+func (h *NumericHandle[V]) SumAt(view ReadView) uint64 { return h.n.SumAt(view) }
+
+// Min returns the smallest value over current rows; ok is false when the
+// store has no current row.
 func (h *NumericHandle[V]) Min() (V, bool) { return h.n.Min() }
 
-// Max returns the largest value over valid rows.
+// MinAt is Min at the view's epoch.
+func (h *NumericHandle[V]) MinAt(view ReadView) (V, bool) { return h.n.MinAt(view) }
+
+// Max returns the largest value over current rows.
 func (h *NumericHandle[V]) Max() (V, bool) { return h.n.Max() }
+
+// MaxAt is Max at the view's epoch.
+func (h *NumericHandle[V]) MaxAt(view ReadView) (V, bool) { return h.n.MaxAt(view) }
 
 // ColumnOf returns a typed handle for the named column of either
 // topology.  The type parameter must match the column's declared type
@@ -193,16 +240,24 @@ func NumericColumnOf[V interface{ ~uint32 | ~uint64 }](s Store, name string) (*N
 	}
 }
 
-// Query evaluates the conjunction of filters column-at-a-time and projects
-// the named columns (nil projects nothing).  On a sharded table every
-// shard evaluates in parallel and the results merge under global row ids;
-// each shard reads its own snapshot (no cross-shard snapshot).
+// Query evaluates the conjunction of filters column-at-a-time over current
+// rows and projects the named columns (nil projects nothing).  On a
+// sharded table every shard evaluates in parallel and the results merge
+// under global row ids; each shard reads its own per-shard snapshot.  Use
+// QueryAt with a view from Snapshot for a cross-shard-consistent result.
 func Query(s Store, filters []Filter, project []string) (*QueryResult, error) {
+	return QueryAt(s, table.Latest(), filters, project)
+}
+
+// QueryAt is Query against the rows visible at the view's epoch: the
+// result reflects one frozen state of the whole store — across all shards
+// — even while writers and merges proceed.
+func QueryAt(s Store, view ReadView, filters []Filter, project []string) (*QueryResult, error) {
 	switch x := s.(type) {
 	case *Table:
-		return query.Run(x, filters, project)
+		return query.RunAt(x, view, filters, project)
 	case *ShardedTable:
-		return shard.Query(x, filters, project)
+		return shard.QueryAt(x, view, filters, project)
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownStore, s)
 	}

@@ -98,6 +98,37 @@ func replayStore(t *testing.T, s hyrise.Store, seed int64) []string {
 		obs = append(obs, fmt.Sprintf("query(%d,%d)=%v", lo, hi, projected))
 	}
 
+	// observeAt records the store's state as seen through a snapshot view:
+	// the same observation set as record, evaluated with the *At reads.
+	observeAt := func(view hyrise.ReadView) []string {
+		var out []string
+		out = append(out, fmt.Sprintf("snap-valid=%d", s.ValidRowsAt(view)))
+		for k := uint64(0); k < domain; k++ {
+			out = append(out, fmt.Sprintf("snap-lookup(%d)=%v", k, vals(kh.LookupAt(view, k))))
+		}
+		out = append(out, fmt.Sprintf("snap-range=%v", vals(kh.RangeAt(view, 5, 15))))
+		out = append(out, fmt.Sprintf("snap-sum=%d", vn.SumAt(view)))
+		res, err := hyrise.QueryAt(s, view, []hyrise.Filter{
+			{Column: "k", Op: hyrise.FilterBetween, Value: uint64(0), Hi: uint64(domain)},
+		}, []string{"v"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		projected := make([]uint64, 0, len(res.Values))
+		for _, row := range res.Values {
+			projected = append(projected, row[0].(uint64))
+		}
+		sort.Slice(projected, func(i, j int) bool { return projected[i] < projected[j] })
+		out = append(out, fmt.Sprintf("snap-query=%v", projected))
+		return out
+	}
+
+	// A snapshot captured mid-history must keep answering with the state at
+	// its capture point for the rest of the replay.
+	const snapStep = 14
+	var snapView hyrise.ReadView
+	var snapWant []string
+
 	for step := 0; step < 30; step++ {
 		for op := 0; op < 80; op++ {
 			switch rng.Intn(12) {
@@ -165,7 +196,24 @@ func replayStore(t *testing.T, s hyrise.Store, seed int64) []string {
 			}
 		}
 		record(step)
+		if step == snapStep {
+			// Capture mid-history: at capture time the snapshot answers
+			// exactly like the live store (the model state at this point).
+			snapView = s.Snapshot()
+			snapWant = observeAt(snapView)
+			obs = append(obs, snapWant...)
+		}
 	}
+	// The rest of the history (inserts, updates, deletes, merges) has run;
+	// the mid-history snapshot must still match the state at its capture.
+	snapGot := observeAt(snapView)
+	for i := range snapWant {
+		if snapGot[i] != snapWant[i] {
+			t.Fatalf("mid-history snapshot drifted at entry %d:\nat capture: %s\nat end:     %s",
+				i, snapWant[i], snapGot[i])
+		}
+	}
+	obs = append(obs, snapGot...)
 	return obs
 }
 
