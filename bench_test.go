@@ -337,7 +337,7 @@ func BenchmarkShardedLookup(b *testing.B) {
 			if _, err := st.MergeAll(context.Background(), hyrise.MergeAllOptions{}); err != nil {
 				b.Fatal(err)
 			}
-			h, err := hyrise.ShardedColumnOf[uint64](st, "k")
+			h, err := hyrise.ColumnOf[uint64](st, "k")
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -361,7 +361,7 @@ func BenchmarkShardedWorkloadMix(b *testing.B) {
 				st.Insert([]any{uint64(i % 1000), uint64(i)})
 			}
 			st.MergeAll(context.Background(), hyrise.MergeAllOptions{})
-			drv, err := hyrise.NewShardedDriver(st, "k", hyrise.OLTPMix,
+			drv, err := hyrise.NewDriver(st, "k", hyrise.OLTPMix,
 				hyrise.NewUniformGenerator(1000, 5), 5)
 			if err != nil {
 				b.Fatal(err)

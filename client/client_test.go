@@ -1,0 +1,199 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+
+	"hyrise/internal/server"
+	"hyrise/internal/table"
+	"hyrise/internal/wire"
+)
+
+func testServer(t *testing.T) string {
+	t.Helper()
+	flat, err := table.New("kv", table.Schema{
+		{Name: "k", Type: table.Uint64},
+		{Name: "qty", Type: table.Uint32},
+		{Name: "name", Type: table.String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(flat, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	return l.Addr().String()
+}
+
+func TestCoerceType(t *testing.T) {
+	cases := []struct {
+		typ  Type
+		in   any
+		want any
+		err  error
+	}{
+		{Uint64, uint64(7), uint64(7), nil},
+		{Uint64, 7, uint64(7), nil},
+		{Uint64, int64(7), uint64(7), nil},
+		{Uint64, uint32(7), uint64(7), nil},
+		{Uint64, -1, nil, ErrColumnType},
+		{Uint64, "7", nil, ErrColumnType},
+		{Uint32, uint32(7), uint32(7), nil},
+		{Uint32, 7, uint32(7), nil},
+		{Uint32, uint64(1 << 40), nil, ErrColumnType},
+		{Uint32, -3, nil, ErrColumnType},
+		{String, "x", "x", nil},
+		{String, 7, nil, ErrColumnType},
+	}
+	for _, tc := range cases {
+		got, err := coerceType(tc.typ, "c", tc.in)
+		if !errors.Is(err, tc.err) {
+			t.Errorf("coerce(%v, %T %v): err=%v want %v", tc.typ, tc.in, tc.in, err, tc.err)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("coerce(%v, %v) = %v (%T) want %v (%T)", tc.typ, tc.in, got, got, tc.want, tc.want)
+		}
+	}
+}
+
+func TestErrFromStatus(t *testing.T) {
+	codes := map[uint8]error{
+		wire.StatusErr:            ErrServer,
+		wire.StatusErrRowRange:    ErrRowRange,
+		wire.StatusErrRowInvalid:  ErrRowInvalid,
+		wire.StatusErrNoColumn:    ErrNoColumn,
+		wire.StatusErrArity:       ErrArity,
+		wire.StatusErrMergeBusy:   ErrMergeBusy,
+		wire.StatusErrBadSnapshot: ErrBadSnapshot,
+		wire.StatusErrBadRequest:  ErrBadRequest,
+		wire.StatusErrColumnType:  ErrColumnType,
+		0xff:                      ErrServer, // unknown codes degrade to generic
+	}
+	for code, sentinel := range codes {
+		if err := errFromStatus(code, "detail"); !errors.Is(err, sentinel) {
+			t.Errorf("status 0x%02x: %v does not unwrap to %v", code, err, sentinel)
+		}
+	}
+}
+
+// TestInsertBatchPipelining pushes a batch spanning several chunk frames
+// through one connection and checks ids come back in input order.
+func TestInsertBatchPipelining(t *testing.T) {
+	addr := testServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Enough chunks that the responses alone overflow a socket buffer:
+	// guards the concurrent-drain design that keeps huge pipelined
+	// batches from deadlocking on full TCP buffers.
+	n := batchChunk*40 + 137 // 41 pipelined frames
+	rows := make([][]any, n)
+	for i := range rows {
+		rows[i] = []any{uint64(i), uint32(i % 9), "bulk"}
+	}
+	ids, err := c.InsertBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != n {
+		t.Fatalf("got %d ids want %d", len(ids), n)
+	}
+	// Flat-table ids are dense and insertion-ordered, so input order is
+	// directly checkable.
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("id[%d] = %d", i, id)
+		}
+	}
+	if got, _ := c.ValidRows(); got != n {
+		t.Fatalf("valid rows %d want %d", got, n)
+	}
+
+	// A bad row inside a chunk fails that chunk atomically; the client
+	// reports the error and the connection stays usable.
+	bad := make([][]any, 3)
+	bad[0] = []any{uint64(1), uint32(1), "ok"}
+	bad[1] = []any{uint64(2), uint32(1), "ok"}
+	bad[2] = []any{uint64(3)} // arity
+	if _, err := c.InsertBatch(bad); !errors.Is(err, ErrArity) {
+		t.Fatalf("bad batch err=%v want ErrArity", err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection unusable after failed batch: %v", err)
+	}
+}
+
+// TestClientPoolConcurrency hammers one pooled client from many
+// goroutines; the pool must serve them all without cross-talk.
+func TestClientPoolConcurrency(t *testing.T) {
+	addr := testServer(t)
+	c, err := DialOptions(addr, Options{Conns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const goroutines = 12
+	const each = 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				k := uint64(g*each + i)
+				id, err := c.Insert([]any{k, uint32(1), "c"})
+				if err != nil {
+					t.Errorf("g%d insert: %v", g, err)
+					return
+				}
+				rows, err := c.Lookup("k", k)
+				if err != nil || len(rows) != 1 || rows[0] != id {
+					t.Errorf("g%d lookup(%d): %v %v", g, k, rows, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, _ := c.ValidRows(); got != goroutines*each {
+		t.Fatalf("valid rows %d want %d", got, goroutines*each)
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	addr := testServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("err=%v want ErrClientClosed", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestDialRefusesNonServer(t *testing.T) {
+	// Nothing listening.
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+}

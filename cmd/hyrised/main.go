@@ -1,0 +1,256 @@
+// Command hyrised is the standalone hyrise database server: it owns one
+// table (flat or sharded), serves the full Store surface to network
+// clients over the length-prefixed binary protocol (see internal/server),
+// and keeps delta fractions bounded with a background merge scheduler
+// while traffic flows.
+//
+// # Quick start
+//
+// Start a 4-shard server with a fresh table and a snapshot file:
+//
+//	$ hyrised -addr :4860 -shards 4 \
+//	    -schema 'order_id:uint64,qty:uint32,product:string' \
+//	    -snapshot /var/lib/hyrise/sales.hyr
+//
+// Point a Go client at it and run a mixed workload:
+//
+//	c, err := client.Dial("localhost:4860")   // hyrise/client
+//	id, _ := c.Insert([]any{uint64(1), uint32(3), "widget"})
+//	snap, _ := c.Snapshot()                   // frozen, cross-shard
+//	rows, _ := c.LookupAt(snap, "order_id", 1)
+//	sum, _ := c.SumAt(snap, "qty")            // consistent with rows
+//	c.Merge(client.MergeOptions{})            // online, reads keep flowing
+//
+// On SIGINT/SIGTERM the daemon drains in-flight requests, stops the
+// scheduler, folds the remaining deltas into the mains (-compact=false
+// skips this), and saves the snapshot; at the next start the snapshot is
+// loaded (its recorded topology wins over -shards) and served again.
+//
+// # Flags
+//
+//	-addr            listen address (default 127.0.0.1:4860)
+//	-table           table name for a fresh store (default "main")
+//	-schema          fresh-store schema, comma-separated col:type pairs
+//	                 (types: uint32, uint64, string)
+//	-key             hash-partitioning column (default: first column)
+//	-shards          shard count for a fresh store; 1 = flat table
+//	-snapshot        snapshot path: loaded at start when present, saved
+//	                 on shutdown (empty = in-memory only)
+//	-merge-fraction  delta/main fraction that triggers a merge; <= 0
+//	                 disables the background scheduler (default 0.05)
+//	-merge-interval  scheduler poll period (default 100ms)
+//	-merge-threads   per-merge thread budget (0 = split evenly)
+//	-merge-bg        merge with a single background thread
+//	-compact         merge all deltas before the shutdown save (default true)
+//	-drain           graceful-shutdown timeout (default 10s)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hyrise"
+	"hyrise/internal/server"
+)
+
+type config struct {
+	addr          string
+	table         string
+	schema        string
+	key           string
+	shards        int
+	snapshot      string
+	mergeFraction float64
+	mergeInterval time.Duration
+	mergeThreads  int
+	mergeBg       bool
+	compact       bool
+	drain         time.Duration
+
+	// onReady, when non-nil, receives the bound listen address once the
+	// server is accepting (tests listen on :0 and need the real port).
+	onReady func(addr string)
+}
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:4860", "listen address")
+	flag.StringVar(&cfg.table, "table", "main", "table name for a fresh store")
+	flag.StringVar(&cfg.schema, "schema", "id:uint64,qty:uint32,product:string",
+		"fresh-store schema as comma-separated col:type pairs")
+	flag.StringVar(&cfg.key, "key", "", "hash-partitioning column (default: first column)")
+	flag.IntVar(&cfg.shards, "shards", 1, "shard count for a fresh store (1 = flat)")
+	flag.StringVar(&cfg.snapshot, "snapshot", "", "snapshot path (load on start, save on stop)")
+	flag.Float64Var(&cfg.mergeFraction, "merge-fraction", 0.05,
+		"delta fraction triggering a merge (<= 0 disables the scheduler)")
+	flag.DurationVar(&cfg.mergeInterval, "merge-interval", 100*time.Millisecond, "scheduler poll period")
+	flag.IntVar(&cfg.mergeThreads, "merge-threads", 0, "per-merge thread budget (0 = split evenly)")
+	flag.BoolVar(&cfg.mergeBg, "merge-bg", false, "merge with a single background thread")
+	flag.BoolVar(&cfg.compact, "compact", true, "merge all deltas before the shutdown save")
+	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown timeout")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	logger := log.New(os.Stderr, "hyrised: ", log.LstdFlags)
+	if err := run(ctx, cfg, logger); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+// run owns the daemon lifecycle: open (or create) the store, start the
+// merge scheduler, serve until ctx is cancelled, then drain, compact and
+// save.  It is the whole daemon minus flags and signals, so tests run it
+// in-process.
+func run(ctx context.Context, cfg config, logger *log.Logger) error {
+	st, err := openStore(cfg, logger)
+	if err != nil {
+		return err
+	}
+
+	var sched *hyrise.Scheduler
+	if cfg.mergeFraction > 0 {
+		sc := hyrise.SchedulerConfig{
+			Fraction: cfg.mergeFraction,
+			Interval: cfg.mergeInterval,
+			Threads:  cfg.mergeThreads,
+			OnError:  func(err error) { logger.Printf("merge: %v", err) },
+		}
+		if cfg.mergeBg {
+			sc.Strategy = hyrise.Background
+		}
+		sched = hyrise.NewScheduler(st, sc)
+		if err := sched.Start(); err != nil {
+			return err
+		}
+		defer sched.Stop()
+	}
+
+	l, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(st, server.Options{Logf: logger.Printf})
+	if err != nil {
+		l.Close()
+		return err
+	}
+	logger.Printf("serving %q (%d shard(s)) on %s", st.Name(), st.StoreStats().Shards, l.Addr())
+	if cfg.onReady != nil {
+		cfg.onReady(l.Addr().String())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Printf("draining (timeout %s)", cfg.drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		logger.Printf("shutdown: %v (connections closed forcibly)", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, server.ErrServerClosed) {
+		logger.Printf("serve: %v", err)
+	}
+	if sched != nil {
+		sched.Stop()
+	}
+
+	if cfg.compact && st.DeltaRows() > 0 {
+		// Fold the remaining deltas so the snapshot reloads fully merged;
+		// the stopped scheduler still carries the configured merge budget.
+		var err error
+		if sched != nil {
+			err = sched.MergeNow(context.Background())
+		} else {
+			_, err = st.RequestMerge(context.Background(), hyrise.MergeOptions{Threads: cfg.mergeThreads})
+		}
+		if err != nil {
+			logger.Printf("final merge: %v", err)
+		}
+	}
+	if cfg.snapshot != "" {
+		if err := hyrise.SaveFile(st, cfg.snapshot); err != nil {
+			return fmt.Errorf("save snapshot: %w", err)
+		}
+		logger.Printf("saved %s (%d rows)", cfg.snapshot, st.Rows())
+	}
+	return nil
+}
+
+// openStore loads the snapshot when it exists (the file's topology wins)
+// and otherwise creates a fresh store from -schema/-key/-shards.
+func openStore(cfg config, logger *log.Logger) (hyrise.Store, error) {
+	if cfg.snapshot != "" {
+		if _, err := os.Stat(cfg.snapshot); err == nil {
+			st, err := hyrise.LoadFile(cfg.snapshot)
+			if err != nil {
+				return nil, fmt.Errorf("load snapshot: %w", err)
+			}
+			stats := st.StoreStats()
+			logger.Printf("loaded %s: %d rows, %d shard(s)", cfg.snapshot, st.Rows(), stats.Shards)
+			if cfg.shards > 1 && stats.Shards != cfg.shards {
+				logger.Printf("note: snapshot topology (%d shard(s)) overrides -shards %d",
+					stats.Shards, cfg.shards)
+			}
+			return st, nil
+		}
+	}
+	schema, err := parseSchema(cfg.schema)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.shards > 1 {
+		key := cfg.key
+		if key == "" {
+			key = schema[0].Name
+		}
+		return hyrise.NewShardedTable(cfg.table, schema, key, cfg.shards)
+	}
+	return hyrise.NewTable(cfg.table, schema)
+}
+
+// parseSchema turns "id:uint64,qty:uint32,product:string" into a Schema.
+func parseSchema(spec string) (hyrise.Schema, error) {
+	var schema hyrise.Schema
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		name, typ, ok := strings.Cut(field, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad column spec %q (want name:type)", field)
+		}
+		var ct hyrise.Type
+		switch typ {
+		case "uint32":
+			ct = hyrise.Uint32
+		case "uint64":
+			ct = hyrise.Uint64
+		case "string":
+			ct = hyrise.String
+		default:
+			return nil, fmt.Errorf("column %q: unknown type %q", name, typ)
+		}
+		schema = append(schema, hyrise.ColumnDef{Name: name, Type: ct})
+	}
+	if len(schema) == 0 {
+		return nil, errors.New("empty -schema")
+	}
+	return schema, nil
+}

@@ -93,9 +93,35 @@
 // shard; they are not dense and not in global insertion order.  Updates
 // that change the key column may relocate a row to another shard.
 //
-// The Sharded* entry points (ShardedColumnOf, ShardedQuery,
-// NewShardedScheduler, NewShardedDriver) are deprecated thin aliases of
-// the unified functions and will be removed after one release.
+// # Network serving
+//
+// Either topology can serve real concurrent client traffic as a
+// standalone database server.  The cmd/hyrised daemon owns a store
+// (fresh from -schema, or loaded from its -snapshot file), serves the
+// full Store surface over a length-prefixed binary protocol on TCP,
+// keeps delta fractions bounded with a background merge scheduler while
+// traffic flows, and on SIGTERM drains in-flight requests, compacts and
+// saves the snapshot it will reload at the next start:
+//
+//	$ hyrised -addr :4860 -shards 4 \
+//	    -schema 'order_id:uint64,qty:uint32,product:string' \
+//	    -snapshot sales.hyr
+//
+// The Go client (package hyrise/client, re-exported here as Dial) pools
+// connections, pipelines batches and rehydrates the library's typed
+// errors.  Snapshot tokens are registered server-side, so pinned reads
+// stay consistent across pooled connections — and across clients:
+//
+//	c, _ := hyrise.Dial("localhost:4860")
+//	id, _ := c.Insert([]any{uint64(1), uint32(3), "widget"})
+//	snap, _ := c.Snapshot()             // frozen, cross-shard consistent
+//	rows, _ := c.LookupAt(snap, "order_id", 1)
+//	sum, _ := c.SumAt(snap, "qty")      // agrees with rows, despite writers
+//	c.Release(snap)
+//
+// To embed the server instead of running the daemon, hand a Store and a
+// listener to Serve; the returned DBServer drains gracefully via
+// Shutdown.  The wire protocol is documented in internal/server.
 //
 // The subpackages under internal implement the paper's substrate systems
 // (bit-packed vectors, sorted dictionaries, CSB+ trees, the merge itself,

@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"hyrise/internal/shard"
 	"hyrise/internal/table"
@@ -577,30 +578,56 @@ func loadV1(r *reader) (*table.Table, error) {
 	return t, nil
 }
 
-// SaveFile writes a flat-table snapshot to path.
+// SaveFile writes a flat-table snapshot to path atomically.
 func SaveFile(t *table.Table, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := Save(t, f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return saveFileAtomic(path, func(w io.Writer) error { return Save(t, w) })
 }
 
-// SaveShardedFile writes a sharded-table snapshot to path.
+// SaveShardedFile writes a sharded-table snapshot to path atomically.
 func SaveShardedFile(st *shard.Table, path string) error {
-	f, err := os.Create(path)
+	return saveFileAtomic(path, func(w io.Writer) error { return SaveSharded(st, w) })
+}
+
+// saveFileAtomic writes through a temp file in the target directory and
+// renames it into place, so an interrupted save never truncates or
+// corrupts an existing snapshot — cmd/hyrised saves on shutdown and
+// serves whatever the file holds at the next start.  The replaced
+// file's permissions are preserved (0644 for a fresh file, matching
+// what a plain create would produce) rather than CreateTemp's 0600.
+func saveFileAtomic(path string, write func(io.Writer) error) error {
+	mode := os.FileMode(0o644)
+	if fi, err := os.Stat(path); err == nil {
+		mode = fi.Mode().Perm()
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), ".hyrise-snap-*")
 	if err != nil {
 		return err
 	}
-	if err := SaveSharded(st, f); err != nil {
+	tmp := f.Name()
+	if err := write(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Chmod(mode); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // LoadAnyFile reads a snapshot of either topology from path.

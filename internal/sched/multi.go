@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"runtime"
 )
@@ -83,6 +84,18 @@ func (m *Multi) Paused() bool {
 		}
 	}
 	return true
+}
+
+// MergeNow synchronously drains every target's delta (see
+// Scheduler.MergeNow), joining any per-target errors.
+func (m *Multi) MergeNow(ctx context.Context) error {
+	var errs []error
+	for _, s := range m.scheds {
+		if err := s.MergeNow(ctx); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // ShouldMerge reports whether any target currently meets its trigger

@@ -165,6 +165,28 @@ func (s *Scheduler) LastErr() error {
 	return s.lastErr
 }
 
+// MergeNow synchronously merges the target if it holds any delta rows,
+// regardless of the trigger condition, using the scheduler's configured
+// thread budget.  It does not require (or disturb) a running supervision
+// loop: whole-table merges serialize, so a concurrent scheduled merge
+// simply runs first.  Callers use it to drain deltas deliberately — e.g.
+// cmd/hyrised compacts on shutdown so the saved snapshot reloads with
+// everything merged.
+func (s *Scheduler) MergeNow(ctx context.Context) error {
+	if s.t.DeltaRows() == 0 {
+		return nil
+	}
+	threads := s.cfg.Threads
+	if threads <= 0 && s.cfg.Strategy == Background {
+		threads = 1
+	}
+	_, err := s.t.Merge(ctx, table.MergeOptions{
+		Algorithm: s.cfg.Algorithm,
+		Threads:   threads,
+	})
+	return err
+}
+
 // ShouldMerge evaluates the trigger condition against current table state.
 func (s *Scheduler) ShouldMerge() bool {
 	nd := s.t.DeltaRows()

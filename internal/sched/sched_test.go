@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -177,5 +178,38 @@ func TestDefaults(t *testing.T) {
 	c.setDefaults()
 	if c.Fraction != 0.05 || c.Interval != 100*time.Millisecond {
 		t.Fatalf("defaults %+v", c)
+	}
+}
+
+func TestMergeNow(t *testing.T) {
+	tb := newTable(t)
+	s := NewFor(tb, Config{Threads: 2})
+	// Nothing to merge: a no-op, no error.
+	if err := s.MergeNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	fill(t, tb, 50)
+	// The trigger condition is irrelevant: MergeNow drains regardless.
+	if err := s.MergeNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if tb.DeltaRows() != 0 || tb.MainRows() != 50 {
+		t.Fatalf("delta=%d main=%d after MergeNow", tb.DeltaRows(), tb.MainRows())
+	}
+}
+
+func TestMultiMergeNow(t *testing.T) {
+	t1, t2 := newTable(t), newTable(t)
+	fill(t, t1, 30)
+	fill(t, t2, 20)
+	m := NewMulti([]MergeTable{t1, t2}, Config{})
+	if err := m.MergeNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if t1.DeltaRows() != 0 || t2.DeltaRows() != 0 {
+		t.Fatalf("deltas %d/%d after Multi.MergeNow", t1.DeltaRows(), t2.DeltaRows())
+	}
+	if t1.MainRows() != 30 || t2.MainRows() != 20 {
+		t.Fatalf("mains %d/%d", t1.MainRows(), t2.MainRows())
 	}
 }

@@ -1,0 +1,67 @@
+// Package server exposes the full Store surface — inserts, insert-only
+// updates and deletes, typed reads, aggregates, conjunctive queries,
+// snapshot capture and pinned-snapshot reads, statistics and merge
+// control — over a length-prefixed binary protocol on TCP, turning the
+// embedded column store into a standalone database server (cmd/hyrised).
+// The matching Go client lives in hyrise/client; the encoding both sides
+// share lives in hyrise/internal/wire.
+//
+// # Protocol
+//
+// Transport is any stream connection (the daemon uses TCP).  Every
+// message is one frame: a 4-byte big-endian payload length followed by
+// the payload, capped at wire.MaxFrame (16 MiB).  A request payload is
+// one opcode byte plus the op-specific body; a response payload is one
+// status byte — wire.StatusOK followed by the result body, or an error
+// code followed by a message string.  Scalars are big-endian; strings
+// are u32-length-prefixed; column values travel as a one-byte type tag
+// (uint32 | uint64 | string) plus the scalar, mirroring the store's
+// column types.  The full body layout of every opcode is documented on
+// the wire.Op* constants.
+//
+// # Session model
+//
+// Each connection is an independent session served by one goroutine.
+// Requests on a connection are executed strictly in order and answered
+// in order, so clients may pipeline: send N requests back to back, then
+// read N responses (hyrise/client batches inserts this way).  There is
+// no per-session state beyond the connection itself — snapshot tokens
+// (below) are server-wide, so a token captured on one connection is
+// valid on every other connection of the same server, which lets a
+// pooled client spread pinned reads across its connections.
+// Concurrency across sessions is the store's own concurrency: handlers
+// call straight into Store methods, whose shard locks and epoch clock do
+// the coordination.
+//
+// # Snapshots
+//
+// OpSnapshot captures a Store.Snapshot (one atomic epoch fetch-add,
+// consistent across every shard) and registers it in the server's
+// snapshot registry under a fresh nonzero token, which is returned to
+// the client.  Read requests carry a token field: zero reads latest,
+// a registered token reads frozen at that snapshot's epoch no matter
+// how many inserts, updates, deletes or merges commit in between, and
+// an unknown token fails with wire.StatusErrBadSnapshot.
+// OpSnapshotRelease drops a token; releasing keeps the registry bounded
+// but is otherwise optional, because views cost nothing to hold open.
+//
+// # Scans at the server boundary
+//
+// Scan callbacks run under the table's read lock and must not re-enter
+// the table (the PR 3 caveat): a concurrent writer queued between the
+// two read-lock acquisitions would deadlock the server.  OpScan with
+// row materialization therefore collects row ids and column values
+// under the scan, lets the scan finish, and only then reads the other
+// columns of the matched rows — row versions are immutable, so the
+// late reads are identical to what the scan saw.
+//
+// # Shutdown
+//
+// Server.Shutdown stops accepting connections, lets every in-flight
+// request finish and its response flush, closes idle connections, and
+// returns when the last session drains (or the context expires, at
+// which point remaining connections are closed forcibly).  Sessions
+// notice the drain after their current request and close; pipelined
+// requests that were still queued behind it are dropped with the
+// connection, which clients observe as io.EOF and may retry elsewhere.
+package server

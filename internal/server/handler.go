@@ -1,0 +1,731 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"hyrise/internal/core"
+	"hyrise/internal/query"
+	"hyrise/internal/shard"
+	"hyrise/internal/table"
+	"hyrise/internal/val"
+	"hyrise/internal/wire"
+)
+
+// errColumnType maps to wire.StatusErrColumnType: a request value (or the
+// op itself) does not fit the column's declared type.
+var errColumnType = errors.New("server: value does not fit column type")
+
+// handle decodes and executes one request, writing the full response
+// payload (status byte first) into out.  Malformed payloads become error
+// responses, never session faults: framing is length-delimited, so the
+// stream stays in sync regardless of payload content.
+func (s *Server) handle(payload []byte, out *wire.Buffer) {
+	r := wire.NewReader(payload)
+	op, err := r.U8()
+	if err != nil {
+		s.fail(out, fmt.Errorf("%w: empty request", wire.ErrMalformed))
+		return
+	}
+	out.U8(wire.StatusOK)
+	switch op {
+	case wire.OpPing:
+		err = r.Rest()
+	case wire.OpSchema:
+		err = s.opSchema(r, out)
+	case wire.OpInsert:
+		err = s.opInsert(r, out)
+	case wire.OpInsertBatch:
+		err = s.opInsertBatch(r, out)
+	case wire.OpUpdate:
+		err = s.opUpdate(r, out)
+	case wire.OpDelete:
+		err = s.opDelete(r, out)
+	case wire.OpRow:
+		err = s.opRow(r, out)
+	case wire.OpIsValid:
+		err = s.opIsValid(r, out)
+	case wire.OpSnapshot:
+		if err = r.Rest(); err == nil {
+			out.U64(s.registerSnapshot())
+		}
+	case wire.OpSnapshotRelease:
+		err = s.opSnapshotRelease(r, out)
+	case wire.OpLookup:
+		err = s.opLookup(r, out)
+	case wire.OpRange:
+		err = s.opRange(r, out)
+	case wire.OpScan:
+		err = s.opScan(r, out)
+	case wire.OpSum, wire.OpMin, wire.OpMax:
+		err = s.opAggregate(op, r, out)
+	case wire.OpCountEqual:
+		err = s.opCountEqual(r, out)
+	case wire.OpQuery:
+		err = s.opQuery(r, out)
+	case wire.OpValidRows:
+		err = s.opValidRows(r, out)
+	case wire.OpVisible:
+		err = s.opVisible(r, out)
+	case wire.OpStats:
+		err = s.opStats(r, out)
+	case wire.OpMerge:
+		err = s.opMerge(r, out)
+	default:
+		err = fmt.Errorf("%w: unknown opcode 0x%02x", wire.ErrMalformed, op)
+	}
+	if err != nil {
+		s.fail(out, err)
+	}
+}
+
+// fail rewrites out as an error response.
+func (s *Server) fail(out *wire.Buffer, err error) {
+	out.Reset()
+	out.U8(statusOf(err))
+	out.String(err.Error())
+}
+
+// statusOf maps library errors to wire status codes so the client can
+// rehydrate them as typed errors.
+func statusOf(err error) uint8 {
+	switch {
+	case errors.Is(err, table.ErrRowRange):
+		return wire.StatusErrRowRange
+	case errors.Is(err, table.ErrRowInvalid):
+		return wire.StatusErrRowInvalid
+	case errors.Is(err, table.ErrNoColumn):
+		return wire.StatusErrNoColumn
+	case errors.Is(err, table.ErrArity):
+		return wire.StatusErrArity
+	case errors.Is(err, table.ErrMergeInProgress):
+		return wire.StatusErrMergeBusy
+	case errors.Is(err, errBadSnapshot):
+		return wire.StatusErrBadSnapshot
+	case errors.Is(err, errColumnType):
+		return wire.StatusErrColumnType
+	case errors.Is(err, wire.ErrMalformed):
+		return wire.StatusErrBadRequest
+	default:
+		return wire.StatusErr
+	}
+}
+
+// colType resolves a column's declared type.
+func (s *Server) colType(name string) (table.Type, error) {
+	for _, def := range s.st.Schema() {
+		if def.Name == name {
+			return def.Type, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", table.ErrNoColumn, name)
+}
+
+// handleReads is the typed read surface shared by table.Handle and
+// shard.Handle; handleOf binds one for either topology.
+type handleReads[V val.Value] interface {
+	LookupAt(view table.View, v V) []int
+	RangeAt(view table.View, lo, hi V) []int
+	ScanAt(view table.View, fn func(row int, v V) bool)
+	CountEqualAt(view table.View, v V) int
+}
+
+func handleOf[V val.Value](s *Server, col string) (handleReads[V], error) {
+	if s.flat != nil {
+		return table.ColumnOf[V](s.flat, col)
+	}
+	return shard.ColumnOf[V](s.sharded, col)
+}
+
+// want asserts the decoded wire value against the column's Go type.
+func want[V val.Value](v any, col string) (V, error) {
+	tv, ok := v.(V)
+	if !ok {
+		return tv, fmt.Errorf("%w: %T for column %q (want %T)", errColumnType, v, col, tv)
+	}
+	return tv, nil
+}
+
+// --- mutation ops ---
+
+func (s *Server) opInsert(r *wire.Reader, out *wire.Buffer) error {
+	values, err := r.Row()
+	if err != nil {
+		return err
+	}
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	id, err := s.st.Insert(values)
+	if err != nil {
+		return err
+	}
+	out.U64(uint64(id))
+	return nil
+}
+
+func (s *Server) opInsertBatch(r *wire.Reader, out *wire.Buffer) error {
+	n, err := r.U32()
+	if err != nil {
+		return err
+	}
+	if int(n) > r.Len()/2 {
+		return fmt.Errorf("%w: batch claims %d rows in %d bytes", wire.ErrMalformed, n, r.Len())
+	}
+	rows := make([][]any, n)
+	for i := range rows {
+		if rows[i], err = r.Row(); err != nil {
+			return err
+		}
+	}
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	ids, err := s.st.InsertRows(rows)
+	if err != nil {
+		return err
+	}
+	out.RowIDs(ids)
+	return nil
+}
+
+func (s *Server) opUpdate(r *wire.Reader, out *wire.Buffer) error {
+	row, err := r.U64()
+	if err != nil {
+		return err
+	}
+	n, err := r.U16()
+	if err != nil {
+		return err
+	}
+	changes := make(map[string]any, n)
+	for i := 0; i < int(n); i++ {
+		col, err := r.String()
+		if err != nil {
+			return err
+		}
+		v, err := r.Value()
+		if err != nil {
+			return err
+		}
+		changes[col] = v
+	}
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	id, err := s.st.Update(int(row), changes)
+	if err != nil {
+		return err
+	}
+	out.U64(uint64(id))
+	return nil
+}
+
+func (s *Server) opDelete(r *wire.Reader, out *wire.Buffer) error {
+	row, err := r.U64()
+	if err != nil {
+		return err
+	}
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	return s.st.Delete(int(row))
+}
+
+// --- row ops ---
+
+func (s *Server) opRow(r *wire.Reader, out *wire.Buffer) error {
+	row, err := r.U64()
+	if err != nil {
+		return err
+	}
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	values, err := s.st.Row(int(row))
+	if err != nil {
+		return err
+	}
+	return out.Row(values)
+}
+
+func (s *Server) opIsValid(r *wire.Reader, out *wire.Buffer) error {
+	row, err := r.U64()
+	if err != nil {
+		return err
+	}
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	out.U8(boolByte(s.st.IsValid(int(row))))
+	return nil
+}
+
+// --- snapshot ops ---
+
+func (s *Server) opSnapshotRelease(r *wire.Reader, out *wire.Buffer) error {
+	tok, err := r.U64()
+	if err != nil {
+		return err
+	}
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	return s.releaseSnapshot(tok)
+}
+
+func (s *Server) opValidRows(r *wire.Reader, out *wire.Buffer) error {
+	view, err := s.viewArgRest(r)
+	if err != nil {
+		return err
+	}
+	out.U64(uint64(s.st.ValidRowsAt(view)))
+	return nil
+}
+
+func (s *Server) opVisible(r *wire.Reader, out *wire.Buffer) error {
+	tok, err := r.U64()
+	if err != nil {
+		return err
+	}
+	row, err := r.U64()
+	if err != nil {
+		return err
+	}
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	view, err := s.viewFor(tok)
+	if err != nil {
+		return err
+	}
+	out.U8(boolByte(s.st.VisibleAt(view, int(row))))
+	return nil
+}
+
+// viewArgRest decodes a trailing snapshot-token argument.
+func (s *Server) viewArgRest(r *wire.Reader) (table.View, error) {
+	tok, err := r.U64()
+	if err != nil {
+		return table.View{}, err
+	}
+	if err := r.Rest(); err != nil {
+		return table.View{}, err
+	}
+	return s.viewFor(tok)
+}
+
+// --- typed read ops ---
+
+// readArgs decodes the common (token, column) prefix of read requests.
+func (s *Server) readArgs(r *wire.Reader) (table.View, string, table.Type, error) {
+	tok, err := r.U64()
+	if err != nil {
+		return table.View{}, "", 0, err
+	}
+	col, err := r.String()
+	if err != nil {
+		return table.View{}, "", 0, err
+	}
+	view, err := s.viewFor(tok)
+	if err != nil {
+		return table.View{}, "", 0, err
+	}
+	typ, err := s.colType(col)
+	if err != nil {
+		return table.View{}, "", 0, err
+	}
+	return view, col, typ, nil
+}
+
+func lookupTyped[V val.Value](s *Server, view table.View, col string, v any) ([]int, error) {
+	tv, err := want[V](v, col)
+	if err != nil {
+		return nil, err
+	}
+	h, err := handleOf[V](s, col)
+	if err != nil {
+		return nil, err
+	}
+	return h.LookupAt(view, tv), nil
+}
+
+func (s *Server) opLookup(r *wire.Reader, out *wire.Buffer) error {
+	view, col, typ, err := s.readArgs(r)
+	if err != nil {
+		return err
+	}
+	v, err := r.Value()
+	if err != nil {
+		return err
+	}
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	var ids []int
+	switch typ {
+	case table.Uint32:
+		ids, err = lookupTyped[uint32](s, view, col, v)
+	case table.Uint64:
+		ids, err = lookupTyped[uint64](s, view, col, v)
+	default:
+		ids, err = lookupTyped[string](s, view, col, v)
+	}
+	if err != nil {
+		return err
+	}
+	out.RowIDs(ids)
+	return nil
+}
+
+func rangeTyped[V val.Value](s *Server, view table.View, col string, lo, hi any) ([]int, error) {
+	tlo, err := want[V](lo, col)
+	if err != nil {
+		return nil, err
+	}
+	thi, err := want[V](hi, col)
+	if err != nil {
+		return nil, err
+	}
+	h, err := handleOf[V](s, col)
+	if err != nil {
+		return nil, err
+	}
+	return h.RangeAt(view, tlo, thi), nil
+}
+
+func (s *Server) opRange(r *wire.Reader, out *wire.Buffer) error {
+	view, col, typ, err := s.readArgs(r)
+	if err != nil {
+		return err
+	}
+	lo, err := r.Value()
+	if err != nil {
+		return err
+	}
+	hi, err := r.Value()
+	if err != nil {
+		return err
+	}
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	var ids []int
+	switch typ {
+	case table.Uint32:
+		ids, err = rangeTyped[uint32](s, view, col, lo, hi)
+	case table.Uint64:
+		ids, err = rangeTyped[uint64](s, view, col, lo, hi)
+	default:
+		ids, err = rangeTyped[string](s, view, col, lo, hi)
+	}
+	if err != nil {
+		return err
+	}
+	out.RowIDs(ids)
+	return nil
+}
+
+func countTyped[V val.Value](s *Server, view table.View, col string, v any) (int, error) {
+	tv, err := want[V](v, col)
+	if err != nil {
+		return 0, err
+	}
+	h, err := handleOf[V](s, col)
+	if err != nil {
+		return 0, err
+	}
+	return h.CountEqualAt(view, tv), nil
+}
+
+func (s *Server) opCountEqual(r *wire.Reader, out *wire.Buffer) error {
+	view, col, typ, err := s.readArgs(r)
+	if err != nil {
+		return err
+	}
+	v, err := r.Value()
+	if err != nil {
+		return err
+	}
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	var n int
+	switch typ {
+	case table.Uint32:
+		n, err = countTyped[uint32](s, view, col, v)
+	case table.Uint64:
+		n, err = countTyped[uint64](s, view, col, v)
+	default:
+		n, err = countTyped[string](s, view, col, v)
+	}
+	if err != nil {
+		return err
+	}
+	out.U64(uint64(n))
+	return nil
+}
+
+// scanTyped streams the column through the scan callback, collecting row
+// ids and the scanned values only.  It MUST NOT touch the table from
+// inside the callback: the callback runs under the table's read lock and
+// a re-entrant read would deadlock behind any queued writer (the PR 3
+// scan caveat).  Row materialization for withRows happens in opScan,
+// strictly after this returns.
+func scanTyped[V val.Value](s *Server, view table.View, col string, limit int, out *wire.Buffer) ([]int, error) {
+	h, err := handleOf[V](s, col)
+	if err != nil {
+		return nil, err
+	}
+	var ids []int
+	var values []V
+	h.ScanAt(view, func(row int, v V) bool {
+		ids = append(ids, row)
+		values = append(values, v)
+		return limit <= 0 || len(ids) < limit
+	})
+	out.U32(uint32(len(ids)))
+	for i, id := range ids {
+		out.U64(uint64(id))
+		if err := out.Value(any(values[i])); err != nil {
+			return nil, err
+		}
+	}
+	return ids, nil
+}
+
+func (s *Server) opScan(r *wire.Reader, out *wire.Buffer) error {
+	view, col, typ, err := s.readArgs(r)
+	if err != nil {
+		return err
+	}
+	limit, err := r.U32()
+	if err != nil {
+		return err
+	}
+	withRows, err := r.U8()
+	if err != nil {
+		return err
+	}
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	var ids []int
+	switch typ {
+	case table.Uint32:
+		ids, err = scanTyped[uint32](s, view, col, int(limit), out)
+	case table.Uint64:
+		ids, err = scanTyped[uint64](s, view, col, int(limit), out)
+	default:
+		ids, err = scanTyped[string](s, view, col, int(limit), out)
+	}
+	if err != nil {
+		return err
+	}
+	if withRows == 0 {
+		return nil
+	}
+	// Materialize full rows only now that the scan (and its read lock)
+	// is over.  Row versions are immutable, so these reads see exactly
+	// the values the scan saw even if writers committed in between.
+	for _, id := range ids {
+		values, err := s.st.Row(id)
+		if err != nil {
+			return err
+		}
+		if err := out.Row(values); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// numericReads is the aggregation surface shared by table.NumericHandle
+// and shard.NumericHandle.
+type numericReads[V interface{ ~uint32 | ~uint64 }] interface {
+	SumAt(view table.View) uint64
+	MinAt(view table.View) (V, bool)
+	MaxAt(view table.View) (V, bool)
+}
+
+func numericOf[V interface{ ~uint32 | ~uint64 }](s *Server, col string) (numericReads[V], error) {
+	if s.flat != nil {
+		return table.NumericColumnOf[V](s.flat, col)
+	}
+	return shard.NumericColumnOf[V](s.sharded, col)
+}
+
+func aggregateTyped[V interface{ ~uint32 | ~uint64 }](s *Server, op uint8, view table.View, col string, out *wire.Buffer) error {
+	h, err := numericOf[V](s, col)
+	if err != nil {
+		return err
+	}
+	switch op {
+	case wire.OpSum:
+		out.U64(h.SumAt(view))
+	case wire.OpMin:
+		v, ok := h.MinAt(view)
+		out.U8(boolByte(ok))
+		return out.Value(any(v))
+	case wire.OpMax:
+		v, ok := h.MaxAt(view)
+		out.U8(boolByte(ok))
+		return out.Value(any(v))
+	}
+	return nil
+}
+
+func (s *Server) opAggregate(op uint8, r *wire.Reader, out *wire.Buffer) error {
+	view, col, typ, err := s.readArgs(r)
+	if err != nil {
+		return err
+	}
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	switch typ {
+	case table.Uint32:
+		return aggregateTyped[uint32](s, op, view, col, out)
+	case table.Uint64:
+		return aggregateTyped[uint64](s, op, view, col, out)
+	default:
+		return fmt.Errorf("%w: aggregate over string column %q", errColumnType, col)
+	}
+}
+
+// --- query op ---
+
+func (s *Server) opQuery(r *wire.Reader, out *wire.Buffer) error {
+	tok, err := r.U64()
+	if err != nil {
+		return err
+	}
+	wfs, err := r.Filters()
+	if err != nil {
+		return err
+	}
+	project, err := r.Strings()
+	if err != nil {
+		return err
+	}
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	view, err := s.viewFor(tok)
+	if err != nil {
+		return err
+	}
+	filters := make([]query.Filter, len(wfs))
+	for i, f := range wfs {
+		filters[i] = query.Filter{Column: f.Column, Value: f.Value, Hi: f.Hi}
+		if f.Op == wire.OpFilterBetween {
+			filters[i].Op = query.Between
+		}
+	}
+	var res *query.Result
+	if s.flat != nil {
+		res, err = query.RunAt(s.flat, view, filters, project)
+	} else {
+		res, err = shard.QueryAt(s.sharded, view, filters, project)
+	}
+	if err != nil {
+		return err
+	}
+	out.RowIDs(res.Rows)
+	if err := out.Strings(res.Columns); err != nil {
+		return err
+	}
+	for _, vals := range res.Values {
+		for _, v := range vals {
+			if err := out.Value(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// --- metadata ops ---
+
+func (s *Server) opSchema(r *wire.Reader, out *wire.Buffer) error {
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	st := s.st.StoreStats()
+	out.String(s.st.Name())
+	out.U32(uint32(st.Shards))
+	out.String(st.KeyColumn)
+	schema := s.st.Schema()
+	out.U16(uint16(len(schema)))
+	for _, def := range schema {
+		out.String(def.Name)
+		out.U8(uint8(def.Type))
+	}
+	return nil
+}
+
+func (s *Server) opStats(r *wire.Reader, out *wire.Buffer) error {
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	st := s.st.StoreStats()
+	out.String(st.Name)
+	out.U32(uint32(st.Shards))
+	out.String(st.KeyColumn)
+	out.U64(uint64(st.Rows))
+	out.U64(uint64(st.ValidRows))
+	out.U64(uint64(st.MainRows))
+	out.U64(uint64(st.DeltaRows))
+	out.U64(uint64(st.SizeBytes))
+	out.U8(boolByte(s.st.Merging()))
+	out.U32(uint32(len(st.Partitions)))
+	for _, p := range st.Partitions {
+		out.U64(uint64(p.Rows))
+		out.U64(uint64(p.ValidRows))
+		out.U64(uint64(p.MainRows))
+		out.U64(uint64(p.DeltaRows))
+		out.U64(uint64(p.SizeBytes))
+	}
+	out.U32(uint32(s.ActiveConns()))
+	out.U64(s.Requests())
+	out.U32(uint32(s.SnapshotCount()))
+	return nil
+}
+
+func (s *Server) opMerge(r *wire.Reader, out *wire.Buffer) error {
+	alg, err := r.U8()
+	if err != nil {
+		return err
+	}
+	threads, err := r.U32()
+	if err != nil {
+		return err
+	}
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	opts := table.MergeOptions{Threads: int(threads)}
+	if alg == wire.MergeNaive {
+		opts.Algorithm = core.Naive
+	}
+	// Under the server's lifetime context: a force-close (Close, or a
+	// Shutdown past its deadline) cancels the merge, which rolls back
+	// cleanly, instead of the session outliving the force-close.
+	rep, err := s.st.RequestMerge(s.lifeCtx, opts)
+	if err != nil {
+		return err
+	}
+	out.U64(uint64(rep.RowsMerged))
+	out.U64(uint64(rep.MainRowsAfter))
+	out.U64(uint64(rep.Wall.Nanoseconds()))
+	out.U32(uint32(rep.Threads))
+	out.U8(boolByte(rep.Aborted))
+	return nil
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

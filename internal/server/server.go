@@ -1,0 +1,351 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyrise/internal/shard"
+	"hyrise/internal/table"
+	"hyrise/internal/wire"
+)
+
+// Store is the storage surface the server exposes over the network.  It
+// is structurally identical to the root package's Store interface, so
+// both *table.Table and *shard.Table (and any hyrise.Store value backed
+// by one of them) satisfy it.
+type Store interface {
+	Name() string
+	Schema() table.Schema
+	Insert(values []any) (int, error)
+	InsertRows(rows [][]any) ([]int, error)
+	Update(row int, changes map[string]any) (int, error)
+	Delete(row int) error
+	Row(row int) ([]any, error)
+	IsValid(row int) bool
+	Rows() int
+	ValidRows() int
+	MainRows() int
+	DeltaRows() int
+	Merging() bool
+	RequestMerge(ctx context.Context, opts table.MergeOptions) (table.Report, error)
+	Snapshot() table.View
+	ValidRowsAt(v table.View) int
+	VisibleAt(v table.View, row int) bool
+	StoreStats() table.StoreStats
+	Partitions() []*table.Table
+}
+
+// Options configures a Server.
+type Options struct {
+	// Logf, if non-nil, receives connection-level diagnostics (accept
+	// failures, protocol violations).  Per-request errors are reported to
+	// the client, not logged.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Server serves the wire protocol over a Store.  Create with New, start
+// with Serve, stop with Shutdown (graceful) or Close (immediate).
+type Server struct {
+	st   Store
+	opts Options
+
+	// Exactly one of flat/sharded is non-nil; typed column dispatch
+	// switches on it (generic handles cannot hang off an interface).
+	flat    *table.Table
+	sharded *shard.Table
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+
+	wg sync.WaitGroup // one per live session
+
+	snapMu   sync.Mutex
+	snaps    map[uint64]table.View
+	nextSnap uint64
+
+	requests atomic.Uint64
+
+	// lifeCtx is cancelled when sessions are force-closed (Close, or
+	// Shutdown's deadline); long-running handler work (merges) runs
+	// under it so a stuck request cannot outlive the force-close.
+	lifeCtx    context.Context
+	cancelLife context.CancelFunc
+}
+
+// New returns a stopped server over st.  The Store must be backed by
+// *table.Table or *shard.Table (both root topologies are).
+func New(st Store, opts Options) (*Server, error) {
+	s := &Server{
+		st:    st,
+		opts:  opts,
+		conns: make(map[*conn]struct{}),
+		snaps: make(map[uint64]table.View),
+	}
+	s.lifeCtx, s.cancelLife = context.WithCancel(context.Background())
+	switch x := st.(type) {
+	case *table.Table:
+		s.flat = x
+	case *shard.Table:
+		s.sharded = x
+	default:
+		return nil, fmt.Errorf("server: unsupported Store implementation %T", st)
+	}
+	return s, nil
+}
+
+// ErrServerClosed is returned by Serve after Shutdown or Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// Serve accepts connections on l until Shutdown or Close, blocking.  It
+// returns ErrServerClosed after a clean stop, or the accept error that
+// ended the loop otherwise.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			return err
+		}
+		c := &conn{nc: nc}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(c)
+	}
+}
+
+// Shutdown gracefully stops the server: no new connections are accepted,
+// idle sessions close, and in-flight requests run to completion with
+// their responses flushed.  When ctx expires first, the remaining
+// sessions are closed forcibly and ctx.Err is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.beginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		s.closeConns(false)
+		select {
+		case <-done:
+			return nil
+		case <-ctx.Done():
+			s.closeConns(true)
+			<-done
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// Close stops the server immediately, dropping in-flight requests.
+func (s *Server) Close() error {
+	s.beginDrain()
+	s.closeConns(true)
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) beginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	l := s.listener
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+}
+
+// closeConns closes sessions: idle ones always (they are blocked waiting
+// for the first byte of a next request, which will never be answered
+// once draining), active ones only when force is set.  A session counts
+// as active from the moment its next request starts arriving (serveConn
+// peeks before decoding), so a request already in flight when the drain
+// begins is executed and answered, not cut off mid-frame.  Force-close
+// also cancels lifeCtx so in-flight merges abort instead of outliving
+// the deadline.
+func (s *Server) closeConns(force bool) {
+	if force {
+		s.cancelLife()
+	}
+	s.mu.Lock()
+	targets := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		if force || !c.active.Load() {
+			targets = append(targets, c)
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range targets {
+		c.nc.Close()
+	}
+}
+
+// Requests returns the number of requests handled since start.
+func (s *Server) Requests() uint64 { return s.requests.Load() }
+
+// ActiveConns returns the number of live sessions.
+func (s *Server) ActiveConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// SnapshotCount returns the number of registered (unreleased) snapshots.
+func (s *Server) SnapshotCount() int {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return len(s.snaps)
+}
+
+// registerSnapshot captures a store snapshot under a fresh token.
+func (s *Server) registerSnapshot() uint64 {
+	v := s.st.Snapshot()
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	s.nextSnap++
+	tok := s.nextSnap
+	s.snaps[tok] = v
+	return tok
+}
+
+// errBadSnapshot maps to wire.StatusErrBadSnapshot.
+var errBadSnapshot = errors.New("server: unknown snapshot token")
+
+// viewFor resolves a wire snapshot token: 0 is latest, anything else
+// must be registered.
+func (s *Server) viewFor(tok uint64) (table.View, error) {
+	if tok == 0 {
+		return table.Latest(), nil
+	}
+	s.snapMu.Lock()
+	v, ok := s.snaps[tok]
+	s.snapMu.Unlock()
+	if !ok {
+		return table.View{}, fmt.Errorf("%w: %d", errBadSnapshot, tok)
+	}
+	return v, nil
+}
+
+// releaseSnapshot drops a token from the registry.
+func (s *Server) releaseSnapshot(tok uint64) error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if _, ok := s.snaps[tok]; !ok {
+		return fmt.Errorf("%w: %d", errBadSnapshot, tok)
+	}
+	delete(s.snaps, tok)
+	return nil
+}
+
+// conn is one session.
+type conn struct {
+	nc     net.Conn
+	active atomic.Bool // true while a request is being handled
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// serveConn runs one session: read a frame, handle it, answer, repeat.
+// Responses go out in request order, so pipelined clients work.
+func (s *Server) serveConn(c *conn) {
+	defer s.wg.Done()
+	defer s.removeConn(c)
+	defer c.nc.Close()
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	var out wire.Buffer
+	for {
+		// Block for the first byte of the next request while still
+		// marked idle, then flip to active before decoding the frame:
+		// a drain that lands mid-request closes only sessions that have
+		// not started sending, so no mutation is executed with its
+		// response dropped (barring the unavoidable instant between the
+		// byte arriving and the flag flipping).
+		if _, err := br.Peek(1); err != nil {
+			return
+		}
+		c.active.Store(true)
+		payload, err := wire.ReadFrame(br)
+		if err != nil {
+			// EOF and closed-socket errors are normal session ends.  An
+			// oversized frame gets a best-effort error answer, but the
+			// payload was never consumed, so the session must end.
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				out.Reset()
+				out.U8(wire.StatusErrBadRequest)
+				out.String(err.Error())
+				if wire.WriteFrame(bw, out.Bytes()) == nil {
+					bw.Flush()
+				}
+				s.opts.logf("server: %s: %v", c.nc.RemoteAddr(), err)
+			}
+			return
+		}
+		s.requests.Add(1)
+		out.Reset()
+		s.handle(payload, &out)
+		err = wire.WriteFrame(bw, out.Bytes())
+		if errors.Is(err, wire.ErrFrameTooLarge) {
+			// The result outgrew the frame limit (e.g. an unbounded scan
+			// of a huge table): answer with an error instead so the
+			// session survives and stays in sync.
+			out.Reset()
+			out.U8(wire.StatusErr)
+			out.String(fmt.Sprintf("response exceeds %d-byte frame limit; narrow the request", wire.MaxFrame))
+			err = wire.WriteFrame(bw, out.Bytes())
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		c.active.Store(false)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			return
+		}
+	}
+}

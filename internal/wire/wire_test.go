@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{}, {0x01}, bytes.Repeat([]byte{0xab}, 1<<16)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %x want %x", got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("tail read err=%v want io.EOF", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	// A header claiming MaxFrame+1 bytes must be rejected without any
+	// attempt to read (or allocate) the payload.
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(hdr)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err=%v want ErrFrameTooLarge", err)
+	}
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("write err=%v want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadFrame(bytes.NewReader(cut)); err != io.ErrUnexpectedEOF {
+		t.Fatalf("err=%v want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestScalarAndValueRoundTrip(t *testing.T) {
+	var b Buffer
+	b.U8(7)
+	b.U16(300)
+	b.U32(1 << 30)
+	b.U64(1 << 60)
+	b.String("héllo")
+	for _, v := range []any{uint32(42), uint64(1 << 40), "widget", ""} {
+		if err := b.Value(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Row([]any{uint64(1), uint32(2), "three"}); err != nil {
+		t.Fatal(err)
+	}
+	b.RowIDs([]int{0, 5, 1 << 40})
+
+	r := NewReader(b.Bytes())
+	if v, _ := r.U8(); v != 7 {
+		t.Fatal("u8")
+	}
+	if v, _ := r.U16(); v != 300 {
+		t.Fatal("u16")
+	}
+	if v, _ := r.U32(); v != 1<<30 {
+		t.Fatal("u32")
+	}
+	if v, _ := r.U64(); v != 1<<60 {
+		t.Fatal("u64")
+	}
+	if s, _ := r.String(); s != "héllo" {
+		t.Fatal("string")
+	}
+	for _, want := range []any{uint32(42), uint64(1 << 40), "widget", ""} {
+		got, err := r.Value()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("value %v want %v", got, want)
+		}
+	}
+	row, err := r.Row()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(row, []any{uint64(1), uint32(2), "three"}) {
+		t.Fatalf("row %v", row)
+	}
+	ids, err := r.RowIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []int{0, 5, 1 << 40}) {
+		t.Fatalf("ids %v", ids)
+	}
+	if err := r.Rest(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueRejectsUnsupportedType(t *testing.T) {
+	var b Buffer
+	if err := b.Value(3.14); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err=%v want ErrMalformed", err)
+	}
+}
+
+func TestFiltersRoundTrip(t *testing.T) {
+	var b Buffer
+	fs := []Filter{
+		{Column: "product", Op: OpFilterEq, Value: "widget"},
+		{Column: "qty", Op: OpFilterBetween, Value: uint32(1), Hi: uint32(9)},
+	}
+	if err := b.Filters(fs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(b.Bytes()).Filters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, fs) {
+		t.Fatalf("filters %v want %v", got, fs)
+	}
+}
+
+func TestStringsRoundTrip(t *testing.T) {
+	var b Buffer
+	if err := b.Strings([]string{"a", "bb", ""}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Strings(nil); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(b.Bytes())
+	got, err := r.Strings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"a", "bb", ""}) {
+		t.Fatalf("strings %v", got)
+	}
+	empty, err := r.Strings()
+	if err != nil || empty != nil {
+		t.Fatalf("empty list %v err %v", empty, err)
+	}
+}
+
+// TestReaderHostileCounts feeds payloads whose counts promise more data
+// than the payload holds; every decode must fail cleanly instead of
+// over-allocating or panicking.
+func TestReaderHostileCounts(t *testing.T) {
+	cases := map[string]func(*Reader) error{
+		"string": func(r *Reader) error { _, err := r.String(); return err },
+		"row":    func(r *Reader) error { _, err := r.Row(); return err },
+		"rowids": func(r *Reader) error { _, err := r.RowIDs(); return err },
+		"filter": func(r *Reader) error { _, err := r.Filters(); return err },
+		"lists":  func(r *Reader) error { _, err := r.Strings(); return err },
+		"value":  func(r *Reader) error { _, err := r.Value(); return err },
+	}
+	// Max counts with almost no payload behind them.
+	hostile := [][]byte{
+		{0xff, 0xff, 0xff, 0xff},
+		{0xff, 0xff},
+		{0xff},
+		{0xff, 0xff, 0xff, 0xff, 0x00},
+		{},
+	}
+	for name, dec := range cases {
+		for _, p := range hostile {
+			if err := dec(NewReader(p)); !errors.Is(err, ErrMalformed) {
+				t.Fatalf("%s(%x): err=%v want ErrMalformed", name, p, err)
+			}
+		}
+	}
+}
+
+func TestRestRejectsTrailingGarbage(t *testing.T) {
+	var b Buffer
+	b.U8(1)
+	b.U8(2)
+	r := NewReader(b.Bytes())
+	if _, err := r.U8(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Rest(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err=%v want ErrMalformed", err)
+	}
+}

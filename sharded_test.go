@@ -31,7 +31,7 @@ func TestShardedPublicSurface(t *testing.T) {
 		}
 	}
 
-	h, err := hyrise.ShardedColumnOf[uint64](st, "order_id")
+	h, err := hyrise.ColumnOf[uint64](st, "order_id")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,13 +42,13 @@ func TestShardedPublicSurface(t *testing.T) {
 		t.Fatalf("Range = %d rows", len(rows))
 	}
 
-	nh, err := hyrise.ShardedNumericColumnOf[uint32](st, "qty")
+	nh, err := hyrise.NumericColumnOf[uint32](st, "qty")
 	if err != nil {
 		t.Fatal(err)
 	}
 	sumBefore := nh.Sum()
 
-	res, err := hyrise.ShardedQuery(st, []hyrise.Filter{
+	res, err := hyrise.Query(st, []hyrise.Filter{
 		{Column: "product", Op: hyrise.FilterEq, Value: "gadget"},
 		{Column: "order_id", Op: hyrise.FilterBetween, Value: 0, Hi: 99},
 	}, []string{"order_id"})
@@ -74,7 +74,7 @@ func TestShardedPublicSurface(t *testing.T) {
 	}
 
 	// The driver runs a mixed workload against the sharded table.
-	drv, err := hyrise.NewShardedDriver(st, "order_id", hyrise.OLTPMix,
+	drv, err := hyrise.NewDriver(st, "order_id", hyrise.OLTPMix,
 		hyrise.NewUniformGenerator(1000, 1), 1)
 	if err != nil {
 		t.Fatal(err)
@@ -88,7 +88,7 @@ func TestShardedPublicSurface(t *testing.T) {
 	}
 
 	// The sharded scheduler merges hot shards on its own.
-	ms := hyrise.NewShardedScheduler(st, hyrise.SchedulerConfig{
+	ms := hyrise.NewScheduler(st, hyrise.SchedulerConfig{
 		Fraction: 0.01,
 		Interval: time.Millisecond,
 	})

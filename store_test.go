@@ -325,10 +325,6 @@ func TestNewDriverColumnType(t *testing.T) {
 			t.Errorf("%s/k: %v", name, err)
 		}
 	}
-	// The deprecated sharded entry point reports the same typed error.
-	if _, err := hyrise.NewShardedDriver(sharded, "qty", hyrise.OLTPMix, hyrise.NewUniformGenerator(10, 1), 1); !errors.Is(err, hyrise.ErrDriverColumnType) {
-		t.Errorf("NewShardedDriver: err=%v want ErrDriverColumnType", err)
-	}
 }
 
 // TestStorePersistenceRoundTrip drives Save/Load through the Store surface
@@ -433,54 +429,4 @@ func TestStorePersistenceRoundTrip(t *testing.T) {
 			}
 		})
 	}
-}
-
-// TestDeprecatedShardedAliases keeps the one-release compatibility window
-// honest: the old entry points still compile and answer identically to the
-// unified ones.
-func TestDeprecatedShardedAliases(t *testing.T) {
-	st, err := hyrise.NewShardedTable("kv", kvSchema(), "k", 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := 0; i < 100; i++ {
-		if _, err := st.Insert([]any{uint64(i % 10), uint64(i)}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	oldH, err := hyrise.ShardedColumnOf[uint64](st, "k")
-	if err != nil {
-		t.Fatal(err)
-	}
-	newH, err := hyrise.ColumnOf[uint64](st, "k")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if fmt.Sprint(oldH.Lookup(3)) != fmt.Sprint(newH.Lookup(3)) {
-		t.Fatal("alias lookup diverged")
-	}
-	oldN, err := hyrise.ShardedNumericColumnOf[uint64](st, "v")
-	if err != nil {
-		t.Fatal(err)
-	}
-	newN, err := hyrise.NumericColumnOf[uint64](st, "v")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if oldN.Sum() != newN.Sum() {
-		t.Fatal("alias sum diverged")
-	}
-	oldQ, err := hyrise.ShardedQuery(st, []hyrise.Filter{{Column: "k", Op: hyrise.FilterEq, Value: uint64(3)}}, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	newQ, err := hyrise.Query(st, []hyrise.Filter{{Column: "k", Op: hyrise.FilterEq, Value: uint64(3)}}, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if oldQ.Count() != newQ.Count() {
-		t.Fatal("alias query diverged")
-	}
-	ms := hyrise.NewShardedScheduler(st, hyrise.SchedulerConfig{Fraction: 0.5})
-	var _ *hyrise.Scheduler = ms // same type behind the alias
 }
