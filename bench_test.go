@@ -428,6 +428,7 @@ func BenchmarkSnapshotScan(b *testing.B) {
 				if h.SumAt(view) == 0 {
 					b.Fatal("empty sum")
 				}
+				view.Release()
 			}
 		})
 	}
@@ -492,6 +493,7 @@ func BenchmarkSnapshotScanDuringMerge(b *testing.B) {
 				if h.SumAt(view) == 0 {
 					b.Fatal("empty sum")
 				}
+				view.Release()
 			}
 			b.StopTimer()
 			close(stop)

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"hyrise/internal/wire"
@@ -38,16 +39,20 @@ import (
 // Typed errors rehydrated from server status codes.  ErrServer is the
 // catch-all for failures without a more specific code.
 var (
-	ErrServer       = errors.New("hyrise server error")
-	ErrRowRange     = errors.New("hyrise: row id out of range")
-	ErrRowInvalid   = errors.New("hyrise: row already invalidated")
-	ErrNoColumn     = errors.New("hyrise: no such column")
-	ErrArity        = errors.New("hyrise: value count does not match schema")
-	ErrMergeBusy    = errors.New("hyrise: merge already in progress")
-	ErrBadSnapshot  = errors.New("hyrise: unknown snapshot token")
-	ErrBadRequest   = errors.New("hyrise: malformed request")
-	ErrColumnType   = errors.New("hyrise: value does not fit column type")
-	ErrClientClosed = errors.New("hyrise: client closed")
+	ErrServer      = errors.New("hyrise server error")
+	ErrRowRange    = errors.New("hyrise: row id out of range")
+	ErrRowInvalid  = errors.New("hyrise: row already invalidated")
+	ErrNoColumn    = errors.New("hyrise: no such column")
+	ErrArity       = errors.New("hyrise: value count does not match schema")
+	ErrMergeBusy   = errors.New("hyrise: merge already in progress")
+	ErrBadSnapshot = errors.New("hyrise: unknown snapshot token")
+	ErrBadRequest  = errors.New("hyrise: malformed request")
+	ErrColumnType  = errors.New("hyrise: value does not fit column type")
+	// ErrTooManySnapshots: the server's snapshot registry is at capacity
+	// (ServerOptions.MaxSnapshots); Release a snapshot before capturing
+	// another.
+	ErrTooManySnapshots = errors.New("hyrise: too many registered snapshots")
+	ErrClientClosed     = errors.New("hyrise: client closed")
 )
 
 func errFromStatus(code uint8, msg string) error {
@@ -65,6 +70,8 @@ func errFromStatus(code uint8, msg string) error {
 		sentinel = ErrMergeBusy
 	case wire.StatusErrBadSnapshot:
 		sentinel = ErrBadSnapshot
+	case wire.StatusErrTooManySnapshots:
+		sentinel = ErrTooManySnapshots
 	case wire.StatusErrBadRequest:
 		sentinel = ErrBadRequest
 	case wire.StatusErrColumnType:
@@ -145,9 +152,10 @@ type Client struct {
 	schema    []Column
 	colIdx    map[string]int
 
-	sem    chan struct{} // counts live connections (pool capacity)
-	free   chan *poolConn
-	closed chan struct{}
+	sem       chan struct{} // counts live connections (pool capacity)
+	free      chan *poolConn
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
 type poolConn struct {
@@ -236,20 +244,22 @@ func (c *Client) Schema() []Column {
 }
 
 // Close tears down every pooled connection.  In-flight requests on other
-// goroutines fail with connection errors.
+// goroutines fail with connection errors; their connections are closed as
+// they return to the pool (see release), so no socket outlives the close.
 func (c *Client) Close() error {
-	select {
-	case <-c.closed:
-		return nil
-	default:
-	}
-	close(c.closed)
+	c.closeOnce.Do(func() { close(c.closed) })
+	c.drainFree()
+	return nil
+}
+
+// drainFree closes every connection currently idle in the pool.
+func (c *Client) drainFree() {
 	for {
 		select {
 		case pc := <-c.free:
 			pc.nc.Close()
 		default:
-			return nil
+			return
 		}
 	}
 }
@@ -281,7 +291,13 @@ func (c *Client) acquire() (*poolConn, error) {
 	}
 }
 
-// release returns a healthy connection to the pool.
+// release returns a healthy connection to the pool.  The post-enqueue
+// closed re-check makes release safe against a concurrent Close: either
+// the enqueue happened before Close closed c.closed — then Close's drain
+// (which runs after) sees the connection — or this release observes the
+// channel closed and drains the pool itself.  Without the re-check, a
+// connection enqueued just after Close's drain loop exited would leak its
+// socket.
 func (c *Client) release(pc *poolConn) {
 	select {
 	case <-c.closed:
@@ -293,6 +309,12 @@ func (c *Client) release(pc *poolConn) {
 	case c.free <- pc:
 	default:
 		c.discard(pc)
+		return
+	}
+	select {
+	case <-c.closed:
+		c.drainFree()
+	default:
 	}
 }
 
@@ -601,7 +623,9 @@ func (c *Client) IsValid(row int) (bool, error) {
 // capture, consistent across all shards) and returns its token.  Reads
 // through the token are frozen at the captured epoch no matter how many
 // writes and merges commit afterwards — on any pooled connection, and on
-// other Clients of the same server.
+// other Clients of the same server.  The server's registry is bounded:
+// past its capacity Snapshot fails with ErrTooManySnapshots until a token
+// is Released.
 func (c *Client) Snapshot() (Snap, error) {
 	var req wire.Buffer
 	req.U8(wire.OpSnapshot)
@@ -613,8 +637,11 @@ func (c *Client) Snapshot() (Snap, error) {
 	return Snap(tok), err
 }
 
-// Release drops a snapshot token from the server's registry.  Optional
-// but polite: it keeps the registry bounded on long-lived servers.
+// Release drops a snapshot token from the server's registry.  Do call it:
+// a registered token pins the server's GC watermark (merges keep every
+// version the snapshot can see), and the registry itself is bounded, so
+// unreleased tokens eventually make Snapshot fail with
+// ErrTooManySnapshots.
 func (c *Client) Release(s Snap) error {
 	var req wire.Buffer
 	req.U8(wire.OpSnapshotRelease)

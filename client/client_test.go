@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"hyrise/internal/server"
 	"hyrise/internal/table"
@@ -68,16 +69,17 @@ func TestCoerceType(t *testing.T) {
 
 func TestErrFromStatus(t *testing.T) {
 	codes := map[uint8]error{
-		wire.StatusErr:            ErrServer,
-		wire.StatusErrRowRange:    ErrRowRange,
-		wire.StatusErrRowInvalid:  ErrRowInvalid,
-		wire.StatusErrNoColumn:    ErrNoColumn,
-		wire.StatusErrArity:       ErrArity,
-		wire.StatusErrMergeBusy:   ErrMergeBusy,
-		wire.StatusErrBadSnapshot: ErrBadSnapshot,
-		wire.StatusErrBadRequest:  ErrBadRequest,
-		wire.StatusErrColumnType:  ErrColumnType,
-		0xff:                      ErrServer, // unknown codes degrade to generic
+		wire.StatusErr:                 ErrServer,
+		wire.StatusErrRowRange:         ErrRowRange,
+		wire.StatusErrRowInvalid:       ErrRowInvalid,
+		wire.StatusErrNoColumn:         ErrNoColumn,
+		wire.StatusErrArity:            ErrArity,
+		wire.StatusErrMergeBusy:        ErrMergeBusy,
+		wire.StatusErrBadSnapshot:      ErrBadSnapshot,
+		wire.StatusErrBadRequest:       ErrBadRequest,
+		wire.StatusErrColumnType:       ErrColumnType,
+		wire.StatusErrTooManySnapshots: ErrTooManySnapshots,
+		0xff:                           ErrServer, // unknown codes degrade to generic
 	}
 	for code, sentinel := range codes {
 		if err := errFromStatus(code, "detail"); !errors.Is(err, sentinel) {
@@ -171,6 +173,68 @@ func TestClientPoolConcurrency(t *testing.T) {
 	wg.Wait()
 	if got, _ := c.ValidRows(); got != goroutines*each {
 		t.Fatalf("valid rows %d want %d", got, goroutines*each)
+	}
+}
+
+// testServerSrv is testServer, also exposing the server for observation.
+func testServerSrv(t *testing.T) (string, *server.Server) {
+	t.Helper()
+	flat, err := table.New("kv", table.Schema{
+		{Name: "k", Type: table.Uint64},
+		{Name: "qty", Type: table.Uint32},
+		{Name: "name", Type: table.String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(flat, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	return l.Addr().String(), srv
+}
+
+// TestCloseReleaseRace races Close against connections being returned to
+// the pool.  Before the post-enqueue re-check in release, a connection
+// enqueued just after Close's drain loop finished stayed open forever;
+// the leak shows up as server sessions that never terminate.  Run with
+// -race to also catch the data-race half.
+func TestCloseReleaseRace(t *testing.T) {
+	addr, srv := testServerSrv(t)
+	for iter := 0; iter < 30; iter++ {
+		c, err := DialOptions(addr, Options{Conns: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Hammer until the close lands; every error path must
+				// still return or discard its connection.
+				for c.Ping() == nil {
+				}
+			}()
+		}
+		// Land the close mid-traffic.
+		c.Close()
+		wg.Wait()
+	}
+	// Every pooled connection of every iteration must be closed: the
+	// server eventually observes all its sessions gone.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.ActiveConns() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d leaked connection(s) still open server-side", srv.ActiveConns())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -116,7 +116,12 @@ type Stats struct {
 	MainRows  int
 	DeltaRows int
 	SizeBytes int
-	Merging   bool
+	// RetiredRows / ReclaimedBytes are the store's cumulative garbage-
+	// collection counters: ids retired by GC merges and the estimated
+	// bytes those reclaimed versions occupied.
+	RetiredRows    int
+	ReclaimedBytes int
+	Merging        bool
 	// Partitions holds per-shard counts in partition order.
 	Partitions []PartitionStats
 	// Server-level counters.
@@ -145,7 +150,10 @@ func (c *Client) Stats() (Stats, error) {
 	if st.KeyColumn, err = r.String(); err != nil {
 		return st, err
 	}
-	u64s := []*int{&st.Rows, &st.ValidRows, &st.MainRows, &st.DeltaRows, &st.SizeBytes}
+	u64s := []*int{
+		&st.Rows, &st.ValidRows, &st.MainRows, &st.DeltaRows, &st.SizeBytes,
+		&st.RetiredRows, &st.ReclaimedBytes,
+	}
 	for _, p := range u64s {
 		v, err := r.U64()
 		if err != nil {
@@ -203,7 +211,10 @@ type MergeOptions struct {
 
 // MergeReport summarizes a completed remote merge.
 type MergeReport struct {
-	RowsMerged    int
+	RowsMerged int
+	// RowsReclaimed counts dead versions the merge garbage-collected (0
+	// with GC off or nothing reclaimable).
+	RowsReclaimed int
 	MainRowsAfter int
 	Wall          time.Duration
 	Threads       int
@@ -232,6 +243,11 @@ func (c *Client) Merge(opts MergeOptions) (MergeReport, error) {
 		return rep, err
 	}
 	rep.RowsMerged = int(rowsMerged)
+	reclaimed, err := r.U64()
+	if err != nil {
+		return rep, err
+	}
+	rep.RowsReclaimed = int(reclaimed)
 	mainAfter, err := r.U64()
 	if err != nil {
 		return rep, err

@@ -290,10 +290,14 @@ func (s *shell) view(name string, args []string, n int) (hyrise.ReadView, []stri
 
 // setTable installs (or replaces) a table and drops any snapshot captured
 // on the table previously bound to the name: a ReadView's epoch is only
-// meaningful against the clock of the store that captured it.
+// meaningful against the clock of the store that captured it.  The old
+// view's GC pin is released with it.
 func (s *shell) setTable(name string, t hyrise.Store) {
 	s.tables[name] = t
-	delete(s.snaps, name)
+	if v, ok := s.snaps[name]; ok {
+		v.Release()
+		delete(s.snaps, name)
+	}
 }
 
 func (s *shell) snapshot(args []string) error {
@@ -303,6 +307,11 @@ func (s *shell) snapshot(args []string) error {
 	t, err := s.table(args[0])
 	if err != nil {
 		return err
+	}
+	// Re-snapshotting replaces the previous view; release its GC pin so
+	// only the latest capture holds history.
+	if old, ok := s.snaps[args[0]]; ok {
+		old.Release()
 	}
 	v := t.Snapshot()
 	s.snaps[args[0]] = v

@@ -41,6 +41,10 @@
 //	-merge-interval  scheduler poll period (default 100ms)
 //	-merge-threads   per-merge thread budget (0 = split evenly)
 //	-merge-bg        merge with a single background thread
+//	-gc              garbage-collect dead row versions during merges
+//	                 (default true; -gc=false keeps full history forever)
+//	-max-snapshots   snapshot registry capacity (default 1024; < 0 =
+//	                 unlimited — every registered snapshot pins history)
 //	-compact         merge all deltas before the shutdown save (default true)
 //	-drain           graceful-shutdown timeout (default 10s)
 package main
@@ -73,6 +77,8 @@ type config struct {
 	mergeInterval time.Duration
 	mergeThreads  int
 	mergeBg       bool
+	noGC          bool // -gc=false; zero value = GC on
+	maxSnapshots  int  // 0 = server.DefaultMaxSnapshots
 	compact       bool
 	drain         time.Duration
 
@@ -95,9 +101,13 @@ func main() {
 	flag.DurationVar(&cfg.mergeInterval, "merge-interval", 100*time.Millisecond, "scheduler poll period")
 	flag.IntVar(&cfg.mergeThreads, "merge-threads", 0, "per-merge thread budget (0 = split evenly)")
 	flag.BoolVar(&cfg.mergeBg, "merge-bg", false, "merge with a single background thread")
+	gc := flag.Bool("gc", true, "garbage-collect dead row versions during merges")
+	flag.IntVar(&cfg.maxSnapshots, "max-snapshots", server.DefaultMaxSnapshots,
+		"snapshot registry capacity (< 0 = unlimited)")
 	flag.BoolVar(&cfg.compact, "compact", true, "merge all deltas before the shutdown save")
 	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown timeout")
 	flag.Parse()
+	cfg.noGC = !*gc
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -115,6 +125,10 @@ func run(ctx context.Context, cfg config, logger *log.Logger) error {
 	st, err := openStore(cfg, logger)
 	if err != nil {
 		return err
+	}
+	if cfg.noGC {
+		st.SetGC(false)
+		logger.Printf("garbage collection disabled (-gc=false): history kept forever")
 	}
 
 	var sched *hyrise.Scheduler
@@ -139,7 +153,10 @@ func run(ctx context.Context, cfg config, logger *log.Logger) error {
 	if err != nil {
 		return err
 	}
-	srv, err := server.New(st, server.Options{Logf: logger.Printf})
+	srv, err := server.New(st, server.Options{
+		Logf:         logger.Printf,
+		MaxSnapshots: cfg.maxSnapshots,
+	})
 	if err != nil {
 		l.Close()
 		return err
@@ -158,6 +175,7 @@ func run(ctx context.Context, cfg config, logger *log.Logger) error {
 	}
 
 	logger.Printf("draining (timeout %s)", cfg.drain)
+	stalePins := srv.SnapshotCount()
 	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
@@ -170,9 +188,22 @@ func run(ctx context.Context, cfg config, logger *log.Logger) error {
 		sched.Stop()
 	}
 
-	if cfg.compact && st.DeltaRows() > 0 {
-		// Fold the remaining deltas so the snapshot reloads fully merged;
-		// the stopped scheduler still carries the configured merge budget.
+	// Shutdown released every snapshot still registered (clients are gone,
+	// so stale tokens must not pin dead versions into the shutdown save);
+	// surface how many a misbehaving client left behind.
+	if stalePins > 0 {
+		logger.Printf("released %d stale snapshot pin(s)", stalePins)
+	}
+
+	// Compact when deltas remain or (with GC on) dead versions linger in
+	// the mains: the saved snapshot should reload fully merged and
+	// reclaimed.
+	needsCompact := st.DeltaRows() > 0 ||
+		(!cfg.noGC && st.Rows() > st.ValidRows())
+	if cfg.compact && needsCompact {
+		// Fold the remaining deltas so the snapshot reloads fully merged
+		// and garbage-collected; the stopped scheduler still carries the
+		// configured merge budget.
 		var err error
 		if sched != nil {
 			err = sched.MergeNow(context.Background())

@@ -247,6 +247,85 @@ func TestHyrisedEndToEnd(t *testing.T) {
 	}
 }
 
+// TestShutdownReleasesStalePins: a client that captured snapshots and
+// vanished without releasing them must not pin the shutdown save — the
+// daemon releases all registered tokens before its final compacting
+// merge, so the snapshot reloads fully garbage-collected.
+func TestShutdownReleasesStalePins(t *testing.T) {
+	snapPath := filepath.Join(t.TempDir(), "stale.hyr")
+	cfg := config{
+		addr:     "127.0.0.1:0",
+		table:    "t",
+		schema:   "k:uint64,v:uint64",
+		shards:   2,
+		snapshot: snapPath,
+		compact:  true,
+		drain:    10 * time.Second,
+	}
+	addr, stopDaemon := startDaemon(t, cfg)
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	ids := make([]int, n)
+	for i := range ids {
+		if ids[i], err = c.Insert([]any{uint64(i), uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pin history and never release — the misbehaving client.
+	if _, err := c.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Invalidate every row once; the dead versions are pinned by the
+	// stale token until shutdown.
+	for i := range ids {
+		if ids[i], err = c.Update(ids[i], map[string]any{"v": uint64(1000 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close() // vanish without Release
+
+	if err := stopDaemon(); err != nil {
+		t.Fatalf("daemon stop: %v", err)
+	}
+
+	// The restarted daemon serves a compacted, garbage-collected store:
+	// no deltas, no dead versions.
+	addr2, stopDaemon2 := startDaemon(t, cfg)
+	c2, err := client.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	stats, err := c2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeltaRows != 0 {
+		t.Fatalf("restart should serve a compacted store, delta=%d", stats.DeltaRows)
+	}
+	if stats.Rows != stats.ValidRows || stats.ValidRows != n {
+		t.Fatalf("stale pin leaked into the save: rows=%d valid=%d want %d",
+			stats.Rows, stats.ValidRows, n)
+	}
+	// The current versions survived under their ids.
+	for i, id := range ids {
+		row, err := c2.Row(id)
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if row[1].(uint64) != uint64(1000+i) {
+			t.Fatalf("row %d: v=%v want %d", i, row[1], 1000+i)
+		}
+	}
+	if err := stopDaemon2(); err != nil {
+		t.Fatalf("second stop: %v", err)
+	}
+}
+
 // TestParseSchema pins the -schema flag grammar.
 func TestParseSchema(t *testing.T) {
 	s, err := parseSchema("k:uint64, qty:uint32 ,product:string")

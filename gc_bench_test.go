@@ -1,0 +1,68 @@
+// BenchmarkGC is the perf-trajectory artifact behind BENCH_gc.json: an
+// update-heavy workload driven through repeated merge cycles with garbage
+// collection on versus off, across 1/4/8 shards.  Each iteration runs one
+// full cycle (update every row once, then merge); the reported metrics
+// expose what GC buys — physical rows and bytes stay flat instead of
+// growing with every cycle — and what it costs on the merge path.
+//
+// Each cycle ends with a full-column aggregate scan, so ns/op also tracks
+// how scan cost evolves with (or without) reclamation.  Reported metrics:
+//
+//	rows/op     physical row versions stored after the final merge
+//	bytes/op    StoreStats.SizeBytes after the final merge
+//	retired/op  cumulative ids retired by GC (0 with gc=false)
+package hyrise_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"hyrise"
+)
+
+func BenchmarkGC(b *testing.B) {
+	const rows = 20_000
+	for _, shards := range []int{1, 4, 8} {
+		for _, gc := range []bool{true, false} {
+			b.Run(fmt.Sprintf("shards=%d/gc=%v", shards, gc), func(b *testing.B) {
+				s := snapshotBenchStore(b, shards, rows)
+				s.SetGC(gc)
+				h, err := hyrise.NumericColumnOf[uint64](s, "v")
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids := make([]int, 0, rows)
+				hk, err := hyrise.ColumnOf[uint64](s, "k")
+				if err != nil {
+					b.Fatal(err)
+				}
+				hk.Scan(func(row int, _ uint64) bool {
+					ids = append(ids, row)
+					return true
+				})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j := range ids {
+						nid, err := s.Update(ids[j], map[string]any{"v": uint64(i*rows + j)})
+						if err != nil {
+							b.Fatal(err)
+						}
+						ids[j] = nid
+					}
+					if _, err := s.RequestMerge(context.Background(), hyrise.MergeOptions{}); err != nil {
+						b.Fatal(err)
+					}
+					if h.Sum() == 0 {
+						b.Fatal("empty sum")
+					}
+				}
+				b.StopTimer()
+				stats := s.StoreStats()
+				b.ReportMetric(float64(stats.Rows), "rows/op")
+				b.ReportMetric(float64(stats.SizeBytes), "bytes/op")
+				b.ReportMetric(float64(stats.RetiredRows), "retired/op")
+			})
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package hyrise_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hyrise"
+)
+
+// TestStoreGCAcceptance is the PR acceptance loop run through the unified
+// Store surface on both topologies: under a sustained 100% update workload
+// with no pinned views, StoreStats.Rows - ValidRows and SizeBytes stay
+// bounded across >= 10 merge cycles, while a pinned view captured mid-run
+// still reads its exact original row set afterwards — and reclaimed ids
+// keep failing with ErrRowInvalid.
+func TestStoreGCAcceptance(t *testing.T) {
+	schema := hyrise.Schema{
+		{Name: "k", Type: hyrise.Uint64},
+		{Name: "v", Type: hyrise.Uint64},
+	}
+	stores := map[string]func() (hyrise.Store, error){
+		"flat": func() (hyrise.Store, error) { return hyrise.NewTable("gc", schema) },
+		"sharded": func() (hyrise.Store, error) {
+			return hyrise.NewShardedTable("gc", schema, "k", 4)
+		},
+	}
+	for name, mk := range stores {
+		t.Run(name, func(t *testing.T) {
+			s, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !s.GCEnabled() {
+				t.Fatal("GC should be on by default")
+			}
+			const n = 150
+			ids := make([]int, n)
+			var pinnedSum uint64
+			for i := range ids {
+				if ids[i], err = s.Insert([]any{uint64(i), uint64(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			firstVersion := ids[0]
+
+			var view hyrise.ReadView
+			pinned := false
+			var sizeCap int
+			h, err := hyrise.NumericColumnOf[uint64](s, "v")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for cycle := 0; cycle < 12; cycle++ {
+				for i := range ids {
+					nid, err := s.Update(ids[i], map[string]any{"v": uint64(cycle*n + i)})
+					if err != nil {
+						t.Fatalf("cycle %d: %v", cycle, err)
+					}
+					ids[i] = nid
+				}
+				rep, err := s.RequestMerge(context.Background(), hyrise.MergeOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				stats := s.StoreStats()
+				if !pinned {
+					// Bounded: the merge reclaimed every superseded version.
+					if rep.RowsReclaimed != n {
+						t.Fatalf("cycle %d: reclaimed %d want %d", cycle, rep.RowsReclaimed, n)
+					}
+					if stats.Rows-stats.ValidRows != 0 || stats.Rows != n {
+						t.Fatalf("cycle %d: rows=%d valid=%d, growth not bounded",
+							cycle, stats.Rows, stats.ValidRows)
+					}
+					if sizeCap == 0 {
+						sizeCap = 4 * stats.SizeBytes
+					}
+					if stats.SizeBytes > sizeCap {
+						t.Fatalf("cycle %d: size %d exceeds cap %d", cycle, stats.SizeBytes, sizeCap)
+					}
+				} else if got := s.ValidRowsAt(view); got != n {
+					t.Fatalf("cycle %d: pinned view sees %d rows want %d", cycle, got, n)
+				}
+				if cycle == 6 {
+					view = s.Snapshot()
+					pinned = true
+					pinnedSum = h.SumAt(view)
+				}
+			}
+
+			// The mid-run pin froze its row set exactly.
+			if got := h.SumAt(view); got != pinnedSum {
+				t.Fatalf("pinned sum drifted: %d want %d", got, pinnedSum)
+			}
+			// Reclaimed ids are retired for good.
+			if _, err := s.Row(firstVersion); !errors.Is(err, hyrise.ErrRowInvalid) {
+				t.Fatalf("Row(retired): %v want ErrRowInvalid", err)
+			}
+			// Releasing the pin re-bounds the store on the next merge.
+			view.Release()
+			if _, err := s.RequestMerge(context.Background(), hyrise.MergeOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			stats := s.StoreStats()
+			if stats.Rows != stats.ValidRows || stats.ValidRows != n {
+				t.Fatalf("after release: rows=%d valid=%d want %d", stats.Rows, stats.ValidRows, n)
+			}
+			if stats.RetiredRows == 0 || stats.ReclaimedBytes == 0 {
+				t.Fatalf("GC counters missing from StoreStats: %+v", stats)
+			}
+		})
+	}
+}

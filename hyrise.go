@@ -28,15 +28,17 @@
 //
 //	view := s.Snapshot()      // freeze a consistent read view (one atomic op)
 //	old := h.LookupAt(view, 1) // reads under the view never change
+//	view.Release()             // unpin so merges can garbage-collect again
 //
 //	hyrise.Save(s, w)         // snapshot either topology
 //	s2, _ := hyrise.Load(r)   // topology auto-detected from the header
 //
 // Tables are insert-only (paper §3): updates append new row versions and
-// invalidate the old ones, deletes only invalidate, and the full version
-// history remains queryable.  The merge runs online — writes accumulate in
-// a second delta while it runs, and the merged table is committed
-// atomically under a brief lock.
+// invalidate the old ones, deletes only invalidate, and the version
+// history remains queryable until garbage collection reclaims it (see
+// below).  The merge runs online — writes accumulate in a second delta
+// while it runs, and the merged table is committed atomically under a
+// brief lock.
 //
 // # Visibility and snapshots
 //
@@ -69,15 +71,49 @@
 // Interaction with the merge: merges move rows between partitions but
 // never renumber them, change their values or touch their epochs, so
 // in-flight views read identically before, during and after any merge
-// (including aborted ones).  Snapshot persistence (format v3) records the
-// epoch columns and the clock, so version history and row ages survive a
-// Save/Load round trip; v1/v2 snapshot files still load, with their
-// history collapsed to load time.
+// (including aborted ones).  Snapshot persistence (format v4) records the
+// epoch columns, the clock, the stable row-id map and the GC state, so
+// version history, row ages and retired ids survive a Save/Load round
+// trip; v1-v3 snapshot files still load (v1/v2 with their history
+// collapsed to load time).
 //
-// Views are plain values: cheap to copy, never closed, valid for the life
-// of the store.  One caution: Scan/ScanAt callbacks run under the table's
-// read lock and must not call back into the table — collect row ids and
-// read other columns after the scan (row versions are immutable).
+// Views are plain values: cheap to copy, valid for the life of the store.
+// One caution: Scan/ScanAt callbacks run under the table's read lock and
+// must not call back into the table — collect row ids and read other
+// columns after the scan (row versions are immutable).
+//
+// # Garbage collection
+//
+// Pure insert-only storage grows without bound under a steady update
+// workload, so the merge doubles as the garbage collector (on by default;
+// Store.SetGC(false) restores keep-everything behavior).  When a merge
+// freezes its delta it computes a GC watermark — the minimum epoch of any
+// live pinned view, or the current epoch when none is pinned — and every
+// version invalidated at or below the watermark is dropped instead of
+// copied into the new main: such versions are invisible to every pinned
+// view and to every snapshot not yet captured (Larson et al., VLDB 2011,
+// use the same oldest-live-reader rule).  Dictionary values referenced
+// only by reclaimed versions are dropped with them.
+//
+// The pin lifecycle: Store.Snapshot captures and pins in one step; call
+// ReadView.Release when done reading, or the watermark — and therefore
+// reclamation — cannot advance past the view.  Copies of a view share one
+// pin.  The zero ReadView and reads without a view never pin.
+//
+// Row ids are stable across reclamation: they are resolved through an
+// id-to-slot indirection, merges compact the physical slots underneath,
+// and a reclaimed id is retired — never reused — with every operation on
+// it failing with ErrRowInvalid exactly like a merely invalidated row.
+// StoreStats reports the cumulative RetiredRows and ReclaimedBytes, and
+// MergeReport.RowsReclaimed counts what each merge dropped.
+//
+// Over the network the same rules apply to snapshot tokens: a registered
+// token pins the GC watermark server-side until released, and the
+// registry is bounded (ServerOptions.MaxSnapshots, hyrised
+// -max-snapshots) so leaked tokens cannot pin history forever — past the
+// cap, Snapshot fails with client.ErrTooManySnapshots.  hyrised runs GC
+// by default (-gc=false disables it) and releases all registered tokens
+// on shutdown before its final compacting merge.
 //
 // # Topology semantics
 //

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"time"
+
+	"hyrise/internal/bitpack"
+	"hyrise/internal/colstore"
+	"hyrise/internal/delta"
+	"hyrise/internal/dict"
+	"hyrise/internal/val"
+)
+
+// MergeColumnGC is MergeColumn with garbage collection: positions of
+// main+delta marked true in drop (indexed like the merged output — main
+// tuples first, then delta tuples) are omitted from the new main partition,
+// and dictionary values referenced only by dropped tuples are omitted from
+// the merged dictionary.  The inputs are left untouched, exactly as in
+// MergeColumn, so the table layer can still run the merge online.
+//
+// With a nil or all-false mask this delegates to MergeColumn (which keeps
+// the parallel fast paths); the GC path itself stays linear —
+// O(N_M + N_D + |U_M| + |U_D|) — by reusing the translation-table shape of
+// the optimized merge on dictionaries first compacted to surviving values.
+func MergeColumnGC[V val.Value](m *colstore.Main[V], d *delta.Partition[V], drop []bool, opts Options) (*colstore.Main[V], Stats) {
+	dropped := 0
+	for _, dr := range drop {
+		if dr {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		return MergeColumn(m, d, opts)
+	}
+	st := Stats{
+		Algorithm:  opts.Algorithm,
+		Threads:    1,
+		NM:         m.Len(),
+		ND:         d.Len(),
+		UniqueMain: m.Dict().Len(),
+		BitsBefore: m.Bits(),
+		ValueBytes: valueBytes[V](),
+		Dropped:    dropped,
+	}
+
+	// Step 1(a): delta dictionary + delta code rewrite (CSB+ traversal).
+	t0 := time.Now()
+	dictD, deltaCodes := d.ExtractDict()
+	st.Step1a = time.Since(t0)
+	st.UniqueDelta = dictD.Len()
+
+	// Step 1(b): mark the dictionary codes surviving tuples still
+	// reference, compact both dictionaries to those values, then run the
+	// usual two-pointer merge with translation tables over the compacted
+	// dictionaries.  Values referenced only by reclaimed versions vanish
+	// from the merged dictionary along with their tuples.
+	t0 = time.Now()
+	nm := m.Len()
+	usedM := make([]bool, m.Dict().Len())
+	r := m.Codes().Reader()
+	for i := 0; i < nm; i++ {
+		code := r.Next()
+		if !at(drop, i) {
+			usedM[code] = true
+		}
+	}
+	usedD := make([]bool, dictD.Len())
+	for j, dc := range deltaCodes {
+		if !at(drop, nm+j) {
+			usedD[dc] = true
+		}
+	}
+	dictMc, remapM := compactDict(m.Dict(), usedM)
+	dictDc, remapD := compactDict(dictD, usedD)
+	res := dict.Merge(dictMc, dictDc)
+	st.Step1b = time.Since(t0)
+	st.UniqueMerged = res.Merged.Len()
+	if nm+len(deltaCodes)-dropped == 0 {
+		return colstore.Empty[V](), st
+	}
+
+	// Step 2: write surviving tuples' codes through remap + translation
+	// table.  Output positions are the survivors' ranks, so this pass runs
+	// serially with a running write index.
+	bits := bitpack.MinBits(res.Merged.Len())
+	st.BitsAfter = bits
+	t0 = time.Now()
+	w := bitpack.NewWriter(bits, nm+len(deltaCodes)-dropped)
+	r = m.Codes().Reader()
+	for i := 0; i < nm; i++ {
+		code := r.Next()
+		if !at(drop, i) {
+			w.Write(uint64(res.XM[remapM[code]]))
+		}
+	}
+	for j, dc := range deltaCodes {
+		if !at(drop, nm+j) {
+			w.Write(uint64(res.XD[remapD[dc]]))
+		}
+	}
+	st.Step2 = time.Since(t0)
+	return colstore.New(res.Merged, w.Vector()), st
+}
+
+// at reads the drop mask, treating positions beyond its length as kept.
+func at(drop []bool, i int) bool { return i < len(drop) && drop[i] }
+
+// compactDict filters a sorted dictionary to the values marked used,
+// returning the compacted dictionary and the old-code -> compact-code
+// remapping (entries for unused codes are meaningless, and never read).
+func compactDict[V val.Value](d *dict.Dict[V], used []bool) (*dict.Dict[V], []uint32) {
+	kept := make([]V, 0, len(used))
+	remap := make([]uint32, len(used))
+	for code, u := range used {
+		if u {
+			remap[code] = uint32(len(kept))
+			kept = append(kept, d.At(code))
+		}
+	}
+	return dict.FromSorted(kept), remap
+}

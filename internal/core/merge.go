@@ -95,6 +95,10 @@ type Stats struct {
 	BitsAfter  uint // E'_C
 	ValueBytes int  // E_j (16 assumed for variable-length values)
 
+	// Dropped counts tuples reclaimed by a garbage-collecting merge
+	// (MergeColumnGC); 0 for plain merges.
+	Dropped int
+
 	Step1a, Step1b, Step2 time.Duration
 }
 

@@ -28,6 +28,7 @@ package epoch
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 )
 
@@ -39,8 +40,18 @@ const Latest uint64 = math.MaxUint64
 // Clock is a shared monotonic epoch counter.  One clock serves a whole
 // store: a flat table owns one, a sharded table shares one across all its
 // shards so a single capture freezes every shard at the same epoch.
+//
+// The clock doubles as the garbage-collection pin registry: CapturePinned
+// registers the captured epoch as live, and Watermark reports the highest
+// epoch at or below which invalidated versions may be reclaimed — the
+// minimum pinned epoch, or the current epoch when nothing is pinned.
+// Because the registry lives on the clock, pins are store-wide: one pin
+// protects history on every shard sharing the clock.
 type Clock struct {
 	cur atomic.Uint64
+
+	pinMu sync.Mutex
+	pins  map[*Pin]struct{}
 }
 
 // NewClock returns a clock at epoch 1.
@@ -67,6 +78,71 @@ func (c *Clock) AdvanceTo(e uint64) {
 			return
 		}
 	}
+}
+
+// Pin is a registered live read epoch.  While a pin is held, no version
+// whose end epoch is at or above the pinned epoch is reclaimed, so reads at
+// that epoch keep seeing their full row set.  Release it when the reader is
+// done; Release is idempotent and safe for concurrent use.
+type Pin struct {
+	c     *Clock
+	epoch uint64
+}
+
+// Epoch returns the pinned read epoch.
+func (p *Pin) Epoch() uint64 { return p.epoch }
+
+// Release unregisters the pin, letting the watermark advance past it.
+func (p *Pin) Release() {
+	if p == nil {
+		return
+	}
+	p.c.pinMu.Lock()
+	delete(p.c.pins, p)
+	p.c.pinMu.Unlock()
+}
+
+// CapturePinned captures a read epoch (exactly like Capture) and registers
+// it as pinned.  Registering under the pin mutex makes the capture and the
+// registration atomic with respect to Watermark: a reclaim decision either
+// sees the pin, or ran before the capture — and versions reclaimed before
+// the capture (end <= W <= E) were invisible at the captured epoch anyway,
+// so a pinned view can never lose rows it could see.
+func (c *Clock) CapturePinned() (uint64, *Pin) {
+	c.pinMu.Lock()
+	defer c.pinMu.Unlock()
+	e := c.Capture()
+	p := &Pin{c: c, epoch: e}
+	if c.pins == nil {
+		c.pins = make(map[*Pin]struct{})
+	}
+	c.pins[p] = struct{}{}
+	return e, p
+}
+
+// Pins returns the number of currently registered pins.
+func (c *Clock) Pins() int {
+	c.pinMu.Lock()
+	defer c.pinMu.Unlock()
+	return len(c.pins)
+}
+
+// Watermark returns the garbage-collection watermark W: versions with
+// end != 0 && end <= W are invisible to every pinned view and to every
+// capture that has not happened yet, so they may be reclaimed.  W is the
+// minimum pinned epoch when pins exist, the current epoch otherwise (a
+// version with end == Now() is already invisible to the next capture,
+// which returns Now() and requires end > E for visibility).
+func (c *Clock) Watermark() uint64 {
+	c.pinMu.Lock()
+	defer c.pinMu.Unlock()
+	w := c.Now()
+	for p := range c.pins {
+		if p.epoch < w {
+			w = p.epoch
+		}
+	}
+	return w
 }
 
 // Rows holds the begin/end epoch columns of one table, indexed by row id.
@@ -124,6 +200,27 @@ func (r *Rows) CountVisibleAt(e uint64) int {
 		}
 	}
 	return n
+}
+
+// Compact removes the rows marked true in drop, which covers the first
+// len(drop) rows; rows beyond len(drop) are kept unconditionally.  Survivor
+// order is preserved, so a survivor's new index is its rank among kept
+// rows.  It returns the number of rows removed.  The owning table uses it
+// at merge commit to reclaim versions below the GC watermark.
+func (r *Rows) Compact(drop []bool) int {
+	w := 0
+	for i := range r.begin {
+		if i < len(drop) && drop[i] {
+			continue
+		}
+		r.begin[w] = r.begin[i]
+		r.end[w] = r.end[i]
+		w++
+	}
+	removed := len(r.begin) - w
+	r.begin = r.begin[:w]
+	r.end = r.end[:w]
+	return removed
 }
 
 // Snapshot returns copies of the begin and end columns (for persistence).

@@ -119,3 +119,65 @@ func TestRowsSnapshotRestore(t *testing.T) {
 		t.Fatal("restore accepted short columns")
 	}
 }
+
+func TestPinWatermark(t *testing.T) {
+	c := NewClock()
+	// No pins: the watermark is the current epoch.
+	if w := c.Watermark(); w != c.Now() {
+		t.Fatalf("unpinned watermark %d want %d", w, c.Now())
+	}
+	e1, p1 := c.CapturePinned()
+	c.Capture()
+	c.Capture()
+	e2, p2 := c.CapturePinned()
+	if e2 <= e1 {
+		t.Fatalf("epochs not monotonic: %d then %d", e1, e2)
+	}
+	if c.Pins() != 2 {
+		t.Fatalf("pins %d want 2", c.Pins())
+	}
+	// The watermark is the minimum pinned epoch.
+	if w := c.Watermark(); w != e1 {
+		t.Fatalf("watermark %d want %d", w, e1)
+	}
+	p1.Release()
+	if w := c.Watermark(); w != e2 {
+		t.Fatalf("watermark after first release %d want %d", w, e2)
+	}
+	// Release is idempotent.
+	p1.Release()
+	p2.Release()
+	p2.Release()
+	if c.Pins() != 0 {
+		t.Fatalf("pins %d want 0", c.Pins())
+	}
+	if w := c.Watermark(); w != c.Now() {
+		t.Fatalf("watermark %d want Now %d", w, c.Now())
+	}
+	// A nil pin (unpinned view) releases as a no-op.
+	var p *Pin
+	p.Release()
+}
+
+func TestRowsCompact(t *testing.T) {
+	var r Rows
+	for i := 0; i < 6; i++ {
+		r.Append(uint64(i + 1))
+	}
+	r.Invalidate(1, 9)
+	r.Invalidate(3, 9)
+	// Drop slots 1 and 3; slots 4+ beyond the mask are kept as-is.
+	removed := r.Compact([]bool{false, true, false, true})
+	if removed != 2 || r.Len() != 4 {
+		t.Fatalf("removed %d len %d", removed, r.Len())
+	}
+	wantBegin := []uint64{1, 3, 5, 6}
+	for i, want := range wantBegin {
+		if r.Begin(i) != want {
+			t.Fatalf("begin[%d] = %d want %d", i, r.Begin(i), want)
+		}
+	}
+	if !r.Alive(0) || !r.Alive(1) || !r.Alive(2) || !r.Alive(3) {
+		t.Fatal("survivors should all be alive")
+	}
+}

@@ -7,14 +7,16 @@
 // dictionary layout while the merge regenerates identical structures.
 // All integers are little-endian; strings are length-prefixed.
 //
-// Version 3 layout (current):
+// Version 4 layout (current):
 //
-//	magic "HYRS" | version u32 = 3 | topology u8 | name
+//	magic "HYRS" | version u32 = 4 | topology u8 | name
 //	ncols u32 | per column: name | type u8
 //	if sharded: key column | shard count u32
 //	clock u64 (the store's epoch clock)
 //	per partition (1 for flat, shard count for sharded):
 //	    rows u64 | main rows u64 |
+//	    next id u64 | retired u64 | reclaimed bytes u64 | gc watermark u64 |
+//	    stable row ids (rows of u64) |
 //	    begin epochs (rows of u64) | end epochs (rows of u64) |
 //	    per column: values (rows of u32 / u64 / string)
 //
@@ -22,15 +24,20 @@
 // tables round-trip: each shard is encoded as its own partition and global
 // row ids (local*shards + shard) are preserved exactly.  The per-partition
 // main-row count lets the loader re-merge to the saved main/delta split.
-// v3 replaces the v2 validity bitmap with the per-row begin/end visibility
-// epochs and persists the epoch clock, so the multi-version history and
-// row ages survive a round trip (a row's end epoch of 0 means current).
+// v4 adds the stable row-id map and garbage-collection state introduced
+// with GC merges: each physical row's stable id is recorded (ids are not
+// dense once GC has retired some), along with the next id, the cumulative
+// retired/reclaimed counters and the last applied GC watermark, so ids
+// retired before the save stay retired after a reload.  Loader merges run
+// with GC disabled so rebuilt tables are byte-exact replicas.
 //
-// Version 2 snapshots (validity bitmap instead of epochs, no clock) and
-// version 1 snapshots (flat tables only: no topology byte, no main-row
-// count, rows reloaded into the delta) still load; their rows are stamped
-// with load-time epochs, collapsing the pre-save history — equivalent
-// because snapshots never outlive a process.
+// Version 3 snapshots (dense row ids, no GC state), version 2 snapshots
+// (validity bitmap instead of epochs, no clock) and version 1 snapshots
+// (flat tables only: no topology byte, no main-row count, rows reloaded
+// into the delta) still load.  v3 rows get dense ids, exactly what the
+// saved table had; v2/v1 rows are additionally stamped with load-time
+// epochs, collapsing the pre-save history — equivalent because snapshots
+// never outlive a process.
 package persist
 
 import (
@@ -51,7 +58,10 @@ import (
 const Magic = "HYRS"
 
 // Version is the current format version.
-const Version uint32 = 3
+const Version uint32 = 4
+
+// VersionV3 is the dense-row-id format (no GC state), still readable.
+const VersionV3 uint32 = 3
 
 // VersionV2 is the validity-bitmap format (no epochs), still readable.
 const VersionV2 uint32 = 2
@@ -223,24 +233,32 @@ func (r *reader) readColumns(schema table.Schema, rows int) ([][]any, error) {
 }
 
 // writePartition encodes one physical table: row counts, the main/delta
-// boundary, the per-row begin/end epochs and every column's materialized
-// values.  The table should be quiescent; a concurrent merge is tolerated
-// but the snapshot then reflects some point during it.
+// boundary, the GC state, the stable row ids, the per-row begin/end epochs
+// and every column's materialized values.  The table should be quiescent:
+// a concurrent garbage-collecting merge can retire rows mid-write, which
+// fails the save cleanly with ErrRowInvalid rather than corrupting it.
 func writePartition(w *writer, t *table.Table) error {
-	// Capture the epoch columns first and size the partition from them:
-	// rows only ever grow, so every row id below len(begin) has values.
-	begin, end := t.RowEpochs()
-	rows := len(begin)
+	// Capture ids, epochs and GC counters under one lock so they are
+	// mutually consistent; values are then read per stable id.
+	ps := t.PersistState()
+	rows := len(ps.IDs)
 	mainRows := t.MainRows()
 	if mainRows > rows {
 		mainRows = rows
 	}
 	w.u64(uint64(rows))
 	w.u64(uint64(mainRows))
-	for _, e := range begin {
+	w.u64(uint64(ps.NextID))
+	w.u64(uint64(ps.Retired))
+	w.u64(uint64(ps.Reclaimed))
+	w.u64(ps.Watermark)
+	for _, id := range ps.IDs {
+		w.u64(uint64(id))
+	}
+	for _, e := range ps.Begin {
 		w.u64(e)
 	}
-	for _, e := range end {
+	for _, e := range ps.End {
 		w.u64(e)
 	}
 	for _, def := range t.Schema() {
@@ -250,8 +268,8 @@ func writePartition(w *writer, t *table.Table) error {
 			if err != nil {
 				return err
 			}
-			for r := 0; r < rows; r++ {
-				v, err := h.Get(r)
+			for _, id := range ps.IDs {
+				v, err := h.Get(id)
 				if err != nil {
 					return err
 				}
@@ -262,8 +280,8 @@ func writePartition(w *writer, t *table.Table) error {
 			if err != nil {
 				return err
 			}
-			for r := 0; r < rows; r++ {
-				v, err := h.Get(r)
+			for _, id := range ps.IDs {
+				v, err := h.Get(id)
 				if err != nil {
 					return err
 				}
@@ -274,8 +292,8 @@ func writePartition(w *writer, t *table.Table) error {
 			if err != nil {
 				return err
 			}
-			for r := 0; r < rows; r++ {
-				v, err := h.Get(r)
+			for _, id := range ps.IDs {
+				v, err := h.Get(id)
 				if err != nil {
 					return err
 				}
@@ -300,12 +318,58 @@ func (r *reader) readEpochColumn(rows int) ([]uint64, error) {
 	return out, nil
 }
 
+// readPartitionIntoV4 decodes one v4 partition into the (empty) table t,
+// restoring the saved main/delta split, the stable row-id map and the GC
+// counters.  Rows rebuild by re-insertion (which assigns dense ids) with
+// the loader merge's GC disabled, then the saved ids and epochs are
+// restored on top, so ids retired before the save stay retired.
+func (r *reader) readPartitionIntoV4(t *table.Table, schema table.Schema) error {
+	rows64 := r.u64()
+	mainRows64 := r.u64()
+	nextID64 := r.u64()
+	retired64 := r.u64()
+	reclaimed64 := r.u64()
+	watermark := r.u64()
+	if r.err != nil || rows64 > maxRows || mainRows64 > rows64 ||
+		nextID64 > maxRows || rows64 > nextID64 || retired64 > nextID64 {
+		return fmt.Errorf("%w: row counts", ErrFormat)
+	}
+	rows, mainRows := int(rows64), int(mainRows64)
+	ids64, err := r.readEpochColumn(rows) // same wire shape: rows of u64
+	if err != nil {
+		return err
+	}
+	ids := make([]int, rows)
+	for i, id := range ids64 {
+		if id >= nextID64 {
+			return fmt.Errorf("%w: row id %d out of range", ErrFormat, id)
+		}
+		ids[i] = int(id)
+	}
+	begin, err := r.readEpochColumn(rows)
+	if err != nil {
+		return err
+	}
+	end, err := r.readEpochColumn(rows)
+	if err != nil {
+		return err
+	}
+	if err := r.insertColumns(t, schema, rows, mainRows); err != nil {
+		return err
+	}
+	if err := t.RestoreRowIDs(ids, int(nextID64), int(retired64), int(reclaimed64), watermark); err != nil {
+		return fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return t.RestoreRowEpochs(begin, end)
+}
+
 // readPartitionIntoV3 decodes one v3 partition into the (empty) table t,
 // restoring the saved main/delta split: the first mainRows rows are
 // inserted and merged into the main partitions, the rest stay in the
 // delta.  Row ids are assigned in insertion order, so they match the saved
-// table exactly; the rebuilt rows are then re-stamped with the persisted
-// begin/end epochs, restoring the full multi-version visibility history.
+// table exactly (v3 ids are dense); the rebuilt rows are then re-stamped
+// with the persisted begin/end epochs, restoring the full multi-version
+// visibility history.
 func (r *reader) readPartitionIntoV3(t *table.Table, schema table.Schema) error {
 	rows64 := r.u64()
 	mainRows64 := r.u64()
@@ -321,6 +385,17 @@ func (r *reader) readPartitionIntoV3(t *table.Table, schema table.Schema) error 
 	if err != nil {
 		return err
 	}
+	if err := r.insertColumns(t, schema, rows, mainRows); err != nil {
+		return err
+	}
+	return t.RestoreRowEpochs(begin, end)
+}
+
+// insertColumns decodes the column values of one partition and rebuilds
+// the rows: the first mainRows rows are inserted and merged into the main
+// partitions (GC disabled — the loader must rebuild byte-exactly), the
+// rest stay in the delta.
+func (r *reader) insertColumns(t *table.Table, schema table.Schema, rows, mainRows int) error {
 	cols, err := r.readColumns(schema, rows)
 	if err != nil {
 		return err
@@ -344,14 +419,11 @@ func (r *reader) readPartitionIntoV3(t *table.Table, schema table.Schema) error 
 		return err
 	}
 	if mainRows > 0 {
-		if _, err := t.Merge(context.Background(), table.MergeOptions{}); err != nil {
+		if _, err := t.Merge(context.Background(), table.MergeOptions{DisableGC: true}); err != nil {
 			return err
 		}
 	}
-	if err := insert(mainRows, rows); err != nil {
-		return err
-	}
-	return t.RestoreRowEpochs(begin, end)
+	return insert(mainRows, rows)
 }
 
 // readPartitionInto decodes one v2 partition (validity bitmap) into the
@@ -404,14 +476,16 @@ func (r *reader) readPartitionInto(t *table.Table, schema table.Schema) error {
 		return err
 	}
 	if mainRows > 0 {
-		if _, err := t.Merge(context.Background(), table.MergeOptions{}); err != nil {
+		// GC must stay off: the invalidations applied above would otherwise
+		// be reclaimed by this merge, renumbering the saved row ids.
+		if _, err := t.Merge(context.Background(), table.MergeOptions{DisableGC: true}); err != nil {
 			return err
 		}
 	}
 	return insert(mainRows, rows)
 }
 
-// Save writes a v3 snapshot of a flat table.
+// Save writes a v4 snapshot of a flat table.
 func Save(t *table.Table, out io.Writer) error {
 	w := &writer{w: bufio.NewWriter(out)}
 	w.bytes([]byte(Magic))
@@ -426,7 +500,7 @@ func Save(t *table.Table, out io.Writer) error {
 	return w.w.Flush()
 }
 
-// SaveSharded writes a v3 snapshot of a sharded table: the header records
+// SaveSharded writes a v4 snapshot of a sharded table: the header records
 // the key column, shard count and the shared epoch clock, then every shard
 // is encoded as its own partition, so global row ids survive the round
 // trip.
@@ -450,7 +524,7 @@ func SaveSharded(st *shard.Table, out io.Writer) error {
 
 // LoadAny reads a snapshot of either topology; exactly one of the returned
 // tables is non-nil on success.  It accepts the current version and the
-// legacy v2 and v1 formats.
+// legacy v3, v2 and v1 formats.
 func LoadAny(in io.Reader) (*table.Table, *shard.Table, error) {
 	r := &reader{r: bufio.NewReader(in)}
 	magic := make([]byte, 4)
@@ -463,7 +537,7 @@ func LoadAny(in io.Reader) (*table.Table, *shard.Table, error) {
 	case VersionV1:
 		t, err := loadV1(r)
 		return t, nil, err
-	case VersionV2, Version:
+	case VersionV2, VersionV3, Version:
 		version = v
 	default:
 		return nil, nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, v)
@@ -474,13 +548,19 @@ func LoadAny(in io.Reader) (*table.Table, *shard.Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	// readPartition dispatches on version: v3 restores epochs, v2 stamps
-	// load-time epochs from the validity bitmap.
+	// readPartition dispatches on version: v4 restores the id map and GC
+	// state, v3 restores epochs with dense ids, v2 stamps load-time epochs
+	// from the validity bitmap.
+	hasClock := version >= VersionV3
 	readPartition := func(t *table.Table) error {
-		if version == Version {
+		switch version {
+		case Version:
+			return r.readPartitionIntoV4(t, schema)
+		case VersionV3:
 			return r.readPartitionIntoV3(t, schema)
+		default:
+			return r.readPartitionInto(t, schema)
 		}
-		return r.readPartitionInto(t, schema)
 	}
 	switch topo {
 	case topoFlat:
@@ -488,7 +568,7 @@ func LoadAny(in io.Reader) (*table.Table, *shard.Table, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		if version == Version {
+		if hasClock {
 			clock := r.u64()
 			if r.err != nil {
 				return nil, nil, r.err
@@ -512,7 +592,7 @@ func LoadAny(in io.Reader) (*table.Table, *shard.Table, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		if version == Version {
+		if hasClock {
 			clock := r.u64()
 			if r.err != nil {
 				return nil, nil, r.err

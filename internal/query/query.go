@@ -69,9 +69,19 @@ func Run(t *table.Table, filters []Filter, project []string) (*Result, error) {
 // RunAt is Run against the rows visible at the view's epoch: every
 // predicate filters through the frozen view, so the result reflects one
 // consistent state even while writers and merges proceed.
+//
+// A latest view is replaced by a short-lived pinned snapshot for the
+// duration of the query: the seed scan, the refinement probes and the
+// projection are separate steps, and without the pin a GC merge
+// committing in between could reclaim a candidate row mid-query and fail
+// it with ErrRowInvalid.
 func RunAt(t *table.Table, view table.View, filters []Filter, project []string) (*Result, error) {
 	if len(filters) == 0 {
 		return nil, fmt.Errorf("query: no filters (use a full-column handle scan instead)")
+	}
+	if view.IsLatest() {
+		view = t.Snapshot()
+		defer view.Release()
 	}
 	for _, p := range project {
 		if _, err := colIndex(t, p); err != nil {

@@ -17,12 +17,16 @@ import (
 )
 
 // MergeTable is the surface the scheduler supervises: anything exposing
-// the delta/main tuple counts the trigger condition reads and an online
-// merge.  *table.Table satisfies it, as does each shard of a sharded
-// table (see internal/shard and Multi).
+// the delta/main tuple counts the trigger condition reads, the row counts
+// MergeNow uses to spot garbage-collectable history, and an online merge.
+// *table.Table satisfies it, as does each shard of a sharded table (see
+// internal/shard and Multi).
 type MergeTable interface {
 	DeltaRows() int
 	MainRows() int
+	Rows() int
+	ValidRows() int
+	GCEnabled() bool
 	Merge(context.Context, table.MergeOptions) (table.Report, error)
 }
 
@@ -165,15 +169,20 @@ func (s *Scheduler) LastErr() error {
 	return s.lastErr
 }
 
-// MergeNow synchronously merges the target if it holds any delta rows,
+// MergeNow synchronously merges the target if it holds any delta rows or
+// any invalidated versions a garbage-collecting merge could reclaim,
 // regardless of the trigger condition, using the scheduler's configured
 // thread budget.  It does not require (or disturb) a running supervision
 // loop: whole-table merges serialize, so a concurrent scheduled merge
 // simply runs first.  Callers use it to drain deltas deliberately — e.g.
 // cmd/hyrised compacts on shutdown so the saved snapshot reloads with
-// everything merged.
+// everything merged and reclaimed.
 func (s *Scheduler) MergeNow(ctx context.Context) error {
-	if s.t.DeltaRows() == 0 {
+	// With an empty delta a merge only rewrites the main, which is worth
+	// doing solely when GC is on and dead versions actually linger there;
+	// with GC off (or nothing dead) it would be a full-table no-op.
+	if s.t.DeltaRows() == 0 &&
+		(!s.t.GCEnabled() || s.t.Rows() == s.t.ValidRows()) {
 		return nil
 	}
 	threads := s.cfg.Threads

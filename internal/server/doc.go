@@ -42,8 +42,19 @@
 // a registered token reads frozen at that snapshot's epoch no matter
 // how many inserts, updates, deletes or merges commit in between, and
 // an unknown token fails with wire.StatusErrBadSnapshot.
-// OpSnapshotRelease drops a token; releasing keeps the registry bounded
-// but is otherwise optional, because views cost nothing to hold open.
+//
+// Registered snapshots are not free: each one pins the store's GC
+// watermark at its epoch, so garbage-collecting merges keep every
+// version the snapshot can see for as long as the token is registered.
+// The registry is therefore bounded — Options.MaxSnapshots, default
+// DefaultMaxSnapshots (1024) — and OpSnapshot past the cap fails with
+// wire.StatusErrTooManySnapshots until a token is released.  The bound
+// exists precisely because a client capturing tokens in a loop, or
+// crashing without releasing, would otherwise grow the registry and pin
+// dead versions forever.  OpSnapshotRelease drops a token and its pin;
+// Server.ReleaseAllSnapshots drops them all (cmd/hyrised uses it after
+// the shutdown drain so the final compacting merge is not pinned by
+// stale tokens).
 //
 // # Scans at the server boundary
 //

@@ -47,7 +47,10 @@ func (s *Server) handle(payload []byte, out *wire.Buffer) {
 		err = s.opIsValid(r, out)
 	case wire.OpSnapshot:
 		if err = r.Rest(); err == nil {
-			out.U64(s.registerSnapshot())
+			var tok uint64
+			if tok, err = s.registerSnapshot(); err == nil {
+				out.U64(tok)
+			}
 		}
 	case wire.OpSnapshotRelease:
 		err = s.opSnapshotRelease(r, out)
@@ -102,6 +105,8 @@ func statusOf(err error) uint8 {
 		return wire.StatusErrMergeBusy
 	case errors.Is(err, errBadSnapshot):
 		return wire.StatusErrBadSnapshot
+	case errors.Is(err, errTooManySnapshots):
+		return wire.StatusErrTooManySnapshots
 	case errors.Is(err, errColumnType):
 		return wire.StatusErrColumnType
 	case errors.Is(err, wire.ErrMalformed):
@@ -510,6 +515,13 @@ func (s *Server) opScan(r *wire.Reader, out *wire.Buffer) error {
 	if err := r.Rest(); err != nil {
 		return err
 	}
+	if withRows != 0 && view.IsLatest() {
+		// Row materialization happens strictly after the scan; pin a
+		// snapshot for the whole request so a GC merge committing in
+		// between cannot reclaim a matched row before Row reads it.
+		view = s.st.Snapshot()
+		defer view.Release()
+	}
 	var ids []int
 	switch typ {
 	case table.Uint32:
@@ -527,7 +539,9 @@ func (s *Server) opScan(r *wire.Reader, out *wire.Buffer) error {
 	}
 	// Materialize full rows only now that the scan (and its read lock)
 	// is over.  Row versions are immutable, so these reads see exactly
-	// the values the scan saw even if writers committed in between.
+	// the values the scan saw even if writers committed in between, and
+	// the view's pin (registered token, or the request-scoped pin taken
+	// above) keeps GC from reclaiming any matched row before Row runs.
 	for _, id := range ids {
 		values, err := s.st.Row(id)
 		if err != nil {
@@ -677,6 +691,8 @@ func (s *Server) opStats(r *wire.Reader, out *wire.Buffer) error {
 	out.U64(uint64(st.MainRows))
 	out.U64(uint64(st.DeltaRows))
 	out.U64(uint64(st.SizeBytes))
+	out.U64(uint64(st.RetiredRows))
+	out.U64(uint64(st.ReclaimedBytes))
 	out.U8(boolByte(s.st.Merging()))
 	out.U32(uint32(len(st.Partitions)))
 	for _, p := range st.Partitions {
@@ -716,6 +732,7 @@ func (s *Server) opMerge(r *wire.Reader, out *wire.Buffer) error {
 		return err
 	}
 	out.U64(uint64(rep.RowsMerged))
+	out.U64(uint64(rep.RowsReclaimed))
 	out.U64(uint64(rep.MainRowsAfter))
 	out.U64(uint64(rep.Wall.Nanoseconds()))
 	out.U32(uint32(rep.Threads))

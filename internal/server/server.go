@@ -41,12 +41,23 @@ type Store interface {
 	Partitions() []*table.Table
 }
 
+// DefaultMaxSnapshots bounds the snapshot registry when
+// Options.MaxSnapshots is zero.  Every registered snapshot pins the GC
+// watermark at its epoch, so an unbounded registry would let one
+// misbehaving client (capturing in a loop, or crashing without Release)
+// pin dead versions forever.
+const DefaultMaxSnapshots = 1024
+
 // Options configures a Server.
 type Options struct {
 	// Logf, if non-nil, receives connection-level diagnostics (accept
 	// failures, protocol violations).  Per-request errors are reported to
 	// the client, not logged.
 	Logf func(format string, args ...any)
+	// MaxSnapshots caps the snapshot registry (0 = DefaultMaxSnapshots;
+	// negative = unlimited).  OpSnapshot beyond the cap fails with
+	// wire.StatusErrTooManySnapshots until a token is released.
+	MaxSnapshots int
 }
 
 func (o Options) logf(format string, args ...any) {
@@ -149,8 +160,14 @@ func (s *Server) Serve(l net.Listener) error {
 // Shutdown gracefully stops the server: no new connections are accepted,
 // idle sessions close, and in-flight requests run to completion with
 // their responses flushed.  When ctx expires first, the remaining
-// sessions are closed forcibly and ctx.Err is returned.
+// sessions are closed forcibly and ctx.Err is returned.  Either way,
+// every snapshot still registered is released on the way out: tokens are
+// this server instance's state, no client can use them after the stop,
+// and leaving their pins behind would freeze the store's GC watermark
+// forever (the store itself may well outlive the server — hyrise.Serve
+// embedders keep using it locally).
 func (s *Server) Shutdown(ctx context.Context) error {
+	defer s.ReleaseAllSnapshots()
 	s.beginDrain()
 	done := make(chan struct{})
 	go func() {
@@ -173,11 +190,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// Close stops the server immediately, dropping in-flight requests.
+// Close stops the server immediately, dropping in-flight requests.  Like
+// Shutdown it releases every registered snapshot pin.
 func (s *Server) Close() error {
 	s.beginDrain()
 	s.closeConns(true)
 	s.wg.Wait()
+	s.ReleaseAllSnapshots()
 	return nil
 }
 
@@ -233,19 +252,56 @@ func (s *Server) SnapshotCount() int {
 	return len(s.snaps)
 }
 
-// registerSnapshot captures a store snapshot under a fresh token.
-func (s *Server) registerSnapshot() uint64 {
+// maxSnapshots resolves the registry cap.
+func (s *Server) maxSnapshots() int {
+	switch {
+	case s.opts.MaxSnapshots == 0:
+		return DefaultMaxSnapshots
+	case s.opts.MaxSnapshots < 0:
+		return int(^uint(0) >> 1)
+	default:
+		return s.opts.MaxSnapshots
+	}
+}
+
+// registerSnapshot captures a store snapshot under a fresh token.  The
+// registry is bounded: each registered view pins the GC watermark, so past
+// the cap the capture is refused (and the just-taken pin released) instead
+// of letting a leaky client pin history forever.
+func (s *Server) registerSnapshot() (uint64, error) {
 	v := s.st.Snapshot()
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
+	if len(s.snaps) >= s.maxSnapshots() {
+		v.Release()
+		return 0, fmt.Errorf("%w: %d registered", errTooManySnapshots, len(s.snaps))
+	}
 	s.nextSnap++
 	tok := s.nextSnap
 	s.snaps[tok] = v
-	return tok
+	return tok, nil
+}
+
+// ReleaseAllSnapshots releases every registered snapshot (dropping their
+// GC pins) and empties the registry, returning how many were released.
+// Shutdown and Close call it automatically so stale tokens cannot pin
+// history on a store that outlives the server.
+func (s *Server) ReleaseAllSnapshots() int {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	n := len(s.snaps)
+	for tok, v := range s.snaps {
+		v.Release()
+		delete(s.snaps, tok)
+	}
+	return n
 }
 
 // errBadSnapshot maps to wire.StatusErrBadSnapshot.
 var errBadSnapshot = errors.New("server: unknown snapshot token")
+
+// errTooManySnapshots maps to wire.StatusErrTooManySnapshots.
+var errTooManySnapshots = errors.New("server: snapshot registry full")
 
 // viewFor resolves a wire snapshot token: 0 is latest, anything else
 // must be registered.
@@ -262,13 +318,15 @@ func (s *Server) viewFor(tok uint64) (table.View, error) {
 	return v, nil
 }
 
-// releaseSnapshot drops a token from the registry.
+// releaseSnapshot drops a token from the registry and its GC pin with it.
 func (s *Server) releaseSnapshot(tok uint64) error {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
-	if _, ok := s.snaps[tok]; !ok {
+	v, ok := s.snaps[tok]
+	if !ok {
 		return fmt.Errorf("%w: %d", errBadSnapshot, tok)
 	}
+	v.Release()
 	delete(s.snaps, tok)
 	return nil
 }

@@ -1,0 +1,138 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hyrise/internal/table"
+)
+
+// TestShardedGC runs the update-heavy GC loop against a sharded table: a
+// cross-shard pinned view protects its row set through MergeAll cycles,
+// unpinned history is reclaimed on every shard, and retired global ids
+// keep failing with ErrRowInvalid.
+func TestShardedGC(t *testing.T) {
+	st, err := New("gc", table.Schema{
+		{Name: "k", Type: table.Uint64},
+		{Name: "v", Type: table.Uint64},
+	}, "k", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 120
+	gids := make([]int, n)
+	for i := range gids {
+		gid, err := st.Insert([]any{uint64(i), uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gids[i] = gid
+	}
+	retiredGid := gids[0]
+
+	var view table.View
+	pinned := false
+	for cycle := 0; cycle < 10; cycle++ {
+		for i := range gids {
+			// Every third update changes the key, exercising cross-shard
+			// moves under GC.
+			changes := map[string]any{"v": uint64(cycle)}
+			if i%3 == 0 {
+				changes["k"] = uint64(i + cycle*n)
+			}
+			ngid, err := st.Update(gids[i], changes)
+			if err != nil {
+				t.Fatalf("cycle %d row %d: %v", cycle, i, err)
+			}
+			gids[i] = ngid
+		}
+		if _, err := st.MergeAll(context.Background(), MergeAllOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if !pinned {
+			// With nothing pinned, every superseded version is reclaimed:
+			// Rows - ValidRows stays zero after each merge cycle, no matter
+			// how many updates ran.
+			if st.Rows() != st.ValidRows() || st.Rows() != n {
+				t.Fatalf("cycle %d: rows=%d valid=%d, growth not bounded",
+					cycle, st.Rows(), st.ValidRows())
+			}
+		} else {
+			// A pinned view freezes history from its capture on — but what
+			// it sees never changes.
+			if got := st.ValidRowsAt(view); got != n {
+				t.Fatalf("cycle %d: pinned view sees %d rows want %d", cycle, got, n)
+			}
+		}
+		if cycle == 4 {
+			// Pin a cross-shard view mid-run, as a real reader would.
+			view = st.Snapshot()
+			pinned = true
+		}
+	}
+
+	// Release the mid-run pin: the next merge reclaims the history it held.
+	view.Release()
+	rep, err := st.MergeAll(context.Background(), MergeAllOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsReclaimed == 0 {
+		t.Fatal("release reclaimed nothing")
+	}
+	if st.Rows() != st.ValidRows() || st.ValidRows() != n {
+		t.Fatalf("after release: rows=%d valid=%d want %d", st.Rows(), st.ValidRows(), n)
+	}
+	// The very first version was reclaimed back in cycle 0; its global id
+	// is retired for good.
+	if _, err := st.Row(retiredGid); !errors.Is(err, table.ErrRowInvalid) {
+		t.Fatalf("Row(retired gid): %v want ErrRowInvalid", err)
+	}
+	if st.IsValid(retiredGid) {
+		t.Fatal("retired gid reports valid")
+	}
+	stats := st.StoreStats()
+	if stats.RetiredRows == 0 || stats.ReclaimedBytes == 0 {
+		t.Fatalf("GC counters not aggregated: %+v", stats)
+	}
+	// Current versions read back exactly.
+	for i, gid := range gids {
+		row, err := st.Row(gid)
+		if err != nil {
+			t.Fatalf("survivor %d: %v", i, err)
+		}
+		if row[1].(uint64) != 9 {
+			t.Fatalf("survivor %d: v=%v want 9", i, row[1])
+		}
+	}
+}
+
+// TestShardedSetGC: the fan-out switch disables reclamation on every shard.
+func TestShardedSetGC(t *testing.T) {
+	st, err := New("nogc", table.Schema{{Name: "k", Type: table.Uint64}}, "k", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetGC(false)
+	if st.GCEnabled() {
+		t.Fatal("GCEnabled after SetGC(false)")
+	}
+	gid, _ := st.Insert([]any{uint64(1)})
+	if _, err := st.Update(gid, map[string]any{"k": uint64(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.MergeAll(context.Background(), MergeAllOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows() != 2 {
+		t.Fatalf("rows=%d want 2 (history kept)", st.Rows())
+	}
+	if _, err := st.Row(gid); err != nil {
+		t.Fatalf("history lost with GC off: %v", err)
+	}
+	st.SetGC(true)
+	if !st.GCEnabled() {
+		t.Fatal("GCEnabled false after SetGC(true)")
+	}
+}

@@ -118,16 +118,17 @@ func (h *Handle[V]) CountEqualAt(view table.View, v V) int { return len(h.Lookup
 
 // Distinct returns the number of distinct values among all stored row
 // versions across shards.  Like table.Handle.Distinct this includes
-// invalidated versions, so it reads every stored row rather than summing
-// per-shard dictionary sizes (a value may appear in several shards).
+// invalidated (but not yet reclaimed) versions, so it reads every stored
+// row rather than summing per-shard dictionary sizes (a value may appear
+// in several shards).  Stable ids are not dense once garbage collection
+// has retired some, so the iteration walks each shard's live id list.
 func (h *Handle[V]) Distinct() int {
 	seen := make(map[V]struct{})
 	for i, sh := range h.hs {
-		n := h.st.shards[i].Rows()
-		for local := 0; local < n; local++ {
+		for _, local := range h.st.shards[i].RowIDs() {
 			v, err := sh.Get(local)
 			if err != nil {
-				break
+				continue
 			}
 			seen[v] = struct{}{}
 		}

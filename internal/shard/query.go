@@ -21,8 +21,14 @@ func Query(st *Table, filters []query.Filter, project []string) (*query.Result, 
 
 // QueryAt is Query against the rows visible at the view's epoch: because
 // the epoch is shared by all shards, the fanned-out evaluation reflects
-// one frozen state of the whole table.
+// one frozen state of the whole table.  A latest view is replaced by one
+// short-lived pinned cross-shard snapshot so a GC merge on any shard
+// cannot reclaim candidate rows between the per-shard evaluation steps.
 func QueryAt(st *Table, view table.View, filters []query.Filter, project []string) (*query.Result, error) {
+	if view.IsLatest() {
+		view = st.Snapshot()
+		defer view.Release()
+	}
 	results := make([]*query.Result, len(st.shards))
 	errs := make([]error, len(st.shards))
 	var wg sync.WaitGroup

@@ -100,9 +100,31 @@ func New(name string, schema table.Schema, key string, shards int) (*Table, erro
 func (st *Table) Clock() *epoch.Clock { return st.clock }
 
 // Snapshot captures one epoch across ALL shards atomically (a single
-// lock-free fetch-add on the shared clock) and returns it as a read view:
-// reads through the view see one frozen, cross-shard-consistent state.
-func (st *Table) Snapshot() table.View { return table.ViewAt(st.clock.Capture()) }
+// fetch-add on the shared clock) and returns it as a read view pinned
+// against garbage collection: reads through the view see one frozen,
+// cross-shard-consistent state, and no shard's merge reclaims a version
+// the view can see.  Release the view when done reading so the GC
+// watermark can advance.
+func (st *Table) Snapshot() table.View { return table.PinnedView(st.clock) }
+
+// SetGC enables or disables garbage collection during merges on every
+// shard (on by default).
+func (st *Table) SetGC(enabled bool) {
+	for _, s := range st.shards {
+		s.SetGC(enabled)
+	}
+}
+
+// GCEnabled reports whether merges garbage-collect (true when every shard
+// has GC enabled).
+func (st *Table) GCEnabled() bool {
+	for _, s := range st.shards {
+		if !s.GCEnabled() {
+			return false
+		}
+	}
+	return true
+}
 
 // VisibleAt reports whether the row exists and is visible at the view's
 // epoch.
@@ -317,8 +339,15 @@ func (st *Table) Rows() int {
 // ValidRows returns the number of current rows across shards, counted
 // under one epoch capture: a row mid-move between shards is counted
 // exactly once, where per-shard counting could see it in both shards or
-// neither.
-func (st *Table) ValidRows() int { return st.ValidRowsAt(st.Snapshot()) }
+// neither.  The capture is pinned for the duration of the count — a
+// concurrent GC merge could otherwise reclaim a version visible at the
+// captured epoch and the count would miss it — and released before
+// returning, so it never holds the watermark beyond the call.
+func (st *Table) ValidRows() int {
+	v := table.PinnedView(st.clock)
+	defer v.Release()
+	return st.ValidRowsAt(v)
+}
 
 // ValidRowsAt returns the number of rows visible at the view's epoch
 // across all shards.
@@ -386,6 +415,9 @@ type MergeAllReport struct {
 	// shards that committed; rows of aborted shards stay in their deltas
 	// and are not counted.
 	RowsMerged int
+	// RowsReclaimed is the summed count of dead versions garbage-collected
+	// by the shards that committed.
+	RowsReclaimed int
 	// Wall is the end-to-end duration of the cross-shard merge.
 	Wall time.Duration
 	// ThreadsPerShard is the per-shard budget each merge ran with.
@@ -440,6 +472,7 @@ func (st *Table) MergeAll(ctx context.Context, opts MergeAllOptions) (MergeAllRe
 		// only committed shards actually folded rows into their mains.
 		if errs[i] == nil {
 			rep.RowsMerged += r.RowsMerged
+			rep.RowsReclaimed += r.RowsReclaimed
 		}
 	}
 	rep.Wall = time.Since(start)
@@ -455,6 +488,9 @@ type Stats struct {
 	MainRows  int
 	DeltaRows int
 	SizeBytes int
+	// RetiredRows / ReclaimedBytes sum the shards' cumulative GC counters.
+	RetiredRows    int
+	ReclaimedBytes int
 	// PerShard holds each shard's full statistics in shard order.
 	PerShard []table.Stats
 }
@@ -472,6 +508,8 @@ func (st *Table) Stats() Stats {
 		out.MainRows += ts.MainRows
 		out.DeltaRows += ts.DeltaRows
 		out.SizeBytes += ts.SizeBytes
+		out.RetiredRows += ts.RetiredRows
+		out.ReclaimedBytes += ts.ReclaimedBytes
 	}
 	return out
 }

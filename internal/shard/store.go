@@ -79,6 +79,7 @@ func (st *Table) RequestMerge(ctx context.Context, opts table.MergeOptions) (tab
 	}
 	out := table.Report{
 		RowsMerged:    rep.RowsMerged,
+		RowsReclaimed: rep.RowsReclaimed,
 		MainRowsAfter: st.MainRows(),
 		Wall:          rep.Wall,
 		Algorithm:     opts.Algorithm,
@@ -97,14 +98,16 @@ func (st *Table) Partitions() []*table.Table { return st.Shards() }
 func (st *Table) StoreStats() table.StoreStats {
 	s := st.Stats()
 	return table.StoreStats{
-		Name:       s.Name,
-		Shards:     s.Shards,
-		KeyColumn:  st.KeyColumn(),
-		Rows:       s.Rows,
-		ValidRows:  s.ValidRows,
-		MainRows:   s.MainRows,
-		DeltaRows:  s.DeltaRows,
-		SizeBytes:  s.SizeBytes,
-		Partitions: s.PerShard,
+		Name:           s.Name,
+		Shards:         s.Shards,
+		KeyColumn:      st.KeyColumn(),
+		Rows:           s.Rows,
+		ValidRows:      s.ValidRows,
+		MainRows:       s.MainRows,
+		DeltaRows:      s.DeltaRows,
+		SizeBytes:      s.SizeBytes,
+		RetiredRows:    s.RetiredRows,
+		ReclaimedBytes: s.ReclaimedBytes,
+		Partitions:     s.PerShard,
 	}
 }

@@ -21,9 +21,10 @@ type column interface {
 	deltaLen() int
 	stats() ColumnStats
 
-	// Merge pipeline; see Table.Merge for the locking protocol.
+	// Merge pipeline; see Table.Merge for the locking protocol.  drop is
+	// the table's frozen GC mask over main+delta slots (nil = keep all).
 	beginMerge()
-	runMerge(opts core.Options)
+	runMerge(opts core.Options, drop []bool)
 	commitMerge()
 	abortMerge()
 	mergeStats() core.Stats
@@ -204,13 +205,18 @@ func (c *typedColumn[V]) beginMerge() {
 	c.pending = nil
 }
 
-// runMerge merges main + frozen delta into a pending main partition.  It
-// only reads immutable state (main, frozen delta), so it runs without the
+// runMerge merges main + frozen delta into a pending main partition,
+// dropping the slots marked in the table's frozen GC mask.  It only reads
+// immutable state (main, frozen delta, the mask), so it runs without the
 // table lock while inserts land in the second delta.
-func (c *typedColumn[V]) runMerge(opts core.Options) {
+func (c *typedColumn[V]) runMerge(opts core.Options, drop []bool) {
 	// Writes only merge-private fields (pending, pendingStats); externally
 	// visible state is untouched until commitMerge runs under the table's
 	// write lock, so concurrent readers never observe a torn merge.
+	if drop != nil {
+		c.pending, c.pendingStats = core.MergeColumnGC(c.main, c.dlt, drop, opts)
+		return
+	}
 	c.pending, c.pendingStats = core.MergeColumn(c.main, c.dlt, opts)
 }
 

@@ -44,10 +44,16 @@ func (h *Handle[V]) col() *typedColumn[V] {
 }
 
 // Get returns the value of the column at the given row id (valid or not).
+// A row reclaimed by garbage collection fails with ErrRowInvalid.
 func (h *Handle[V]) Get(row int) (V, error) {
 	h.t.mu.RLock()
 	defer h.t.mu.RUnlock()
-	v, ok := h.col().getTyped(row)
+	slot, err := h.t.slotFor(row)
+	if err != nil {
+		var zero V
+		return zero, err
+	}
+	v, ok := h.col().getTyped(slot)
 	if !ok {
 		return v, fmt.Errorf("%w: %d", ErrRowRange, row)
 	}
@@ -69,14 +75,14 @@ func (h *Handle[V]) LookupAt(view View, v V) []int {
 	var rows []int
 	for _, r := range c.main.ScanEqual(v, nil) {
 		if h.t.epochs.VisibleAt(r, e) {
-			rows = append(rows, r)
+			rows = append(rows, h.t.ids[r])
 		}
 	}
 	base := c.main.Len()
 	if tids, ok := c.dlt.Find(v); ok {
 		for _, tid := range tids {
 			if r := base + int(tid); h.t.epochs.VisibleAt(r, e) {
-				rows = append(rows, r)
+				rows = append(rows, h.t.ids[r])
 			}
 		}
 	}
@@ -85,7 +91,7 @@ func (h *Handle[V]) LookupAt(view View, v V) []int {
 		if tids, ok := c.dlt2.Find(v); ok {
 			for _, tid := range tids {
 				if r := base2 + int(tid); h.t.epochs.VisibleAt(r, e) {
-					rows = append(rows, r)
+					rows = append(rows, h.t.ids[r])
 				}
 			}
 		}
@@ -106,20 +112,20 @@ func (h *Handle[V]) RangeAt(view View, lo, hi V) []int {
 	var rows []int
 	for _, r := range c.main.ScanRange(lo, hi, nil) {
 		if h.t.epochs.VisibleAt(r, e) {
-			rows = append(rows, r)
+			rows = append(rows, h.t.ids[r])
 		}
 	}
 	base := c.main.Len()
 	for i, v := range c.dlt.Values() {
 		if v >= lo && v <= hi && h.t.epochs.VisibleAt(base+i, e) {
-			rows = append(rows, base+i)
+			rows = append(rows, h.t.ids[base+i])
 		}
 	}
 	if c.dlt2 != nil {
 		base2 := base + c.dlt.Len()
 		for i, v := range c.dlt2.Values() {
 			if v >= lo && v <= hi && h.t.epochs.VisibleAt(base2+i, e) {
-				rows = append(rows, base2+i)
+				rows = append(rows, h.t.ids[base2+i])
 			}
 		}
 	}
@@ -152,13 +158,13 @@ func (h *Handle[V]) ScanAt(view View, fn func(row int, v V) bool) {
 		if !h.t.epochs.VisibleAt(i, e) {
 			continue
 		}
-		if !fn(i, dict.At(int(code))) {
+		if !fn(h.t.ids[i], dict.At(int(code))) {
 			return
 		}
 	}
 	for i, v := range c.dlt.Values() {
 		if row := nm + i; h.t.epochs.VisibleAt(row, e) {
-			if !fn(row, v) {
+			if !fn(h.t.ids[row], v) {
 				return
 			}
 		}
@@ -167,7 +173,7 @@ func (h *Handle[V]) ScanAt(view View, fn func(row int, v V) bool) {
 		base2 := nm + c.dlt.Len()
 		for i, v := range c.dlt2.Values() {
 			if row := base2 + i; h.t.epochs.VisibleAt(row, e) {
-				if !fn(row, v) {
+				if !fn(h.t.ids[row], v) {
 					return
 				}
 			}

@@ -47,6 +47,11 @@ type MergeOptions struct {
 	Threads int
 	// Strategy distributes the budget; see Strategy.
 	Strategy Strategy
+	// DisableGC keeps this merge from reclaiming versions below the GC
+	// watermark even when the table's GC is enabled (the snapshot loader
+	// uses it to rebuild tables byte-exactly).  See Table.SetGC for the
+	// table-wide switch.
+	DisableGC bool
 }
 
 // Report summarizes one table merge.
@@ -55,6 +60,12 @@ type Report struct {
 	Columns []core.Stats
 	// RowsMerged is the delta tuple count folded into the main partitions.
 	RowsMerged int
+	// RowsReclaimed is the number of dead versions the merge dropped
+	// instead of copying (0 with GC off or nothing reclaimable).
+	RowsReclaimed int
+	// GCWatermark is the watermark the reclamation used (0 when
+	// RowsReclaimed is 0).
+	GCWatermark uint64
 	// MainRowsAfter is N'_M.
 	MainRowsAfter int
 	// Wall is the end-to-end merge duration including lock phases.
@@ -128,13 +139,37 @@ func (t *Table) Merge(ctx context.Context, opts MergeOptions) (Report, error) {
 	if len(t.cols) > 0 {
 		rowsMerged = t.cols[0].deltaLen() // second deltas are nil here
 	}
+	// Decide what this merge reclaims while the freeze lock pins the row
+	// set: versions invalidated at or below the watermark are invisible to
+	// every pinned view and to every future capture, so the columns can
+	// drop them instead of copying.  The mask covers exactly the frozen
+	// main+delta slots; rows landing in the second delta afterwards are
+	// beyond it and always kept.
+	t.gcDrop, t.gcDropCount, t.gcMark = nil, 0, 0
+	// t.dead counts stored versions with end != 0: when it is zero there
+	// is nothing to reclaim and the freeze stays O(columns) — the end-
+	// epoch scan below only runs when garbage can actually exist.
+	if t.gcOn && !opts.DisableGC && t.dead > 0 {
+		w := t.clock.Watermark()
+		for i := 0; i < t.rows; i++ {
+			if e := t.epochs.End(i); e != 0 && e <= w {
+				if t.gcDrop == nil {
+					t.gcDrop = make([]bool, t.rows)
+				}
+				t.gcDrop[i] = true
+				t.gcDropCount++
+			}
+		}
+		t.gcMark = w
+	}
+	drop := t.gcDrop
 	for _, c := range t.cols {
 		c.beginMerge()
 	}
 	t.mu.Unlock()
 
 	// Phase 2: merge columns against the frozen snapshot, no table lock.
-	err := t.runColumnMerges(ctx, strategy, threads, opts.Algorithm)
+	err := t.runColumnMerges(ctx, strategy, threads, opts.Algorithm, drop)
 
 	// Phase 3: commit or abort (brief write lock).
 	t.mu.Lock()
@@ -150,6 +185,7 @@ func (t *Table) Merge(ctx context.Context, opts MergeOptions) (Report, error) {
 		for _, c := range t.cols {
 			c.abortMerge()
 		}
+		t.gcDrop, t.gcDropCount, t.gcMark = nil, 0, 0
 		rep.Aborted = true
 		rep.Wall = time.Since(start)
 		return rep, err
@@ -157,6 +193,14 @@ func (t *Table) Merge(ctx context.Context, opts MergeOptions) (Report, error) {
 	for _, c := range t.cols {
 		c.commitMerge()
 	}
+	if t.gcDropCount > 0 {
+		rep.RowsReclaimed = t.compactRowsLocked()
+		rep.GCWatermark = t.gcMark
+		if t.gcMark > t.gcWatermark {
+			t.gcWatermark = t.gcMark
+		}
+	}
+	t.gcDrop, t.gcDropCount, t.gcMark = nil, 0, 0
 	t.mergeGen++
 	for _, c := range t.cols {
 		rep.Columns = append(rep.Columns, c.mergeStats())
@@ -170,7 +214,8 @@ func (t *Table) Merge(ctx context.Context, opts MergeOptions) (Report, error) {
 }
 
 // runColumnMerges distributes column merges according to the strategy.
-func (t *Table) runColumnMerges(ctx context.Context, strategy Strategy, threads int, alg core.Algorithm) error {
+// drop is the frozen GC mask shared by every column (nil = keep all).
+func (t *Table) runColumnMerges(ctx context.Context, strategy Strategy, threads int, alg core.Algorithm, drop []bool) error {
 	switch strategy {
 	case IntraColumn:
 		opts := core.Options{Algorithm: alg, Threads: threads}
@@ -178,7 +223,7 @@ func (t *Table) runColumnMerges(ctx context.Context, strategy Strategy, threads 
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			c.runMerge(opts)
+			c.runMerge(opts, drop)
 		}
 		return nil
 	default: // ColumnTasks
@@ -195,7 +240,7 @@ func (t *Table) runColumnMerges(ctx context.Context, strategy Strategy, threads 
 		for w := 0; w < workers; w++ {
 			go func() {
 				for c := range tasks {
-					c.runMerge(opts)
+					c.runMerge(opts, drop)
 				}
 				done <- struct{}{}
 			}()
@@ -216,4 +261,32 @@ func (t *Table) runColumnMerges(ctx context.Context, strategy Strategy, threads 
 		}
 		return err
 	}
+}
+
+// compactRowsLocked applies the frozen GC mask to the row metadata at merge
+// commit (t.mu write-held): reclaimed slots leave ids/epochs, their stable
+// ids are retired from the slot map, and every survivor — including rows
+// that accumulated in the second delta during the merge — is re-slotted to
+// its rank.  The columns were already rebuilt without the dropped rows by
+// MergeColumnGC, so physical slots line up again when this returns.
+func (t *Table) compactRowsLocked() int {
+	drop := t.gcDrop
+	w := 0
+	for i, id := range t.ids {
+		if i < len(drop) && drop[i] {
+			delete(t.slots, id)
+			continue
+		}
+		t.ids[w] = id
+		t.slots[id] = w
+		w++
+	}
+	removed := len(t.ids) - w
+	t.ids = t.ids[:w]
+	t.epochs.Compact(drop)
+	t.rows = w
+	t.retired += removed
+	t.reclaimed += removed * t.rowBytes
+	t.dead -= removed
+	return removed
 }

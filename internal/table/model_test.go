@@ -2,6 +2,7 @@ package table
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -10,18 +11,43 @@ import (
 )
 
 // refTable is a trivially correct model of the insert-only table: a flat
-// row log plus validity flags.  The model-based test below applies long
+// row log plus validity flags, with garbage collection modelled as a
+// retired flag — with no pinned views, every invalidated row present at a
+// merge is reclaimed by it.  The model-based test below applies long
 // random operation sequences to both implementations and compares every
 // observable query result.
 type refTable struct {
-	rows  [][2]uint64 // columns k, v
-	valid []bool
+	rows    [][2]uint64 // columns k, v
+	valid   []bool
+	retired []bool // reclaimed by a modelled GC merge
 }
 
 func (r *refTable) insert(k, v uint64) int {
 	r.rows = append(r.rows, [2]uint64{k, v})
 	r.valid = append(r.valid, true)
+	r.retired = append(r.retired, false)
 	return len(r.rows) - 1
+}
+
+// reclaim models a GC merge with nothing pinned: every invalidated row
+// still stored is reclaimed.
+func (r *refTable) reclaim() {
+	for i, v := range r.valid {
+		if !v {
+			r.retired[i] = true
+		}
+	}
+}
+
+// storedCount returns the number of physically stored rows (not reclaimed).
+func (r *refTable) storedCount() int {
+	n := 0
+	for i := range r.rows {
+		if !r.retired[i] {
+			n++
+		}
+	}
+	return n
 }
 
 func (r *refTable) update(row int, k uint64) (int, bool) {
@@ -103,8 +129,8 @@ func TestModelBasedRandomOps(t *testing.T) {
 			const domain = 50 // small domain: dense collisions
 			checkEquiv := func(step int) {
 				t.Helper()
-				if tb.Rows() != len(ref.rows) {
-					t.Fatalf("step %d: rows %d want %d", step, tb.Rows(), len(ref.rows))
+				if tb.Rows() != ref.storedCount() {
+					t.Fatalf("step %d: rows %d want %d", step, tb.Rows(), ref.storedCount())
 				}
 				if tb.ValidRows() != ref.validCount() {
 					t.Fatalf("step %d: valid %d want %d", step, tb.ValidRows(), ref.validCount())
@@ -188,6 +214,7 @@ func TestModelBasedRandomOps(t *testing.T) {
 					}); err != nil {
 						t.Fatal(err)
 					}
+					ref.reclaim()
 				}
 				checkEquiv(step)
 			}
@@ -195,9 +222,12 @@ func TestModelBasedRandomOps(t *testing.T) {
 	}
 }
 
-// TestModelBasedHistory verifies that superseded row versions remain
-// materializable with their original values after arbitrary merges
-// (paper §3: the insert-only approach keeps the history of data).
+// TestModelBasedHistory verifies the two version-history regimes: while a
+// view pinned below the whole history is held, superseded row versions
+// remain materializable with their original values after arbitrary merges
+// (paper §3: the insert-only approach keeps the history of data); once the
+// pin is released, a merge reclaims every superseded version and their ids
+// stay retired.
 func TestModelBasedHistory(t *testing.T) {
 	tb, _ := New("h", Schema{{Name: "k", Type: Uint64}})
 	rng := rand.New(rand.NewSource(9))
@@ -205,6 +235,9 @@ func TestModelBasedHistory(t *testing.T) {
 	row, _ := tb.Insert([]any{uint64(0)})
 	history[row] = 0
 	cur := row
+	// Pinning before the first update holds the GC watermark below every
+	// invalidation that follows, so merges must keep the full history.
+	guard := tb.Snapshot()
 	for i := 1; i <= 200; i++ {
 		v := rng.Uint64() % 1000
 		nr, err := tb.Update(cur, map[string]any{"k": v})
@@ -237,5 +270,29 @@ func TestModelBasedHistory(t *testing.T) {
 	}
 	if tb.ValidRows() != 1 {
 		t.Fatalf("ValidRows=%d want 1", tb.ValidRows())
+	}
+
+	// Release the pin: the next merge reclaims all 200 dead versions.
+	guard.Release()
+	rep, err := tb.Merge(context.Background(), MergeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsReclaimed != 200 {
+		t.Fatalf("RowsReclaimed=%d want 200", rep.RowsReclaimed)
+	}
+	if tb.Rows() != 1 || tb.RetiredRows() != 200 {
+		t.Fatalf("rows=%d retired=%d want 1/200", tb.Rows(), tb.RetiredRows())
+	}
+	for row := range history {
+		if row == cur {
+			continue
+		}
+		if _, err := h.Get(row); !errors.Is(err, ErrRowInvalid) {
+			t.Fatalf("reclaimed row %d: err=%v want ErrRowInvalid", row, err)
+		}
+	}
+	if got, err := h.Get(cur); err != nil || got != history[cur] {
+		t.Fatalf("current row after GC: %d, %v", got, err)
 	}
 }

@@ -69,6 +69,11 @@ type StoreStats struct {
 	MainRows  int
 	DeltaRows int
 	SizeBytes int
+	// RetiredRows counts row ids retired by garbage-collecting merges
+	// across all partitions (cumulative); ReclaimedBytes estimates the
+	// memory those reclaimed versions occupied.
+	RetiredRows    int
+	ReclaimedBytes int
 	// Partitions holds each physical partition's full statistics in
 	// partition order; a flat table has exactly one entry.
 	Partitions []Stats
@@ -78,13 +83,15 @@ type StoreStats struct {
 func (t *Table) StoreStats() StoreStats {
 	s := t.Stats()
 	return StoreStats{
-		Name:       s.Name,
-		Shards:     1,
-		Rows:       s.Rows,
-		ValidRows:  s.ValidRows,
-		MainRows:   s.MainRows,
-		DeltaRows:  s.DeltaRows,
-		SizeBytes:  s.SizeBytes,
-		Partitions: []Stats{s},
+		Name:           s.Name,
+		Shards:         1,
+		Rows:           s.Rows,
+		ValidRows:      s.ValidRows,
+		MainRows:       s.MainRows,
+		DeltaRows:      s.DeltaRows,
+		SizeBytes:      s.SizeBytes,
+		RetiredRows:    s.RetiredRows,
+		ReclaimedBytes: s.ReclaimedBytes,
+		Partitions:     []Stats{s},
 	}
 }

@@ -18,6 +18,28 @@
 // the table's epoch clock.  Snapshot captures one epoch (View); reads
 // filtered through a View see exactly the rows current at that epoch, no
 // matter how many updates, deletes or merges commit afterwards.
+//
+// # Garbage collection
+//
+// Since version history is insert-only, a sustained update workload would
+// grow the table without bound; the merge therefore doubles as the garbage
+// collector.  At merge freeze the table computes a GC watermark W — the
+// minimum epoch of any pinned view on its clock, or the current epoch when
+// nothing is pinned — and versions invalidated at or below W (end != 0 &&
+// end <= W) are dropped instead of copied into the new main: such versions
+// are invisible to every pinned view and to every capture that has not
+// happened yet.  Values referenced only by reclaimed versions leave the
+// merged dictionaries with them.
+//
+// Reclaiming physical rows forces row ids to be indirect: a row id is a
+// stable id resolved through an id -> physical slot map, and merges that
+// reclaim rows compact the slots underneath without renumbering any id.
+// Reclaimed ids are retired — never reused — and every operation on a
+// retired id keeps failing with ErrRowInvalid, exactly as it would on a
+// merely invalidated row.  Views captured with Snapshot pin their epoch
+// and must be Released for the watermark (and hence reclamation) to
+// advance past them; an explicit ViewAt does not pin and may silently lose
+// rows to GC.  SetGC(false) disables reclamation entirely.
 package table
 
 import (
@@ -113,6 +135,28 @@ type Table struct {
 	epochs epoch.Rows // per-row begin/end visibility epochs
 	rows   int
 
+	// Stable row-id indirection: row ids handed out by Insert are stable
+	// ids, resolved to physical slots through slots; ids[slot] is the
+	// inverse.  A garbage-collecting merge compacts the physical slots and
+	// retires the reclaimed ids (removed from slots, never reused).
+	ids       []int       // physical slot -> stable id
+	slots     map[int]int // stable id -> physical slot
+	nextID    int         // next stable id; ids below it without a slot are retired
+	retired   int         // stable ids retired by GC (cumulative)
+	reclaimed int         // estimated bytes reclaimed by GC (cumulative)
+	rowBytes  int         // estimated bytes per row (values + epochs + id)
+	dead      int         // stored versions with end != 0 (GC candidates)
+
+	gcOn        bool   // garbage-collect during merges (default true)
+	gcWatermark uint64 // highest watermark a committed GC merge applied
+
+	// gcDrop marks the physical slots the in-flight merge reclaims
+	// (computed at freeze under mu, applied at commit); nil when the merge
+	// found nothing reclaimable or GC is off.
+	gcDrop      []bool
+	gcDropCount int
+	gcMark      uint64
+
 	mergeMu   sync.Mutex // serializes whole merges; held across a merge
 	merging   bool       // true between beginMerge and commit/abort (under mu)
 	mergeGen  int
@@ -131,11 +175,82 @@ func NewWithClock(name string, schema Schema, clock *epoch.Clock) (*Table, error
 	if err := schema.Validate(); err != nil {
 		return nil, err
 	}
-	t := &Table{name: name, schema: schema, clock: clock, lockID: lockSeq.Add(1)}
+	t := &Table{
+		name: name, schema: schema, clock: clock, lockID: lockSeq.Add(1),
+		slots: make(map[int]int), gcOn: true,
+		rowBytes: 8 + 16, // stable id + begin/end epochs
+	}
 	for _, def := range schema {
 		t.cols = append(t.cols, newColumn(def))
+		switch def.Type {
+		case Uint32:
+			t.rowBytes += 4
+		case String:
+			t.rowBytes += 16 // E_j = 16, the paper's fixed-length model
+		default:
+			t.rowBytes += 8
+		}
 	}
 	return t, nil
+}
+
+// SetGC enables or disables garbage collection during merges.  GC is on by
+// default; with it off, merges copy every stored version into the new main
+// forever, the pre-GC behavior (and the paper's insert-only assumption).
+func (t *Table) SetGC(enabled bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.gcOn = enabled
+}
+
+// GCEnabled reports whether merges garbage-collect.
+func (t *Table) GCEnabled() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.gcOn
+}
+
+// RetiredRows returns the number of row ids retired by garbage collection.
+func (t *Table) RetiredRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.retired
+}
+
+// ReclaimedBytes returns the estimated bytes reclaimed by garbage
+// collection (dropped versions times the schema's modelled row width).
+func (t *Table) ReclaimedBytes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.reclaimed
+}
+
+// GCWatermark returns the highest watermark a committed garbage-collecting
+// merge has applied (0 before the first one).
+func (t *Table) GCWatermark() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.gcWatermark
+}
+
+// NextRowID returns the next stable row id the table will assign.
+func (t *Table) NextRowID() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nextID
+}
+
+// slotFor resolves a stable row id to its physical slot (t.mu held).  Ids
+// never handed out fail with ErrRowRange; retired ids with ErrRowInvalid.
+func (t *Table) slotFor(id int) (int, error) {
+	if id < 0 || id >= t.nextID {
+		return 0, fmt.Errorf("%w: %d", ErrRowRange, id)
+	}
+	slot, ok := t.slots[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d (reclaimed)", ErrRowInvalid, id)
+	}
+	return slot, nil
 }
 
 // Clock returns the table's epoch clock.
@@ -178,17 +293,22 @@ func (t *Table) Insert(values []any) (int, error) {
 	return t.insertLocked(values, t.clock.Now()), nil
 }
 
-// insertLocked appends a row stamped as inserted at epoch at.  The stamp
-// must have been read from the clock while t.mu was already held — that is
-// what makes each mutation atomic with respect to snapshot captures.
+// insertLocked appends a row stamped as inserted at epoch at and returns
+// its stable id.  The stamp must have been read from the clock while t.mu
+// was already held — that is what makes each mutation atomic with respect
+// to snapshot captures.
 func (t *Table) insertLocked(values []any, at uint64) int {
 	for i, v := range values {
 		t.cols[i].appendValue(v)
 	}
-	row := t.rows
+	slot := t.rows
 	t.rows++
 	t.epochs.Append(at)
-	return row
+	id := t.nextID
+	t.nextID++
+	t.ids = append(t.ids, id)
+	t.slots[id] = slot
+	return id
 }
 
 // Update models an UPDATE as insert + invalidate (paper §3): it reads the
@@ -206,15 +326,16 @@ func (t *Table) Update(row int, changes map[string]any) (int, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if row < 0 || row >= t.rows {
-		return 0, fmt.Errorf("%w: %d", ErrRowRange, row)
+	slot, err := t.slotFor(row)
+	if err != nil {
+		return 0, err
 	}
-	if !t.epochs.Alive(row) {
+	if !t.epochs.Alive(slot) {
 		return 0, fmt.Errorf("%w: %d", ErrRowInvalid, row)
 	}
 	values := make([]any, len(t.cols))
 	for i := range t.cols {
-		values[i] = t.cols[i].get(row)
+		values[i] = t.cols[i].get(slot)
 	}
 	for name, v := range changes {
 		i, _ := t.columnIndex(name)
@@ -223,34 +344,40 @@ func (t *Table) Update(row int, changes map[string]any) (int, error) {
 	// One stamp for both sides makes the version switch atomic: a snapshot
 	// at any epoch sees exactly one of the two versions.
 	at := t.clock.Now()
-	t.epochs.Invalidate(row, at)
+	t.epochs.Invalidate(slot, at)
+	t.dead++
 	return t.insertLocked(values, at), nil
 }
 
-// Delete invalidates a row; the version history remains stored.
+// Delete invalidates a row; the version remains stored until a
+// garbage-collecting merge reclaims it.
 func (t *Table) Delete(row int) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if row < 0 || row >= t.rows {
-		return fmt.Errorf("%w: %d", ErrRowRange, row)
+	slot, err := t.slotFor(row)
+	if err != nil {
+		return err
 	}
-	if !t.epochs.Alive(row) {
+	if !t.epochs.Alive(slot) {
 		return fmt.Errorf("%w: %d", ErrRowInvalid, row)
 	}
-	t.epochs.Invalidate(row, t.clock.Now())
+	t.epochs.Invalidate(slot, t.clock.Now())
+	t.dead++
 	return nil
 }
 
-// Row materializes all column values of a row (valid or not).
+// Row materializes all column values of a row (valid or not).  A row
+// reclaimed by garbage collection fails with ErrRowInvalid.
 func (t *Table) Row(row int) ([]any, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	if row < 0 || row >= t.rows {
-		return nil, fmt.Errorf("%w: %d", ErrRowRange, row)
+	slot, err := t.slotFor(row)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]any, len(t.cols))
 	for i := range t.cols {
-		out[i] = t.cols[i].get(row)
+		out[i] = t.cols[i].get(slot)
 	}
 	return out, nil
 }
@@ -259,10 +386,12 @@ func (t *Table) Row(row int) ([]any, error) {
 func (t *Table) IsValid(row int) bool {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return row >= 0 && row < t.rows && t.epochs.Alive(row)
+	slot, err := t.slotFor(row)
+	return err == nil && t.epochs.Alive(slot)
 }
 
-// Rows returns the total number of stored row versions.
+// Rows returns the number of physically stored row versions (reclaimed
+// versions no longer count; see RetiredRows for how many were reclaimed).
 func (t *Table) Rows() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -356,14 +485,22 @@ type Stats struct {
 	MainRows  int
 	DeltaRows int
 	SizeBytes int
-	Columns   []ColumnStats
+	// RetiredRows counts row ids retired by garbage-collecting merges
+	// (cumulative); ReclaimedBytes estimates the memory those reclaimed
+	// versions occupied.
+	RetiredRows    int
+	ReclaimedBytes int
+	Columns        []ColumnStats
 }
 
 // Stats returns a consistent snapshot of storage statistics.
 func (t *Table) Stats() Stats {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	s := Stats{Name: t.name, Rows: t.rows, ValidRows: t.epochs.CountAlive()}
+	s := Stats{
+		Name: t.name, Rows: t.rows, ValidRows: t.epochs.CountAlive(),
+		RetiredRows: t.retired, ReclaimedBytes: t.reclaimed,
+	}
 	for _, c := range t.cols {
 		cs := c.stats()
 		s.Columns = append(s.Columns, cs)
@@ -373,6 +510,6 @@ func (t *Table) Stats() Stats {
 		s.MainRows = t.cols[0].mainLen()
 		s.DeltaRows = t.cols[0].deltaLen()
 	}
-	s.SizeBytes += t.epochs.SizeBytes()
+	s.SizeBytes += t.epochs.SizeBytes() + 8*len(t.ids)
 	return s
 }

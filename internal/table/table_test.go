@@ -164,10 +164,12 @@ func fillRandom(t *testing.T, tb *Table, n int, seed int64) {
 }
 
 // snapshot captures all valid rows for invariance checks across merges.
+// It walks the stable id list rather than a dense range: garbage
+// collection retires ids, so live ids are not contiguous.
 func snapshot(t *testing.T, tb *Table) map[int][]any {
 	t.Helper()
 	out := map[int][]any{}
-	for r := 0; r < tb.Rows(); r++ {
+	for _, r := range tb.RowIDs() {
 		if tb.IsValid(r) {
 			row, err := tb.Row(r)
 			if err != nil {
@@ -224,7 +226,8 @@ func TestMergePreservesInvalidations(t *testing.T) {
 	tb.Delete(10)
 	tb.Update(20, map[string]any{"qty": uint32(77)})
 	before := snapshot(t, tb)
-	if _, err := tb.Merge(context.Background(), MergeOptions{}); err != nil {
+	rep, err := tb.Merge(context.Background(), MergeOptions{})
+	if err != nil {
 		t.Fatal(err)
 	}
 	after := snapshot(t, tb)
@@ -233,6 +236,14 @@ func TestMergePreservesInvalidations(t *testing.T) {
 	}
 	if len(after) != len(before) {
 		t.Fatal("valid row count changed")
+	}
+	// With no pinned view, the merge garbage-collects both dead versions:
+	// their ids are retired and stay invalid forever.
+	if rep.RowsReclaimed != 2 || tb.RetiredRows() != 2 {
+		t.Fatalf("reclaimed %d retired %d, want 2/2", rep.RowsReclaimed, tb.RetiredRows())
+	}
+	if _, err := tb.Row(10); !errors.Is(err, ErrRowInvalid) {
+		t.Fatalf("Row(reclaimed) err=%v want ErrRowInvalid", err)
 	}
 }
 

@@ -69,7 +69,7 @@ const (
 	OpQuery           = 0x12 // token, filters, u16 n + project strings -> query result
 	OpValidRows       = 0x13 // token -> u64
 	OpVisible         = 0x14 // token, id u64 -> u8
-	OpStats           = 0x15 // -> stats
+	OpStats           = 0x15 // -> stats (incl. GC retired/reclaimed counters)
 	OpMerge           = 0x16 // algorithm u8, threads u32 -> merge report
 )
 
@@ -87,6 +87,9 @@ const (
 	StatusErrBadSnapshot = 0x07 // unknown or released snapshot token
 	StatusErrBadRequest  = 0x08 // malformed frame, unknown op, bad tag
 	StatusErrColumnType  = 0x09 // value/op does not fit the column type
+	// StatusErrTooManySnapshots: the server's snapshot registry is at its
+	// configured capacity; release a token before capturing another.
+	StatusErrTooManySnapshots = 0x0a
 )
 
 // Value type tags.

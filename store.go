@@ -60,13 +60,22 @@ type Store interface {
 	// (MergeAll) and condenses the result into one report.
 	RequestMerge(ctx context.Context, opts MergeOptions) (MergeReport, error)
 	// Snapshot captures a consistent read view of the whole store with one
-	// atomic epoch capture — no locks, no coordination with writers.  For
-	// a sharded table the epoch is shared by all shards, so the view is
-	// consistent across them.  Reads through the view (the *At methods,
-	// QueryAt) see exactly the rows current at the captured epoch, no
-	// matter how many updates, deletes, key moves or merges commit
-	// afterwards.
+	// atomic epoch capture — no coordination with writers.  For a sharded
+	// table the epoch is shared by all shards, so the view is consistent
+	// across them.  Reads through the view (the *At methods, QueryAt) see
+	// exactly the rows current at the captured epoch, no matter how many
+	// updates, deletes, key moves or merges commit afterwards.  The view
+	// pins its epoch against garbage collection; call ReadView.Release
+	// when done with it so merges can reclaim dead versions again.
 	Snapshot() ReadView
+	// SetGC enables or disables garbage collection during merges (on by
+	// default): with GC on, merges drop versions invalidated at or below
+	// the GC watermark — the minimum epoch of any unreleased Snapshot view
+	// — instead of copying them forever, and the reclaimed row ids are
+	// retired (never reused; operations on them return ErrRowInvalid).
+	SetGC(enabled bool)
+	// GCEnabled reports whether merges garbage-collect.
+	GCEnabled() bool
 	// ValidRowsAt returns the number of rows visible at the view's epoch
 	// (consistent across shards, unlike summing per-partition counts).
 	ValidRowsAt(v ReadView) int
@@ -81,8 +90,10 @@ type Store interface {
 }
 
 // ReadView is a frozen read epoch captured by Store.Snapshot.  Views are
-// plain values: cheap to copy, never closed, valid for the life of the
-// store.  The zero ReadView reads latest (current versions only).
+// plain values: cheap to copy, valid for the life of the store.  A view
+// from Snapshot pins its epoch against garbage collection until Release is
+// called (copies share the pin; releasing any copy releases all).  The
+// zero ReadView reads latest (current versions only) and needs no Release.
 type ReadView = table.View
 
 // Both topologies satisfy Store.
