@@ -19,15 +19,29 @@ func TestStoreGCAcceptance(t *testing.T) {
 		{Name: "k", Type: hyrise.Uint64},
 		{Name: "v", Type: hyrise.Uint64},
 	}
-	stores := map[string]func() (hyrise.Store, error){
-		"flat": func() (hyrise.Store, error) { return hyrise.NewTable("gc", schema) },
-		"sharded": func() (hyrise.Store, error) {
+	// The parallel-merge variants route every merge cycle through the
+	// intra-column range-partitioned GC kernels across 1/4/8 shards.
+	parallel := hyrise.MergeOptions{Threads: 4, Strategy: hyrise.IntraColumn}
+	cases := []struct {
+		name  string
+		mk    func() (hyrise.Store, error)
+		merge hyrise.MergeOptions
+	}{
+		{"flat", func() (hyrise.Store, error) { return hyrise.NewTable("gc", schema) }, hyrise.MergeOptions{}},
+		{"sharded", func() (hyrise.Store, error) {
 			return hyrise.NewShardedTable("gc", schema, "k", 4)
-		},
+		}, hyrise.MergeOptions{}},
+		{"flat-parallel-merge", func() (hyrise.Store, error) { return hyrise.NewTable("gc", schema) }, parallel},
+		{"sharded-1-parallel-merge", func() (hyrise.Store, error) {
+			return hyrise.NewShardedTable("gc", schema, "k", 1)
+		}, parallel},
+		{"sharded-8-parallel-merge", func() (hyrise.Store, error) {
+			return hyrise.NewShardedTable("gc", schema, "k", 8)
+		}, parallel},
 	}
-	for name, mk := range stores {
-		t.Run(name, func(t *testing.T) {
-			s, err := mk()
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s, err := c.mk()
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -59,7 +73,7 @@ func TestStoreGCAcceptance(t *testing.T) {
 					}
 					ids[i] = nid
 				}
-				rep, err := s.RequestMerge(context.Background(), hyrise.MergeOptions{})
+				rep, err := s.RequestMerge(context.Background(), c.merge)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -99,7 +113,7 @@ func TestStoreGCAcceptance(t *testing.T) {
 			}
 			// Releasing the pin re-bounds the store on the next merge.
 			view.Release()
-			if _, err := s.RequestMerge(context.Background(), hyrise.MergeOptions{}); err != nil {
+			if _, err := s.RequestMerge(context.Background(), c.merge); err != nil {
 				t.Fatal(err)
 			}
 			stats := s.StoreStats()

@@ -129,6 +129,34 @@
 // shard; they are not dense and not in global insertion order.  Updates
 // that change the key column may relocate a row to another shard.
 //
+// # Vectorized execution
+//
+// Read-side operators never walk a compressed column one row at a time.
+// Scans, lookups, counts and aggregates (Lookup/LookupAt, Range/RangeAt,
+// Scan/ScanAt, CountEqual/CountEqualAt, SumAt/MinAt/MaxAt, and the Query
+// probe path) run on internal/kernel batch kernels that evaluate
+// predicates directly on the bit-packed words of the main partition:
+// packed widths that divide the 64-bit word are matched with word-at-a-time
+// SWAR compares (8 lanes per word at 8 bits), other widths are decoded
+// block-at-a-time (512 values) into a reused scratch buffer and compared
+// there — never through a per-row Get.
+//
+// Operators compose through selection vectors: a predicate kernel emits
+// the ascending positions of matching rows, the epoch-visibility kernel
+// filters such a vector in place by fusing the begin/end epoch compares
+// (branchless, one pass), and the aggregate kernels consume the surviving
+// positions — density-adaptive between block decode and point reads.  The
+// delta partitions stay row-wise (they are uncompressed and small by
+// construction; the merge scheduler bounds their fraction), so a scan is
+// a kernel pass over main plus a short scalar tail over the deltas.
+//
+// The same batch orientation drives the write side: with
+// MergeOptions{Threads: N, Strategy: IntraColumn} a garbage-collecting
+// merge range-partitions each column's rewrite across N workers emitting
+// disjoint word-aligned output slices, so one oversized shard no longer
+// serializes compaction.  CI tracks both sides in BENCH_kernels.json
+// (scalar-vs-kernel scan throughput, merge thread scaling).
+//
 // # Network serving
 //
 // Either topology can serve real concurrent client traffic as a

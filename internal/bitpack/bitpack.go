@@ -175,6 +175,43 @@ func (v *Vector) Decode(dst []uint64) []uint64 {
 	return dst
 }
 
+// DecodeRange decodes elements [from, to) into dst, reusing dst's backing
+// array when it has sufficient capacity, and returns dst resliced to
+// exactly to-from elements.  It is the allocation-free block decode used by
+// the scan kernels (internal/kernel): callers keep one scratch buffer per
+// scan instead of re-decoding whole columns or paying per-row Get.  It
+// panics if the range is out of bounds.
+func (v *Vector) DecodeRange(from, to int, dst []uint64) []uint64 {
+	if from < 0 || to > v.n || from > to {
+		panic(fmt.Sprintf("bitpack: DecodeRange [%d,%d) out of range [0,%d]", from, to, v.n))
+	}
+	n := to - from
+	if cap(dst) < n {
+		dst = make([]uint64, n)
+	} else {
+		dst = dst[:n]
+	}
+	if v.bits == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	mask := v.mask()
+	pos := uint64(from) * uint64(v.bits)
+	for i := 0; i < n; i++ {
+		word := pos / WordBits
+		off := uint(pos % WordBits)
+		x := v.words[word] >> off
+		if rem := WordBits - off; rem < v.bits {
+			x |= v.words[word+1] << rem
+		}
+		dst[i] = x & mask
+		pos += uint64(v.bits)
+	}
+	return dst
+}
+
 // Clone returns a deep copy.
 func (v *Vector) Clone() *Vector {
 	w := &Vector{words: make([]uint64, len(v.words)), n: v.n, bits: v.bits}

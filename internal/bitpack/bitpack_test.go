@@ -250,3 +250,66 @@ func BenchmarkGetRandom(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestDecodeRangeMisaligned(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, width := range []uint{0, 1, 3, 5, 7, 8, 12, 13, 16, 31, 32, 33, 63, 64} {
+		n := 300
+		v := New(width, n)
+		want := make([]uint64, n)
+		for i := range want {
+			if width == 64 {
+				want[i] = rng.Uint64()
+			} else if width > 0 {
+				want[i] = rng.Uint64() % (1 << width)
+			}
+			v.Append(want[i])
+		}
+		// Offsets chosen to start and end mid-word for every width, plus
+		// chunk-aligned ones for contrast.
+		spans := [][2]int{{0, n}, {1, n - 1}, {7, 200}, {63, 65}, {64, 128},
+			{65, 66}, {n - 1, n}, {13, 13}, {0, 0}, {n, n}}
+		for _, s := range spans {
+			got := v.DecodeRange(s[0], s[1], nil)
+			if len(got) != s[1]-s[0] {
+				t.Fatalf("w=%d [%d,%d): len %d", width, s[0], s[1], len(got))
+			}
+			for i, w := range got {
+				if w != want[s[0]+i] {
+					t.Fatalf("w=%d [%d,%d)[%d] = %d want %d", width, s[0], s[1], i, w, want[s[0]+i])
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeRangeReusesDst(t *testing.T) {
+	v := FromSlice(13, []uint64{1, 2, 3, 4, 5, 6, 7, 8})
+	buf := make([]uint64, 8)
+	got := v.DecodeRange(2, 7, buf)
+	if &got[0] != &buf[0] {
+		t.Fatal("DecodeRange reallocated despite sufficient capacity")
+	}
+	if len(got) != 5 || got[0] != 3 || got[4] != 7 {
+		t.Fatalf("DecodeRange content wrong: %v", got)
+	}
+	// Undersized dst must grow, not panic.
+	grown := v.DecodeRange(0, 8, make([]uint64, 0, 2))
+	if len(grown) != 8 || grown[7] != 8 {
+		t.Fatalf("DecodeRange grow failed: %v", grown)
+	}
+}
+
+func TestDecodeRangePanics(t *testing.T) {
+	v := FromSlice(8, []uint64{1, 2, 3})
+	for _, s := range [][2]int{{-1, 2}, {0, 4}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("DecodeRange(%d,%d) did not panic", s[0], s[1])
+				}
+			}()
+			v.DecodeRange(s[0], s[1], nil)
+		}()
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"hyrise/internal/bitpack"
 	"hyrise/internal/dict"
+	"hyrise/internal/kernel"
 	"hyrise/internal/val"
 )
 
@@ -75,34 +76,42 @@ func (m *Main[V]) LookupCode(v V) (uint64, bool) {
 	return uint64(c), ok
 }
 
-// ScanEqual appends to dst the positions whose value equals v.
-func (m *Main[V]) ScanEqual(v V, dst []int) []int {
+// SelEqual appends to dst the positions (as a selection vector) whose
+// value equals v, evaluated word-at-a-time by the batch kernels.
+func (m *Main[V]) SelEqual(v V, dst []int32) []int32 {
 	code, ok := m.LookupCode(v)
 	if !ok {
 		return dst
 	}
-	r := m.codes.Reader()
-	for i := 0; i < m.codes.Len(); i++ {
-		if r.Next() == code {
-			dst = append(dst, i)
-		}
-	}
-	return dst
+	return kernel.MatchEqual(m.codes, code, dst)
 }
 
-// ScanRange appends to dst the positions whose value lies in [lo, hi]
-// (inclusive).  The value range maps to one code interval.
-func (m *Main[V]) ScanRange(lo, hi V, dst []int) []int {
+// SelRange appends to dst the positions whose value lies in [lo, hi]
+// (inclusive).  The value range maps to one code interval on the
+// order-preserving dictionary, so the kernel compares codes only.
+func (m *Main[V]) SelRange(lo, hi V, dst []int32) []int32 {
 	cLo := uint64(m.dict.LowerBound(lo))
 	cHi := uint64(m.dict.UpperBound(hi)) // exclusive
 	if cLo >= cHi {
 		return dst
 	}
-	r := m.codes.Reader()
-	for i := 0; i < m.codes.Len(); i++ {
-		if c := r.Next(); c >= cLo && c < cHi {
-			dst = append(dst, i)
-		}
+	return kernel.MatchRange(m.codes, cLo, cHi, dst)
+}
+
+// ScanEqual appends to dst the positions whose value equals v.
+func (m *Main[V]) ScanEqual(v V, dst []int) []int {
+	return widen(m.SelEqual(v, nil), dst)
+}
+
+// ScanRange appends to dst the positions whose value lies in [lo, hi]
+// (inclusive).
+func (m *Main[V]) ScanRange(lo, hi V, dst []int) []int {
+	return widen(m.SelRange(lo, hi, nil), dst)
+}
+
+func widen(sel []int32, dst []int) []int {
+	for _, p := range sel {
+		dst = append(dst, int(p))
 	}
 	return dst
 }
@@ -113,14 +122,7 @@ func (m *Main[V]) CountEqual(v V) int {
 	if !ok {
 		return 0
 	}
-	n := 0
-	r := m.codes.Reader()
-	for i := 0; i < m.codes.Len(); i++ {
-		if r.Next() == code {
-			n++
-		}
-	}
-	return n
+	return kernel.CountEqual(m.codes, code, nil, nil, 0)
 }
 
 // Materialize appends the uncompressed values of positions [from, to) to

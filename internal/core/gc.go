@@ -1,6 +1,9 @@
 package core
 
 import (
+	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"hyrise/internal/bitpack"
@@ -9,6 +12,12 @@ import (
 	"hyrise/internal/dict"
 	"hyrise/internal/val"
 )
+
+// gcBlock is the survivor-accounting granularity of the parallel GC merge:
+// per-block survivor counts plus their prefix sums let a Step 2 worker
+// locate the input position of its first output tuple in O(total/gcBlock)
+// search plus one intra-block walk.
+const gcBlock = 4096
 
 // MergeColumnGC is MergeColumn with garbage collection: positions of
 // main+delta marked true in drop (indexed like the merged output — main
@@ -21,6 +30,12 @@ import (
 // the parallel fast paths); the GC path itself stays linear —
 // O(N_M + N_D + |U_M| + |U_D|) — by reusing the translation-table shape of
 // the optimized merge on dictionaries first compacted to surviving values.
+//
+// With Options.Threads > 1 and enough tuples, both the used-mask pass and
+// the Step 2 rewrite are range-partitioned across workers: the output is
+// split at word-aligned boundaries, each worker locates its first surviving
+// input via the per-block survivor prefix sums, and writes a disjoint
+// output slice — so one oversized shard no longer serializes compaction.
 func MergeColumnGC[V val.Value](m *colstore.Main[V], d *delta.Partition[V], drop []bool, opts Options) (*colstore.Main[V], Stats) {
 	dropped := 0
 	for _, dr := range drop {
@@ -31,9 +46,10 @@ func MergeColumnGC[V val.Value](m *colstore.Main[V], d *delta.Partition[V], drop
 	if dropped == 0 {
 		return MergeColumn(m, d, opts)
 	}
+	nt := opts.EffectiveThreads()
 	st := Stats{
 		Algorithm:  opts.Algorithm,
-		Threads:    1,
+		Threads:    nt,
 		NM:         m.Len(),
 		ND:         d.Len(),
 		UniqueMain: m.Dict().Len(),
@@ -42,59 +58,179 @@ func MergeColumnGC[V val.Value](m *colstore.Main[V], d *delta.Partition[V], drop
 		Dropped:    dropped,
 	}
 
+	// The dictionary subroutines (extract, sorted merge) compute identical
+	// results at any thread count, so cap their workers at the processor
+	// count — goroutines beyond it are pure scheduling overhead.  The
+	// range-partitioned mask and Step 2 paths below stay Threads-driven:
+	// their output layout is what the equivalence tests pin down.
+	dictNT := min(nt, runtime.GOMAXPROCS(0))
+
 	// Step 1(a): delta dictionary + delta code rewrite (CSB+ traversal).
 	t0 := time.Now()
-	dictD, deltaCodes := d.ExtractDict()
+	var dictD *dict.Dict[V]
+	var deltaCodes []uint32
+	if dictNT > 1 {
+		dictD, deltaCodes = d.ExtractDictParallel(dictNT)
+	} else {
+		dictD, deltaCodes = d.ExtractDict()
+	}
 	st.Step1a = time.Since(t0)
 	st.UniqueDelta = dictD.Len()
+
+	nm := m.Len()
+	total := nm + len(deltaCodes)
+	parallel := nt > 1 && total >= parallelStep2Threshold
 
 	// Step 1(b): mark the dictionary codes surviving tuples still
 	// reference, compact both dictionaries to those values, then run the
 	// usual two-pointer merge with translation tables over the compacted
 	// dictionaries.  Values referenced only by reclaimed versions vanish
-	// from the merged dictionary along with their tuples.
+	// from the merged dictionary along with their tuples.  The parallel
+	// variant builds per-worker masks (OR-ed serially afterwards — no
+	// shared writes) and per-block survivor counts for Step 2.
 	t0 = time.Now()
-	nm := m.Len()
 	usedM := make([]bool, m.Dict().Len())
-	r := m.Codes().Reader()
-	for i := 0; i < nm; i++ {
-		code := r.Next()
-		if !at(drop, i) {
-			usedM[code] = true
+	usedD := make([]bool, dictD.Len())
+	markSerial := func(blockKept []int) {
+		r := m.Codes().Reader()
+		for i := 0; i < nm; i++ {
+			code := r.Next()
+			if !at(drop, i) {
+				usedM[code] = true
+				if blockKept != nil {
+					blockKept[i/gcBlock]++
+				}
+			}
+		}
+		for j, dc := range deltaCodes {
+			if !at(drop, nm+j) {
+				usedD[dc] = true
+				if blockKept != nil {
+					blockKept[(nm+j)/gcBlock]++
+				}
+			}
 		}
 	}
-	usedD := make([]bool, dictD.Len())
-	for j, dc := range deltaCodes {
-		if !at(drop, nm+j) {
-			usedD[dc] = true
+	var pref []int // survivor count prefix per gcBlock, parallel path only
+	if parallel {
+		bounds := blockChunks(total, nt, gcBlock)
+		nw := len(bounds) - 1
+		blockKept := make([]int, (total+gcBlock-1)/gcBlock)
+		// Per-worker masks cost O(workers * |dictionary|) in allocation,
+		// zeroing, and the serial OR afterwards.  That only pays off when
+		// the dictionaries are small next to the tuple count; with wide
+		// dictionaries the O(total) mark pass stays serial and Step 2
+		// carries the parallelism.
+		if (len(usedM)+len(usedD))*nw <= total {
+			localM := make([][]bool, nw)
+			localD := make([][]bool, nw)
+			var wg sync.WaitGroup
+			for k := 0; k < nw; k++ {
+				wg.Add(1)
+				go func(k, lo, hi int) {
+					defer wg.Done()
+					um := make([]bool, len(usedM))
+					ud := make([]bool, len(usedD))
+					if lo < nm {
+						r := m.Codes().ReaderAt(lo)
+						end := min(hi, nm)
+						for i := lo; i < end; i++ {
+							code := r.Next()
+							if !at(drop, i) {
+								um[code] = true
+								blockKept[i/gcBlock]++
+							}
+						}
+					}
+					for i := max(lo, nm); i < hi; i++ {
+						if !at(drop, i) {
+							ud[deltaCodes[i-nm]] = true
+							blockKept[i/gcBlock]++
+						}
+					}
+					localM[k], localD[k] = um, ud
+				}(k, bounds[k], bounds[k+1])
+			}
+			wg.Wait()
+			for k := 0; k < nw; k++ {
+				orInto(usedM, localM[k])
+				orInto(usedD, localD[k])
+			}
+		} else {
+			markSerial(blockKept)
 		}
+		pref = make([]int, len(blockKept)+1)
+		for b, c := range blockKept {
+			pref[b+1] = pref[b] + c
+		}
+	} else {
+		markSerial(nil)
 	}
 	dictMc, remapM := compactDict(m.Dict(), usedM)
 	dictDc, remapD := compactDict(dictD, usedD)
-	res := dict.Merge(dictMc, dictDc)
+	var res dict.MergeResult[V]
+	if dictNT > 1 && dictMc.Len()+dictDc.Len() >= parallelDictThreshold {
+		res = dict.MergeParallel(dictMc, dictDc, dictNT)
+	} else {
+		res = dict.Merge(dictMc, dictDc)
+	}
 	st.Step1b = time.Since(t0)
 	st.UniqueMerged = res.Merged.Len()
-	if nm+len(deltaCodes)-dropped == 0 {
+	outTotal := total - dropped
+	if outTotal == 0 {
 		return colstore.Empty[V](), st
 	}
 
 	// Step 2: write surviving tuples' codes through remap + translation
-	// table.  Output positions are the survivors' ranks, so this pass runs
-	// serially with a running write index.
+	// table.  Output positions are the survivors' ranks; the parallel path
+	// splits the output at word-aligned boundaries, ranks each boundary
+	// back to its input position through the survivor prefix sums, and
+	// lets every worker emit a disjoint output slice.
 	bits := bitpack.MinBits(res.Merged.Len())
 	st.BitsAfter = bits
 	t0 = time.Now()
-	w := bitpack.NewWriter(bits, nm+len(deltaCodes)-dropped)
-	r = m.Codes().Reader()
-	for i := 0; i < nm; i++ {
-		code := r.Next()
-		if !at(drop, i) {
-			w.Write(uint64(res.XM[remapM[code]]))
+	w := bitpack.NewWriter(bits, outTotal)
+	if parallel {
+		bounds := alignedChunks(bits, outTotal, nt)
+		var wg sync.WaitGroup
+		for k := 0; k+1 < len(bounds); k++ {
+			wg.Add(1)
+			go func(outLo, outHi int) {
+				defer wg.Done()
+				i := survivorStart(pref, drop, total, outLo)
+				out := outLo
+				if i < nm {
+					r := m.Codes().ReaderAt(i)
+					for ; i < nm && out < outHi; i++ {
+						code := r.Next()
+						if !at(drop, i) {
+							w.WriteAt(out, uint64(res.XM[remapM[code]]))
+							out++
+						}
+					}
+				}
+				for ; out < outHi; i++ {
+					if !at(drop, i) {
+						w.WriteAt(out, uint64(res.XD[remapD[deltaCodes[i-nm]]]))
+						out++
+					}
+				}
+			}(bounds[k], bounds[k+1])
 		}
-	}
-	for j, dc := range deltaCodes {
-		if !at(drop, nm+j) {
-			w.Write(uint64(res.XD[remapD[dc]]))
+		wg.Wait()
+		w.SetLen(outTotal)
+	} else {
+		r := m.Codes().Reader()
+		for i := 0; i < nm; i++ {
+			code := r.Next()
+			if !at(drop, i) {
+				w.Write(uint64(res.XM[remapM[code]]))
+			}
+		}
+		for j, dc := range deltaCodes {
+			if !at(drop, nm+j) {
+				w.Write(uint64(res.XD[remapD[dc]]))
+			}
 		}
 	}
 	st.Step2 = time.Since(t0)
@@ -103,6 +239,51 @@ func MergeColumnGC[V val.Value](m *colstore.Main[V], d *delta.Partition[V], drop
 
 // at reads the drop mask, treating positions beyond its length as kept.
 func at(drop []bool, i int) bool { return i < len(drop) && drop[i] }
+
+// orInto merges a worker's local used mask into the shared one.
+func orInto(dst, src []bool) {
+	for i, u := range src {
+		if u {
+			dst[i] = true
+		}
+	}
+}
+
+// blockChunks partitions [0, total) into at most nt ranges whose
+// boundaries are multiples of block, so per-block counters touched by
+// different workers never overlap.
+func blockChunks(total, nt, block int) []int {
+	bounds := []int{0}
+	for i := 1; i < nt; i++ {
+		b := total * i / nt
+		b -= b % block
+		if b <= bounds[len(bounds)-1] {
+			continue
+		}
+		bounds = append(bounds, b)
+	}
+	return append(bounds, total)
+}
+
+// survivorStart returns the input position of the target-th survivor
+// (0-indexed) given the per-gcBlock survivor prefix sums: binary-search the
+// containing block, then walk at most one block.
+func survivorStart(pref []int, drop []bool, total, target int) int {
+	if target >= pref[len(pref)-1] {
+		return total
+	}
+	b := sort.Search(len(pref)-1, func(b int) bool { return pref[b+1] > target })
+	cnt := pref[b]
+	for i := b * gcBlock; i < total; i++ {
+		if !at(drop, i) {
+			if cnt == target {
+				return i
+			}
+			cnt++
+		}
+	}
+	return total
+}
 
 // compactDict filters a sorted dictionary to the values marked used,
 // returning the compacted dictionary and the old-code -> compact-code

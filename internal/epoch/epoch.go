@@ -180,6 +180,12 @@ func (r *Rows) VisibleAt(i int, e uint64) bool {
 	return r.begin[i] <= e && (r.end[i] == 0 || r.end[i] > e)
 }
 
+// Raw exposes the backing begin and end columns for batch kernels
+// (internal/kernel).  The slices alias internal state: callers must hold
+// the owning table's lock for the duration of use and must not mutate or
+// retain them past the locked region.
+func (r *Rows) Raw() (begin, end []uint64) { return r.begin, r.end }
+
 // CountAlive returns the number of current versions.
 func (r *Rows) CountAlive() int {
 	n := 0

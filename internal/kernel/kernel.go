@@ -1,0 +1,480 @@
+// Package kernel implements the block-at-a-time scan, filter and aggregate
+// kernels behind every read path (paper §5, §6: the scan side of the
+// multi-core story).  The scalar loops they replace called
+// bitpack.Vector.Get one row at a time; the kernels instead evaluate
+// predicates directly on the bit-packed words of a dictionary-code vector
+// and communicate through selection vectors.
+//
+// # Selection-vector contract
+//
+// A selection vector is an ascending []int32 of element positions
+// (positions are relative to the code vector / epoch columns the kernel
+// ran over, NOT row ids — the table layer maps positions to stable ids).
+// Kernels that produce selections append to a caller-owned dst and return
+// the extended slice, so steady-state scans are allocation-free; kernels
+// that consume selections (FilterVisible, Histogram, MinMaxSel) never
+// reorder them.
+//
+// # Execution strategy
+//
+// For code widths that divide the 64-bit machine word (1, 2, 4, 8, 16, 32,
+// 64 — the common widths for dictionary-compressed columns) the match
+// kernels run word-at-a-time: 64/width codes are compared per iteration
+// with branch-free SWAR arithmetic, and words with no matching lane are
+// skipped with a single test.  Equality uses an exact lane-wise
+// zero-detect after XOR with the broadcast code; range matching uses
+// guard-bit compares over even/odd lane passes, both exact for fully
+// packed lanes (no headroom bit is stored).  All other widths fall back to
+// the block path: BlockSize codes are decoded into a pooled scratch buffer
+// with bitpack.Vector.DecodeRange and compared in a tight loop — still
+// block-at-a-time, never per-row Get.
+//
+// Visibility filtering is fused over the raw begin/end epoch slices
+// (epoch.Rows.Raw): a row is visible at epoch e iff begin <= e and
+// end-1 >= e in unsigned arithmetic (end == 0 wraps to MaxUint64), which
+// makes the check branch-free inside the kernels.
+//
+// Kernels are pure functions over immutable inputs: the caller holds
+// whatever lock protects the code vector and epoch slices (the table's
+// read lock), and the kernels themselves never allocate shared state.
+package kernel
+
+import (
+	"math/bits"
+	"sync"
+
+	"hyrise/internal/bitpack"
+)
+
+// BlockSize is the number of codes decoded per block on the general
+// (non-word-divisor) kernel paths.  4KiB of decoded codes per block: small
+// enough to stay cache-resident, large enough to amortize the per-block
+// bookkeeping.
+const BlockSize = 512
+
+var blockPool = sync.Pool{New: func() any {
+	b := make([]uint64, BlockSize)
+	return &b
+}}
+
+// visible reports row i's visibility at epoch e over raw begin/end columns.
+// end == 0 (current version) wraps to MaxUint64, so the check is two
+// unsigned compares with no branch on end.
+func visible(begin, end []uint64, i int, e uint64) bool {
+	return begin[i] <= e && end[i]-1 >= e
+}
+
+// MatchEqual appends to dst the positions of v whose code equals code and
+// returns the extended selection vector.
+func MatchEqual(v *bitpack.Vector, code uint64, dst []int32) []int32 {
+	n := v.Len()
+	if n == 0 || code > v.MaxCode() {
+		return dst
+	}
+	b := v.Bits()
+	if b == 0 {
+		// Degenerate single-value dictionary: every position matches.
+		for i := 0; i < n; i++ {
+			dst = append(dst, int32(i))
+		}
+		return dst
+	}
+	if bitpack.WordBits%b == 0 {
+		return matchEqualSWAR(v, code, dst)
+	}
+	return matchBlock(v, code, code+1, dst)
+}
+
+// MatchRange appends to dst the positions of v whose code lies in the
+// half-open interval [lo, hi) and returns the extended selection vector.
+func MatchRange(v *bitpack.Vector, lo, hi uint64, dst []int32) []int32 {
+	n := v.Len()
+	if n == 0 || lo >= hi || lo > v.MaxCode() {
+		return dst
+	}
+	b := v.Bits()
+	if b == 0 {
+		// All codes are zero; lo == 0 here since lo <= MaxCode() == 0.
+		for i := 0; i < n; i++ {
+			dst = append(dst, int32(i))
+		}
+		return dst
+	}
+	if lo+1 == hi {
+		return MatchEqual(v, lo, dst)
+	}
+	if bitpack.WordBits%b == 0 {
+		return matchRangeSWAR(v, lo, hi, dst)
+	}
+	return matchBlock(v, lo, hi, dst)
+}
+
+// lsbMask returns the word with bit 0 of every width-b lane set (b must
+// divide 64).
+func lsbMask(b uint) uint64 {
+	m := uint64(0)
+	for p := uint(0); p < bitpack.WordBits; p += b {
+		m |= 1 << p
+	}
+	return m
+}
+
+// matchEqualSWAR is the word-at-a-time equality kernel for widths dividing
+// 64.  Per word it XORs with the broadcast code and detects zero lanes with
+// the exact, lane-independent test ~(((x &^ H) + ^H) | x) & H, where H
+// holds each lane's msb: the inner sum carries into a lane's msb iff its
+// low bits are non-zero, and per-lane sums never cross lane boundaries.
+func matchEqualSWAR(v *bitpack.Vector, code uint64, dst []int32) []int32 {
+	n := v.Len()
+	b := v.Bits()
+	words := v.Words()
+	if b == bitpack.WordBits {
+		for i, w := range words {
+			if i >= n {
+				break
+			}
+			if w == code {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+	lanes := int(bitpack.WordBits / b)
+	if b == 1 {
+		for wi, w := range words {
+			m := w
+			if code == 0 {
+				m = ^w
+			}
+			m = maskTail(m, wi, lanes, n, b)
+			base := int32(wi * lanes)
+			for ; m != 0; m &= m - 1 {
+				dst = append(dst, base+int32(bits.TrailingZeros64(m)))
+			}
+		}
+		return dst
+	}
+	L := lsbMask(b)
+	H := L << (b - 1) // msb of every lane
+	bcast := code * L
+	for wi, w := range words {
+		x := w ^ bcast
+		eq := ^(((x &^ H) + ^H) | x) & H
+		eq = maskTail(eq, wi, lanes, n, b)
+		if eq == 0 {
+			continue
+		}
+		base := int32(wi * lanes)
+		for ; eq != 0; eq &= eq - 1 {
+			lane := bits.TrailingZeros64(eq) / int(b)
+			dst = append(dst, base+int32(lane))
+		}
+	}
+	return dst
+}
+
+// matchRangeSWAR is the word-at-a-time range kernel for widths 2..32
+// dividing 64 (width 1 reduces to equality upstream, width 64 to scalar
+// compares).  Lanes are compared against [lo, hi) with guard-bit
+// arithmetic: with odd lanes masked out, each even lane has a guard bit
+// directly above it, and (x | G) - bound leaves the guard set iff
+// x >= bound.  Odd lanes run through the same constants on the word
+// shifted right by one lane.
+func matchRangeSWAR(v *bitpack.Vector, lo, hi uint64, dst []int32) []int32 {
+	n := v.Len()
+	b := v.Bits()
+	words := v.Words()
+	if b == bitpack.WordBits {
+		for i, w := range words {
+			if i >= n {
+				break
+			}
+			if w >= lo && w < hi {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+	lanes := int(bitpack.WordBits / b)
+	maxCode := v.MaxCode()
+	evenLsb := lsbMask(2 * b) // lane 0, 2, 4, ... lsbs
+	evenMask := evenLsb * ((uint64(1) << b) - 1)
+	G := evenLsb << b // guard bit above each even lane
+	loBC := lo * evenLsb
+	var hiBC uint64
+	boundedHi := hi <= maxCode
+	if boundedHi {
+		hiBC = hi * evenLsb
+	}
+	checkLo := lo != 0
+	inRange := func(x uint64) uint64 { // x: word with lanes at even positions
+		xm := (x & evenMask) | G
+		ge := G
+		if checkLo {
+			ge = (xm - loBC) & G
+		}
+		lt := G
+		if boundedHi {
+			lt = G &^ (xm - hiBC)
+		}
+		return ge & lt
+	}
+	for wi, w := range words {
+		inEven := inRange(w)
+		inOdd := inRange(w >> b)
+		// Map guard bits back to lane-msb positions: even lane 2k's guard
+		// sits one bit above its msb, odd lane 2k+1's guard (in the shifted
+		// frame) sits b-1 bits below its msb.
+		m := (inEven >> 1) | (inOdd << (b - 1))
+		m = maskTail(m, wi, lanes, n, b)
+		if m == 0 {
+			continue
+		}
+		base := int32(wi * lanes)
+		for ; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m) / int(b)
+			dst = append(dst, base+int32(lane))
+		}
+	}
+	return dst
+}
+
+// maskTail clears match bits belonging to lanes at or beyond element n in
+// the last (partial) word: bits past Len()*Bits() are not guaranteed
+// meaningful, and a zero tail would otherwise false-match code 0.
+func maskTail(m uint64, wi, lanes, n int, b uint) uint64 {
+	valid := n - wi*lanes
+	if valid >= lanes {
+		return m
+	}
+	if valid <= 0 {
+		return 0
+	}
+	return m & ((uint64(1) << (uint(valid) * b)) - 1)
+}
+
+// matchBlock is the general-width match path: decode BlockSize codes at a
+// time into a pooled scratch buffer and compare [lo, hi) in a tight loop.
+func matchBlock(v *bitpack.Vector, lo, hi uint64, dst []int32) []int32 {
+	n := v.Len()
+	bufp := blockPool.Get().(*[]uint64)
+	buf := *bufp
+	for base := 0; base < n; base += BlockSize {
+		to := base + BlockSize
+		if to > n {
+			to = n
+		}
+		buf = v.DecodeRange(base, to, buf)
+		for i, c := range buf {
+			if c >= lo && c < hi {
+				dst = append(dst, int32(base+i))
+			}
+		}
+	}
+	*bufp = buf[:cap(buf)]
+	blockPool.Put(bufp)
+	return dst
+}
+
+// FilterVisible compacts sel in place to the positions visible at epoch e,
+// reading the raw begin/end epoch columns, and returns the shortened
+// selection vector.  Positions index begin/end directly.
+func FilterVisible(sel []int32, begin, end []uint64, e uint64) []int32 {
+	w := 0
+	for _, p := range sel {
+		if visible(begin, end, int(p), e) {
+			sel[w] = p
+			w++
+		}
+	}
+	return sel[:w]
+}
+
+// SelectVisible appends to dst the positions in [from, to) visible at
+// epoch e and returns the extended selection vector — the seed kernel for
+// full scans and aggregates.
+func SelectVisible(begin, end []uint64, e uint64, from, to int, dst []int32) []int32 {
+	for i := from; i < to; i++ {
+		if begin[i] <= e && end[i]-1 >= e {
+			dst = append(dst, int32(i))
+		}
+	}
+	return dst
+}
+
+// CountVisible returns the number of positions in [from, to) visible at
+// epoch e.
+func CountVisible(begin, end []uint64, e uint64, from, to int) int {
+	n := 0
+	for i := from; i < to; i++ {
+		if begin[i] <= e && end[i]-1 >= e {
+			n++
+		}
+	}
+	return n
+}
+
+// CountEqual returns the number of positions of v whose code equals code,
+// fused with visibility filtering at epoch e over the raw begin/end
+// columns.  A nil begin counts matches unconditionally; on the SWAR widths
+// that degenerates to one population count per word.
+func CountEqual(v *bitpack.Vector, code uint64, begin, end []uint64, e uint64) int {
+	n := v.Len()
+	if n == 0 || code > v.MaxCode() {
+		return 0
+	}
+	b := v.Bits()
+	cnt := 0
+	if b != 0 && bitpack.WordBits%b == 0 && b > 1 && b < bitpack.WordBits {
+		lanes := int(bitpack.WordBits / b)
+		L := lsbMask(b)
+		H := L << (b - 1)
+		bcast := code * L
+		for wi, w := range v.Words() {
+			x := w ^ bcast
+			eq := ^(((x &^ H) + ^H) | x) & H
+			eq = maskTail(eq, wi, lanes, n, b)
+			if eq == 0 {
+				continue
+			}
+			if begin == nil {
+				cnt += bits.OnesCount64(eq)
+				continue
+			}
+			base := wi * lanes
+			for ; eq != 0; eq &= eq - 1 {
+				if p := base + bits.TrailingZeros64(eq)/int(b); visible(begin, end, p, e) {
+					cnt++
+				}
+			}
+		}
+		return cnt
+	}
+	// Width 0, 1, 64 and non-divisor widths: block decode and count.
+	bufp := blockPool.Get().(*[]uint64)
+	buf := *bufp
+	for base := 0; base < n; base += BlockSize {
+		to := base + BlockSize
+		if to > n {
+			to = n
+		}
+		buf = v.DecodeRange(base, to, buf)
+		for i, c := range buf {
+			if c == code && (begin == nil || visible(begin, end, base+i, e)) {
+				cnt++
+			}
+		}
+	}
+	*bufp = buf[:cap(buf)]
+	blockPool.Put(bufp)
+	return cnt
+}
+
+// Histogram adds, for every selected position, one to counts[code].  The
+// caller sizes counts to the dictionary cardinality; selection-vector-
+// driven aggregates (sum, group-by seeds) reduce the histogram against the
+// sorted dictionary afterwards.  Dense selections decode the covered span
+// block-at-a-time; sparse selections gather per position.
+func Histogram(v *bitpack.Vector, sel []int32, counts []int) {
+	gather(v, sel, func(code uint64) {
+		counts[code]++
+	})
+}
+
+// MinMaxSel returns the smallest and largest code among the selected
+// positions; ok is false for an empty selection.  Because dictionaries are
+// order-preserving, the min/max code IS the min/max value after one
+// dictionary access.
+func MinMaxSel(v *bitpack.Vector, sel []int32) (minC, maxC uint64, ok bool) {
+	if len(sel) == 0 {
+		return 0, 0, false
+	}
+	first := true
+	gather(v, sel, func(code uint64) {
+		if first {
+			minC, maxC, first = code, code, false
+			return
+		}
+		if code < minC {
+			minC = code
+		}
+		if code > maxC {
+			maxC = code
+		}
+	})
+	return minC, maxC, true
+}
+
+// Gather streams (position, code) pairs for the selected positions
+// through fn in selection order, stopping early if fn returns false.  It
+// is the scan driver: produce a selection with SelectVisible or the match
+// kernels, then gather codes block-at-a-time for materialization.
+func Gather(v *bitpack.Vector, sel []int32, fn func(pos int32, code uint64) bool) {
+	if len(sel) == 0 {
+		return
+	}
+	span := int(sel[len(sel)-1]) - int(sel[0]) + 1
+	if len(sel)*4 < span {
+		for _, p := range sel {
+			if !fn(p, v.Get(int(p))) {
+				return
+			}
+		}
+		return
+	}
+	bufp := blockPool.Get().(*[]uint64)
+	buf := *bufp
+	defer func() {
+		*bufp = buf[:cap(buf)]
+		blockPool.Put(bufp)
+	}()
+	i := 0
+	for i < len(sel) {
+		base := int(sel[i])
+		to := base + BlockSize
+		if n := v.Len(); to > n {
+			to = n
+		}
+		buf = v.DecodeRange(base, to, buf)
+		for i < len(sel) && int(sel[i]) < to {
+			if !fn(sel[i], buf[int(sel[i])-base]) {
+				return
+			}
+			i++
+		}
+	}
+}
+
+// gather streams the codes of the selected positions through fn in
+// selection order.  When the selection is dense over its span (>= 1 in 4)
+// it decodes whole blocks; otherwise it pays one positional decode per
+// selected position.
+func gather(v *bitpack.Vector, sel []int32, fn func(code uint64)) {
+	if len(sel) == 0 {
+		return
+	}
+	span := int(sel[len(sel)-1]) - int(sel[0]) + 1
+	if len(sel)*4 < span {
+		for _, p := range sel {
+			fn(v.Get(int(p)))
+		}
+		return
+	}
+	bufp := blockPool.Get().(*[]uint64)
+	buf := *bufp
+	i := 0
+	for i < len(sel) {
+		base := int(sel[i])
+		to := base + BlockSize
+		if n := v.Len(); to > n {
+			to = n
+		}
+		buf = v.DecodeRange(base, to, buf)
+		for i < len(sel) && int(sel[i]) < to {
+			fn(buf[int(sel[i])-base])
+			i++
+		}
+	}
+	*bufp = buf[:cap(buf)]
+	blockPool.Put(bufp)
+}

@@ -1,0 +1,429 @@
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hyrise/internal/bitpack"
+)
+
+// The differential suite pins every kernel entry point to a scalar
+// reference implementation across a sweep of code widths (1–64 bits),
+// lengths crossing word and block boundaries, and match selectivities.
+// Selection vectors must be byte-identical, aggregates exactly equal.
+
+// ---- scalar references -------------------------------------------------
+
+func refMatchEqual(v *bitpack.Vector, code uint64) []int32 {
+	var out []int32
+	for i := 0; i < v.Len(); i++ {
+		if v.Get(i) == code {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func refMatchRange(v *bitpack.Vector, lo, hi uint64) []int32 {
+	var out []int32
+	for i := 0; i < v.Len(); i++ {
+		if c := v.Get(i); c >= lo && c < hi {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func refVisible(begin, end []uint64, i int, e uint64) bool {
+	return begin[i] <= e && (end[i] == 0 || end[i] > e)
+}
+
+func refFilterVisible(sel []int32, begin, end []uint64, e uint64) []int32 {
+	var out []int32
+	for _, p := range sel {
+		if refVisible(begin, end, int(p), e) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func refSelectVisible(begin, end []uint64, e uint64, from, to int) []int32 {
+	var out []int32
+	for i := from; i < to; i++ {
+		if refVisible(begin, end, i, e) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func refCountEqual(v *bitpack.Vector, code uint64, begin, end []uint64, e uint64) int {
+	n := 0
+	for i := 0; i < v.Len(); i++ {
+		if v.Get(i) == code && (begin == nil || refVisible(begin, end, i, e)) {
+			n++
+		}
+	}
+	return n
+}
+
+func refHistogram(v *bitpack.Vector, sel []int32, counts []int) {
+	for _, p := range sel {
+		counts[v.Get(int(p))]++
+	}
+}
+
+func refMinMaxSel(v *bitpack.Vector, sel []int32) (uint64, uint64, bool) {
+	if len(sel) == 0 {
+		return 0, 0, false
+	}
+	mn, mx := v.Get(int(sel[0])), v.Get(int(sel[0]))
+	for _, p := range sel[1:] {
+		c := v.Get(int(p))
+		if c < mn {
+			mn = c
+		}
+		if c > mx {
+			mx = c
+		}
+	}
+	return mn, mx, true
+}
+
+func refDecodeRange(v *bitpack.Vector, from, to int) []uint64 {
+	out := make([]uint64, 0, to-from)
+	for i := from; i < to; i++ {
+		out = append(out, v.Get(i))
+	}
+	return out
+}
+
+// ---- generators --------------------------------------------------------
+
+// Lengths crossing word boundaries (63/64/65), block boundaries
+// (BlockSize±1) and the 4096±1 chunk sizes named in the spec.
+var diffLengths = []int{0, 1, 63, 64, 65, BlockSize - 1, BlockSize, BlockSize + 1, 4095, 4096, 4097}
+
+type selectivity struct {
+	name string
+	gen  func(rng *rand.Rand, width uint, n int) (codes []uint64, needle uint64)
+}
+
+var selectivities = []selectivity{
+	{"all-match", func(rng *rand.Rand, width uint, n int) ([]uint64, uint64) {
+		needle := boundedCode(rng, width)
+		codes := make([]uint64, n)
+		for i := range codes {
+			codes[i] = needle
+		}
+		return codes, needle
+	}},
+	{"none-match", func(rng *rand.Rand, width uint, n int) ([]uint64, uint64) {
+		needle := boundedCode(rng, width)
+		codes := make([]uint64, n)
+		for i := range codes {
+			c := boundedCode(rng, width)
+			if c == needle { // keep the needle absent when the width allows
+				c = needle ^ (1&^(c>>63))&maxFor(width)
+				if c == needle && width > 0 {
+					c = (needle + 1) & maxFor(width)
+				}
+			}
+			codes[i] = c
+		}
+		if width == 0 {
+			return codes, 1 // needle 1 can never match width-0 codes
+		}
+		return codes, needle
+	}},
+	{"dense", func(rng *rand.Rand, width uint, n int) ([]uint64, uint64) {
+		needle := boundedCode(rng, width)
+		codes := make([]uint64, n)
+		for i := range codes {
+			if rng.Intn(2) == 0 {
+				codes[i] = needle
+			} else {
+				codes[i] = boundedCode(rng, width)
+			}
+		}
+		return codes, needle
+	}},
+	{"sparse", func(rng *rand.Rand, width uint, n int) ([]uint64, uint64) {
+		needle := boundedCode(rng, width)
+		codes := make([]uint64, n)
+		for i := range codes {
+			codes[i] = boundedCode(rng, width)
+		}
+		if n > 0 {
+			codes[rng.Intn(n)] = needle
+		}
+		return codes, needle
+	}},
+}
+
+func maxFor(width uint) uint64 {
+	if width == 0 {
+		return 0
+	}
+	if width == 64 {
+		return ^uint64(0)
+	}
+	return (1 << width) - 1
+}
+
+func boundedCode(rng *rand.Rand, width uint) uint64 {
+	return rng.Uint64() & maxFor(width)
+}
+
+func eqSel(a, b []int32) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// sweep runs fn for every width x length x selectivity combination.
+func sweep(t *testing.T, fn func(t *testing.T, rng *rand.Rand, v *bitpack.Vector, needle uint64)) {
+	t.Helper()
+	for width := uint(0); width <= 64; width++ {
+		for _, n := range diffLengths {
+			for _, sel := range selectivities {
+				rng := rand.New(rand.NewSource(int64(width)*1_000_003 + int64(n)*97 + int64(len(sel.name))))
+				codes, needle := sel.gen(rng, width, n)
+				v := bitpack.FromSlice(width, codes)
+				name := fmt.Sprintf("w%d/n%d/%s", width, n, sel.name)
+				ok := t.Run(name, func(t *testing.T) {
+					fn(t, rng, v, needle)
+				})
+				if !ok {
+					return // first failing case is enough to debug
+				}
+			}
+		}
+	}
+}
+
+// ---- differential tests ------------------------------------------------
+
+func TestDifferentialMatchEqual(t *testing.T) {
+	sweep(t, func(t *testing.T, rng *rand.Rand, v *bitpack.Vector, needle uint64) {
+		want := refMatchEqual(v, needle)
+		got := MatchEqual(v, needle, nil)
+		if !eqSel(got, want) {
+			t.Fatalf("MatchEqual(code=%d): got %d sel %v want %d sel %v",
+				needle, len(got), head(got), len(want), head(want))
+		}
+		// Appending to a non-empty dst must preserve the prefix.
+		pre := []int32{-7}
+		got2 := MatchEqual(v, needle, pre)
+		if len(got2) != len(want)+1 || got2[0] != -7 || !eqSel(got2[1:], want) {
+			t.Fatalf("MatchEqual dst prefix violated")
+		}
+	})
+}
+
+func TestDifferentialMatchRange(t *testing.T) {
+	sweep(t, func(t *testing.T, rng *rand.Rand, v *bitpack.Vector, needle uint64) {
+		max := maxFor(v.Bits())
+		ranges := [][2]uint64{
+			{0, max/2 + 1},               // lower half
+			{needle, needle + 1},         // point range
+			{needle / 2, needle + 2},     // straddling the needle
+			{max, max},                   // empty (lo >= hi)
+			{0, ^uint64(0)},              // everything
+			{max / 3, 2*(max/3) + 1},     // middle band
+			{needle, needle + max/4 + 1}, // needle-anchored band
+		}
+		for _, r := range ranges {
+			want := refMatchRange(v, r[0], r[1])
+			got := MatchRange(v, r[0], r[1], nil)
+			if !eqSel(got, want) {
+				t.Fatalf("MatchRange[%d,%d): got %d sel %v want %d sel %v",
+					r[0], r[1], len(got), head(got), len(want), head(want))
+			}
+		}
+	})
+}
+
+// randomEpochs builds begin/end columns with a mix of current (end=0),
+// invalidated-early and invalidated-late versions, plus an epoch that
+// splits them.
+func randomEpochs(rng *rand.Rand, n int) (begin, end []uint64, e uint64) {
+	begin = make([]uint64, n)
+	end = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		begin[i] = uint64(rng.Intn(10) + 1)
+		switch rng.Intn(4) {
+		case 0:
+			end[i] = 0 // current
+		default:
+			end[i] = begin[i] + uint64(rng.Intn(10))
+		}
+	}
+	return begin, end, uint64(rng.Intn(14) + 1)
+}
+
+func TestDifferentialVisibilityKernels(t *testing.T) {
+	sweep(t, func(t *testing.T, rng *rand.Rand, v *bitpack.Vector, needle uint64) {
+		n := v.Len()
+		begin, end, e := randomEpochs(rng, n)
+
+		wantSel := refSelectVisible(begin, end, e, 0, n)
+		gotSel := SelectVisible(begin, end, e, 0, n, nil)
+		if !eqSel(gotSel, wantSel) {
+			t.Fatalf("SelectVisible: got %v want %v", head(gotSel), head(wantSel))
+		}
+		if got, want := CountVisible(begin, end, e, 0, n), len(wantSel); got != want {
+			t.Fatalf("CountVisible: got %d want %d", got, want)
+		}
+		// Partial row ranges, including empty ones.
+		if n > 2 {
+			from, to := 1, n-1
+			if !eqSel(SelectVisible(begin, end, e, from, to, nil), refSelectVisible(begin, end, e, from, to)) {
+				t.Fatalf("SelectVisible partial range diverged")
+			}
+		}
+
+		matches := MatchEqual(v, needle, nil)
+		wantF := refFilterVisible(matches, begin, end, e)
+		gotF := FilterVisible(append([]int32(nil), matches...), begin, end, e)
+		if !eqSel(gotF, wantF) {
+			t.Fatalf("FilterVisible: got %v want %v", head(gotF), head(wantF))
+		}
+
+		if got, want := CountEqual(v, needle, begin, end, e), refCountEqual(v, needle, begin, end, e); got != want {
+			t.Fatalf("CountEqual fused: got %d want %d", got, want)
+		}
+		if got, want := CountEqual(v, needle, nil, nil, 0), refCountEqual(v, needle, nil, nil, 0); got != want {
+			t.Fatalf("CountEqual unfiltered: got %d want %d", got, want)
+		}
+		// The Latest sentinel epoch must see exactly the current versions.
+		const latest = ^uint64(0)
+		if got, want := CountEqual(v, needle, begin, end, latest), refCountEqual(v, needle, begin, end, latest); got != want {
+			t.Fatalf("CountEqual latest: got %d want %d", got, want)
+		}
+	})
+}
+
+func TestDifferentialAggregateKernels(t *testing.T) {
+	sweep(t, func(t *testing.T, rng *rand.Rand, v *bitpack.Vector, needle uint64) {
+		n := v.Len()
+		begin, end, e := randomEpochs(rng, n)
+		sel := SelectVisible(begin, end, e, 0, n, nil)
+
+		size := int(maxFor(v.Bits())) + 1
+		if v.Bits() > 14 {
+			size = 1 << 14 // cap the histogram, clamp codes below
+			capped := sel[:0]
+			for _, p := range sel {
+				if v.Get(int(p)) < uint64(size) {
+					capped = append(capped, p)
+				}
+			}
+			sel = capped
+		}
+		want := make([]int, size)
+		got := make([]int, size)
+		refHistogram(v, sel, want)
+		Histogram(v, sel, got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Histogram diverged")
+		}
+
+		wmn, wmx, wok := refMinMaxSel(v, sel)
+		gmn, gmx, gok := MinMaxSel(v, sel)
+		if gmn != wmn || gmx != wmx || gok != wok {
+			t.Fatalf("MinMaxSel: got (%d,%d,%v) want (%d,%d,%v)", gmn, gmx, gok, wmn, wmx, wok)
+		}
+
+		// A deliberately sparse selection exercises the gather path's
+		// per-position branch.
+		var sparse []int32
+		for i := 0; i < n; i += 17 * (BlockSize / 64) {
+			sparse = append(sparse, int32(i))
+		}
+		smn, smx, sok := MinMaxSel(v, sparse)
+		rmn, rmx, rok := refMinMaxSel(v, sparse)
+		if smn != rmn || smx != rmx || sok != rok {
+			t.Fatalf("MinMaxSel sparse: got (%d,%d,%v) want (%d,%d,%v)", smn, smx, sok, rmn, rmx, rok)
+		}
+	})
+}
+
+func TestDifferentialGather(t *testing.T) {
+	sweep(t, func(t *testing.T, rng *rand.Rand, v *bitpack.Vector, needle uint64) {
+		n := v.Len()
+		begin, end, e := randomEpochs(rng, n)
+		for _, sel := range [][]int32{
+			SelectVisible(begin, end, e, 0, n, nil), // dense-ish
+			MatchEqual(v, needle, nil),
+			sparseSel(n),
+		} {
+			var got, want [][2]uint64
+			Gather(v, sel, func(pos int32, code uint64) bool {
+				got = append(got, [2]uint64{uint64(pos), code})
+				return true
+			})
+			for _, p := range sel {
+				want = append(want, [2]uint64{uint64(p), v.Get(int(p))})
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("Gather: got %d pairs want %d", len(got), len(want))
+			}
+			// Early stop after k pairs must visit exactly k positions.
+			if len(sel) > 1 {
+				k := len(sel) / 2
+				visits := 0
+				Gather(v, sel, func(pos int32, code uint64) bool {
+					visits++
+					return visits < k
+				})
+				if visits != k {
+					t.Fatalf("Gather early stop: visited %d want %d", visits, k)
+				}
+			}
+		}
+	})
+}
+
+func sparseSel(n int) []int32 {
+	var sel []int32
+	for i := 0; i < n; i += 131 {
+		sel = append(sel, int32(i))
+	}
+	return sel
+}
+
+func TestDifferentialDecodeRange(t *testing.T) {
+	sweep(t, func(t *testing.T, rng *rand.Rand, v *bitpack.Vector, needle uint64) {
+		n := v.Len()
+		spans := [][2]int{{0, n}, {0, n / 2}, {n / 3, n}, {n / 2, n/2 + min(n/2, 3)}}
+		var buf []uint64
+		for _, s := range spans {
+			from, to := s[0], s[1]
+			if from > to {
+				continue
+			}
+			buf = v.DecodeRange(from, to, buf)
+			want := refDecodeRange(v, from, to)
+			if len(buf) != len(want) {
+				t.Fatalf("DecodeRange[%d,%d): len %d want %d", from, to, len(buf), len(want))
+			}
+			for i := range want {
+				if buf[i] != want[i] {
+					t.Fatalf("DecodeRange[%d,%d)[%d] = %d want %d", from, to, i, buf[i], want[i])
+				}
+			}
+		}
+	})
+}
+
+func head(s []int32) []int32 {
+	if len(s) > 8 {
+		return s[:8]
+	}
+	return s
+}

@@ -103,26 +103,17 @@ func RunAt(t *table.Table, view table.View, filters []Filter, project []string) 
 		return nil, err
 	}
 
-	// Refine with the remaining predicates via positional probes.
+	// Refine with the remaining predicates: one batched column gather per
+	// predicate (a single lock acquisition for the whole candidate set)
+	// instead of a positional probe — and its lock round trip — per row.
 	for i, f := range filters {
 		if i == drive || len(rows) == 0 {
 			continue
 		}
-		probe, err := prober(t, f)
+		rows, err = refine(t, rows, f)
 		if err != nil {
 			return nil, err
 		}
-		kept := rows[:0]
-		for _, r := range rows {
-			ok, err := probe(r)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				kept = append(kept, r)
-			}
-		}
-		rows = kept
 	}
 
 	res := &Result{Rows: rows, Columns: project}
@@ -199,53 +190,53 @@ func seedTyped[V val.Value](t *table.Table, view table.View, f Filter) ([]int, e
 	}
 }
 
-// prober builds a positional predicate test for refinement.
-func prober(t *table.Table, f Filter) (func(int) (bool, error), error) {
+// refine keeps the rows satisfying f, reading the predicate column for
+// the whole candidate set with one Handle.Gather call.
+func refine(t *table.Table, rows []int, f Filter) ([]int, error) {
 	ci, err := colIndex(t, f.Column)
 	if err != nil {
 		return nil, err
 	}
 	switch t.Schema()[ci].Type {
 	case table.Uint32:
-		return proberTyped[uint32](t, f)
+		return refineTyped[uint32](t, rows, f)
 	case table.Uint64:
-		return proberTyped[uint64](t, f)
+		return refineTyped[uint64](t, rows, f)
 	default:
-		return proberTyped[string](t, f)
+		return refineTyped[string](t, rows, f)
 	}
 }
 
-func proberTyped[V val.Value](t *table.Table, f Filter) (func(int) (bool, error), error) {
+func refineTyped[V val.Value](t *table.Table, rows []int, f Filter) ([]int, error) {
 	h, err := table.ColumnOf[V](t, f.Column)
 	if err != nil {
 		return nil, err
 	}
+	vals, err := h.Gather(rows, make([]V, 0, len(rows)))
+	if err != nil {
+		return nil, err
+	}
+	lo, err := coerce[V](f.Value, f.Column)
+	if err != nil {
+		return nil, err
+	}
+	hi := lo
 	switch f.Op {
 	case Eq:
-		want, err := coerce[V](f.Value, f.Column)
-		if err != nil {
-			return nil, err
-		}
-		return func(row int) (bool, error) {
-			v, err := h.Get(row)
-			return err == nil && v == want, err
-		}, nil
 	case Between:
-		lo, err := coerce[V](f.Value, f.Column)
-		if err != nil {
+		if hi, err = coerce[V](f.Hi, f.Column); err != nil {
 			return nil, err
 		}
-		hi, err := coerce[V](f.Hi, f.Column)
-		if err != nil {
-			return nil, err
-		}
-		return func(row int) (bool, error) {
-			v, err := h.Get(row)
-			return err == nil && v >= lo && v <= hi, err
-		}, nil
 	default:
 		return nil, fmt.Errorf("query: unknown op %v", f.Op)
 	}
+	kept := rows[:0]
+	for i, r := range rows {
+		if vals[i] >= lo && vals[i] <= hi {
+			kept = append(kept, r)
+		}
+	}
+	return kept, nil
 }
 
 func coerce[V val.Value](raw any, col string) (V, error) {

@@ -11,8 +11,18 @@ import (
 // TestShardedGC runs the update-heavy GC loop against a sharded table: a
 // cross-shard pinned view protects its row set through MergeAll cycles,
 // unpinned history is reclaimed on every shard, and retired global ids
-// keep failing with ErrRowInvalid.
+// keep failing with ErrRowInvalid.  The parallel variant runs every shard
+// merge through the intra-column range-partitioned GC path.
 func TestShardedGC(t *testing.T) {
+	t.Run("serial", func(t *testing.T) { shardedGCLoop(t, MergeAllOptions{}) })
+	t.Run("parallel-intra-column", func(t *testing.T) {
+		shardedGCLoop(t, MergeAllOptions{
+			Merge: table.MergeOptions{Threads: 4, Strategy: table.IntraColumn},
+		})
+	})
+}
+
+func shardedGCLoop(t *testing.T, mopts MergeAllOptions) {
 	st, err := New("gc", table.Schema{
 		{Name: "k", Type: table.Uint64},
 		{Name: "v", Type: table.Uint64},
@@ -47,7 +57,7 @@ func TestShardedGC(t *testing.T) {
 			}
 			gids[i] = ngid
 		}
-		if _, err := st.MergeAll(context.Background(), MergeAllOptions{}); err != nil {
+		if _, err := st.MergeAll(context.Background(), mopts); err != nil {
 			t.Fatal(err)
 		}
 		if !pinned {
@@ -74,7 +84,7 @@ func TestShardedGC(t *testing.T) {
 
 	// Release the mid-run pin: the next merge reclaims the history it held.
 	view.Release()
-	rep, err := st.MergeAll(context.Background(), MergeAllOptions{})
+	rep, err := st.MergeAll(context.Background(), mopts)
 	if err != nil {
 		t.Fatal(err)
 	}

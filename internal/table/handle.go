@@ -3,6 +3,7 @@ package table
 import (
 	"fmt"
 
+	"hyrise/internal/kernel"
 	"hyrise/internal/val"
 )
 
@@ -66,17 +67,18 @@ func (h *Handle[V]) Lookup(v V) []int { return h.LookupAt(Latest(), v) }
 
 // LookupAt is Lookup against the rows visible at the view's epoch.  The
 // main partition is searched through its dictionary (one binary search,
-// then a code scan); the deltas through their CSB+ trees (no scan at all).
+// then a vectorized code scan); the deltas through their CSB+ trees (no
+// scan at all).
 func (h *Handle[V]) LookupAt(view View, v V) []int {
 	h.t.mu.RLock()
 	defer h.t.mu.RUnlock()
 	e := view.resolve()
 	c := h.col()
+	begin, end := h.t.epochs.Raw()
 	var rows []int
-	for _, r := range c.main.ScanEqual(v, nil) {
-		if h.t.epochs.VisibleAt(r, e) {
-			rows = append(rows, h.t.ids[r])
-		}
+	sel := kernel.FilterVisible(c.main.SelEqual(v, nil), begin, end, e)
+	for _, p := range sel {
+		rows = append(rows, h.t.ids[p])
 	}
 	base := c.main.Len()
 	if tids, ok := c.dlt.Find(v); ok {
@@ -109,11 +111,11 @@ func (h *Handle[V]) RangeAt(view View, lo, hi V) []int {
 	defer h.t.mu.RUnlock()
 	e := view.resolve()
 	c := h.col()
+	begin, end := h.t.epochs.Raw()
 	var rows []int
-	for _, r := range c.main.ScanRange(lo, hi, nil) {
-		if h.t.epochs.VisibleAt(r, e) {
-			rows = append(rows, h.t.ids[r])
-		}
+	sel := kernel.FilterVisible(c.main.SelRange(lo, hi, nil), begin, end, e)
+	for _, p := range sel {
+		rows = append(rows, h.t.ids[p])
 	}
 	base := c.main.Len()
 	for i, v := range c.dlt.Values() {
@@ -144,23 +146,29 @@ func (h *Handle[V]) RangeAt(view View, lo, hi V) []int {
 // immutable, so the values cannot change in between.
 func (h *Handle[V]) Scan(fn func(row int, v V) bool) { h.ScanAt(Latest(), fn) }
 
-// ScanAt is Scan against the rows visible at the view's epoch.
+// ScanAt is Scan against the rows visible at the view's epoch.  The main
+// partition runs block-at-a-time: a visibility selection vector over the
+// raw epoch columns, then a gather of the selected codes (internal/kernel)
+// instead of a per-row decode-and-check loop.
 func (h *Handle[V]) ScanAt(view View, fn func(row int, v V) bool) {
 	h.t.mu.RLock()
 	defer h.t.mu.RUnlock()
 	e := view.resolve()
 	c := h.col()
 	nm := c.main.Len()
+	begin, end := h.t.epochs.Raw()
 	dict := c.main.Dict()
-	r := c.main.Codes().Reader()
-	for i := 0; i < nm; i++ {
-		code := r.Next()
-		if !h.t.epochs.VisibleAt(i, e) {
-			continue
+	sel := kernel.SelectVisible(begin, end, e, 0, nm, nil)
+	stopped := false
+	kernel.Gather(c.main.Codes(), sel, func(pos int32, code uint64) bool {
+		if !fn(h.t.ids[pos], dict.At(int(code))) {
+			stopped = true
+			return false
 		}
-		if !fn(h.t.ids[i], dict.At(int(code))) {
-			return
-		}
+		return true
+	})
+	if stopped {
+		return
 	}
 	for i, v := range c.dlt.Values() {
 		if row := nm + i; h.t.epochs.VisibleAt(row, e) {
@@ -182,10 +190,63 @@ func (h *Handle[V]) ScanAt(view View, fn func(row int, v V) bool) {
 }
 
 // CountEqual returns the number of current rows with value v.
-func (h *Handle[V]) CountEqual(v V) int { return len(h.Lookup(v)) }
+func (h *Handle[V]) CountEqual(v V) int { return h.CountEqualAt(Latest(), v) }
 
-// CountEqualAt is CountEqual at the view's epoch.
-func (h *Handle[V]) CountEqualAt(view View, v V) int { return len(h.LookupAt(view, v)) }
+// CountEqualAt is CountEqual at the view's epoch.  The main partition is
+// counted with the fused match+visibility kernel — no selection vector or
+// row-id mapping is materialized.
+func (h *Handle[V]) CountEqualAt(view View, v V) int {
+	h.t.mu.RLock()
+	defer h.t.mu.RUnlock()
+	e := view.resolve()
+	c := h.col()
+	begin, end := h.t.epochs.Raw()
+	n := 0
+	if code, ok := c.main.LookupCode(v); ok {
+		n = kernel.CountEqual(c.main.Codes(), code, begin, end, e)
+	}
+	base := c.main.Len()
+	if tids, ok := c.dlt.Find(v); ok {
+		for _, tid := range tids {
+			if h.t.epochs.VisibleAt(base+int(tid), e) {
+				n++
+			}
+		}
+	}
+	if c.dlt2 != nil {
+		base2 := base + c.dlt.Len()
+		if tids, ok := c.dlt2.Find(v); ok {
+			for _, tid := range tids {
+				if h.t.epochs.VisibleAt(base2+int(tid), e) {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Gather appends the values of the given row ids to dst in order, under a
+// single lock acquisition.  Multi-column query refinement uses it to read
+// one column for a whole candidate set instead of paying one lock round
+// trip per row (see internal/query).
+func (h *Handle[V]) Gather(rows []int, dst []V) ([]V, error) {
+	h.t.mu.RLock()
+	defer h.t.mu.RUnlock()
+	c := h.col()
+	for _, row := range rows {
+		slot, err := h.t.slotFor(row)
+		if err != nil {
+			return dst, err
+		}
+		v, ok := c.getTyped(slot)
+		if !ok {
+			return dst, fmt.Errorf("%w: %d", ErrRowRange, row)
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
 
 // Distinct returns the number of distinct values among all stored row
 // versions (main dictionary merged with delta uniques; an upper bound on
@@ -229,12 +290,49 @@ func NumericColumnOf[V interface{ ~uint32 | ~uint64 }](t *Table, name string) (*
 func (h *NumericHandle[V]) Sum() uint64 { return h.SumAt(Latest()) }
 
 // SumAt aggregates the column over the rows visible at the view's epoch.
+// The main partition reduces through the code histogram: count each code's
+// visible occurrences, then take the dot product with the sorted
+// dictionary — the column is summed without materializing a single row.
+// Very large dictionaries (wider than the visible row count) gather codes
+// directly instead.
 func (h *NumericHandle[V]) SumAt(view View) uint64 {
+	h.t.mu.RLock()
+	defer h.t.mu.RUnlock()
+	e := view.resolve()
+	c := h.col()
+	begin, end := h.t.epochs.Raw()
+	nm := c.main.Len()
+	d := c.main.Dict()
 	var sum uint64
-	h.ScanAt(view, func(_ int, v V) bool {
-		sum += uint64(v)
-		return true
-	})
+	sel := kernel.SelectVisible(begin, end, e, 0, nm, nil)
+	if len(sel) > 0 {
+		if d.Len() <= len(sel) {
+			counts := make([]int, d.Len())
+			kernel.Histogram(c.main.Codes(), sel, counts)
+			for code, cnt := range counts {
+				if cnt != 0 {
+					sum += uint64(d.At(code)) * uint64(cnt)
+				}
+			}
+		} else {
+			kernel.Gather(c.main.Codes(), sel, func(_ int32, code uint64) bool {
+				sum += uint64(d.At(int(code)))
+				return true
+			})
+		}
+	}
+	sum += sumDelta(c.dlt.Values(), begin, end, e, nm)
+	if c.dlt2 != nil {
+		sum += sumDelta(c.dlt2.Values(), begin, end, e, nm+c.dlt.Len())
+	}
+	return sum
+}
+
+func sumDelta[V interface{ ~uint32 | ~uint64 }](vals []V, begin, end []uint64, e uint64, base int) uint64 {
+	var sum uint64
+	for _, p := range kernel.SelectVisible(begin, end, e, base, base+len(vals), nil) {
+		sum += uint64(vals[int(p)-base])
+	}
 	return sum
 }
 
@@ -244,15 +342,8 @@ func (h *NumericHandle[V]) Min() (V, bool) { return h.MinAt(Latest()) }
 
 // MinAt is Min at the view's epoch.
 func (h *NumericHandle[V]) MinAt(view View) (V, bool) {
-	var best V
-	found := false
-	h.ScanAt(view, func(_ int, v V) bool {
-		if !found || v < best {
-			best, found = v, true
-		}
-		return true
-	})
-	return best, found
+	mn, _, ok := h.minMaxAt(view)
+	return mn, ok
 }
 
 // Max returns the largest value over current rows.
@@ -260,13 +351,45 @@ func (h *NumericHandle[V]) Max() (V, bool) { return h.MaxAt(Latest()) }
 
 // MaxAt is Max at the view's epoch.
 func (h *NumericHandle[V]) MaxAt(view View) (V, bool) {
-	var best V
-	found := false
-	h.ScanAt(view, func(_ int, v V) bool {
-		if !found || v > best {
-			best, found = v, true
+	_, mx, ok := h.minMaxAt(view)
+	return mx, ok
+}
+
+// minMaxAt computes both extremes in one pass.  The main partition's
+// min/max code IS its min/max value (order-preserving dictionary), so the
+// kernel reduces over codes and pays exactly two dictionary accesses.
+func (h *NumericHandle[V]) minMaxAt(view View) (mn, mx V, ok bool) {
+	h.t.mu.RLock()
+	defer h.t.mu.RUnlock()
+	e := view.resolve()
+	c := h.col()
+	begin, end := h.t.epochs.Raw()
+	nm := c.main.Len()
+	sel := kernel.SelectVisible(begin, end, e, 0, nm, nil)
+	if cMin, cMax, found := kernel.MinMaxSel(c.main.Codes(), sel); found {
+		d := c.main.Dict()
+		mn, mx, ok = d.At(int(cMin)), d.At(int(cMax)), true
+	}
+	mn, mx, ok = minMaxDelta(c.dlt.Values(), begin, end, e, nm, mn, mx, ok)
+	if c.dlt2 != nil {
+		mn, mx, ok = minMaxDelta(c.dlt2.Values(), begin, end, e, nm+c.dlt.Len(), mn, mx, ok)
+	}
+	return mn, mx, ok
+}
+
+func minMaxDelta[V interface{ ~uint32 | ~uint64 }](vals []V, begin, end []uint64, e uint64, base int, mn, mx V, ok bool) (V, V, bool) {
+	for _, p := range kernel.SelectVisible(begin, end, e, base, base+len(vals), nil) {
+		v := vals[int(p)-base]
+		if !ok {
+			mn, mx, ok = v, v, true
+			continue
 		}
-		return true
-	})
-	return best, found
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx, ok
 }

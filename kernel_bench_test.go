@@ -1,0 +1,172 @@
+// BenchmarkScanKernel and BenchmarkParallelMerge are the perf-trajectory
+// artifacts behind BENCH_kernels.json.
+//
+// BenchmarkScanKernel compares the pre-kernel scalar scan (a sequential
+// bitpack.Reader decode with a per-row compare — exactly what
+// colstore.Main.ScanEqual did before internal/kernel) against the
+// word-at-a-time SWAR kernels on 8/16/32-bit packed columns, for both a
+// sparse equality needle and a ~10% range predicate.  The acceptance bar
+// is >= 2x single-thread throughput on the 8- and 16-bit columns.
+//
+// BenchmarkParallelMerge measures the range-partitioned garbage-collecting
+// merge (core.MergeColumnGC) on one oversized column — the single-shard
+// compaction bottleneck — with 1/4/8 worker threads and a ~30% drop mask,
+// plus a store-level MergeAll over 1/4/8 shards with intra-column threads.
+// Every sub-benchmark reports a "cpus" metric (GOMAXPROCS): thread counts
+// above it cannot improve wall-clock time, so on a single-core runner the
+// bar for threads=4/8 is parity with threads=1 (no parallel overhead);
+// the disjoint output partitioning turns that into near-linear scaling
+// once cores are available.
+package hyrise_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"hyrise"
+	"hyrise/internal/bitpack"
+	"hyrise/internal/colstore"
+	"hyrise/internal/core"
+	"hyrise/internal/delta"
+	"hyrise/internal/kernel"
+)
+
+var benchSink int
+
+func BenchmarkScanKernel(b *testing.B) {
+	const n = 1 << 20
+	for _, bits := range []uint{8, 16, 32} {
+		rng := rand.New(rand.NewSource(int64(bits)))
+		codes := make([]uint64, n)
+		max := uint64(1)<<bits - 1
+		for i := range codes {
+			codes[i] = rng.Uint64() & max
+		}
+		needle := codes[n/2] // sparse: ~n/2^bits expected matches
+		lo, hi := max/2, max/2+max/10+1
+		v := bitpack.FromSlice(bits, codes)
+
+		b.Run(fmt.Sprintf("bits=%d/op=equal/impl=scalar", bits), func(b *testing.B) {
+			b.SetBytes(n)
+			for i := 0; i < b.N; i++ {
+				cnt := 0
+				r := v.Reader()
+				for j := 0; j < n; j++ {
+					if r.Next() == needle {
+						cnt++
+					}
+				}
+				benchSink = cnt
+			}
+		})
+		b.Run(fmt.Sprintf("bits=%d/op=equal/impl=kernel", bits), func(b *testing.B) {
+			b.SetBytes(n)
+			sel := make([]int32, 0, n)
+			for i := 0; i < b.N; i++ {
+				sel = kernel.MatchEqual(v, needle, sel[:0])
+				benchSink = len(sel)
+			}
+		})
+		b.Run(fmt.Sprintf("bits=%d/op=range/impl=scalar", bits), func(b *testing.B) {
+			b.SetBytes(n)
+			for i := 0; i < b.N; i++ {
+				cnt := 0
+				r := v.Reader()
+				for j := 0; j < n; j++ {
+					if c := r.Next(); c >= lo && c < hi {
+						cnt++
+					}
+				}
+				benchSink = cnt
+			}
+		})
+		b.Run(fmt.Sprintf("bits=%d/op=range/impl=kernel", bits), func(b *testing.B) {
+			b.SetBytes(n)
+			sel := make([]int32, 0, n)
+			for i := 0; i < b.N; i++ {
+				sel = kernel.MatchRange(v, lo, hi, sel[:0])
+				benchSink = len(sel)
+			}
+		})
+	}
+}
+
+func BenchmarkParallelMerge(b *testing.B) {
+	// Core level: one column far beyond any shard split, GC drop mask over
+	// ~30% of the versions, thread counts 1/4/8.  The dictionary
+	// cardinalities put the merged column at 8, 16 and ~19 packed bits
+	// (a 32-bit code width would need a >2^31-entry dictionary).
+	const n = 1 << 19
+	rng := rand.New(rand.NewSource(17))
+	for _, card := range []uint64{1 << 8, 1 << 16, 1 << 19} {
+		mainVals := make([]uint64, n)
+		for i := range mainVals {
+			mainVals[i] = rng.Uint64() % card
+		}
+		m := colstore.FromValues(mainVals)
+		d := delta.New[uint64]()
+		for i := 0; i < n/8; i++ {
+			d.Insert(rng.Uint64() % card)
+		}
+		drop := make([]bool, n+n/8)
+		for i := range drop {
+			drop[i] = rng.Float64() < 0.3
+		}
+		for _, nt := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("core/dict=%d/threads=%d", card, nt), func(b *testing.B) {
+				b.SetBytes(n + n/8)
+				var st core.Stats
+				for i := 0; i < b.N; i++ {
+					_, st = core.MergeColumnGC(m, d, drop, core.Options{Threads: nt})
+				}
+				b.ReportMetric(float64(st.BitsAfter), "bits")
+				b.ReportMetric(float64(st.Dropped), "dropped")
+				b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cpus")
+			})
+		}
+	}
+
+	// Store level: the same update-then-compact cycle across 1/4/8 shards
+	// with intra-column parallel merges on every shard.
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("store/shards=%d/threads=4", shards), func(b *testing.B) {
+			const rows = 40_000
+			s, err := hyrise.NewShardedTable("pm", hyrise.Schema{
+				{Name: "k", Type: hyrise.Uint64},
+				{Name: "v", Type: hyrise.Uint64},
+			}, "k", shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids := make([]int, rows)
+			for i := range ids {
+				if ids[i], err = s.Insert([]any{uint64(i), uint64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			opts := hyrise.MergeOptions{Threads: 4, Strategy: hyrise.IntraColumn}
+			if _, err := s.RequestMerge(context.Background(), opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cpus")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for j := 0; j < rows; j += 2 {
+					nid, err := s.Update(ids[j], map[string]any{"v": uint64(i*rows + j)})
+					if err != nil {
+						b.Fatal(err)
+					}
+					ids[j] = nid
+				}
+				b.StartTimer()
+				if _, err := s.RequestMerge(context.Background(), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

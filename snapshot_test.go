@@ -116,19 +116,37 @@ func TestSnapshotConsistentAcrossMergeAndMoves(t *testing.T) {
 }
 
 // TestSnapshotStress runs continuous Snapshot() scans concurrently with
-// MergeAll, key-changing (cross-shard-moving) updates and deletes on a
-// 4-shard store, asserting every snapshot's row set is internally
-// consistent: each stable id visible exactly once with a matching
-// checksum, each deletable id at most once, and aggregates repeatable
-// under the same view.  Run under -race in CI.
+// MergeAll, key-changing (cross-shard-moving) updates and deletes,
+// asserting every snapshot's row set is internally consistent: each stable
+// id visible exactly once with a matching checksum, each deletable id at
+// most once, and aggregates repeatable under the same view.  Run under
+// -race in CI.  Variants cover 1/4/8 shards; the parallel-merge ones push
+// every shard merge through the intra-column range-partitioned kernels
+// (fewer rounds to keep CI time bounded).
 func TestSnapshotStress(t *testing.T) {
+	cases := []struct {
+		name   string
+		shards int
+		rounds int
+		merge  hyrise.MergeOptions
+	}{
+		{"4-shards", 4, 150, hyrise.MergeOptions{Threads: 2}},
+		{"1-shard-parallel-merge", 1, 40, hyrise.MergeOptions{Threads: 4, Strategy: hyrise.IntraColumn}},
+		{"8-shards-parallel-merge", 8, 40, hyrise.MergeOptions{Threads: 4, Strategy: hyrise.IntraColumn}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			snapshotStress(t, c.shards, c.rounds, c.merge)
+		})
+	}
+}
+
+func snapshotStress(t *testing.T, shards, rounds int, merge hyrise.MergeOptions) {
 	const (
-		shards    = 4
 		mutators  = 4
 		scanners  = 3
 		stableIDs = 200 // ids [0, stableIDs): updated forever, never deleted
 		dyingIDs  = 100 // ids [stableIDs, stableIDs+dyingIDs): deleted mid-run
-		rounds    = 150 // update rounds per mutator
 	)
 	st, err := hyrise.NewShardedTable("stress", snapSchema(), "k", shards)
 	if err != nil {
@@ -193,7 +211,7 @@ func TestSnapshotStress(t *testing.T) {
 			default:
 			}
 			if _, err := st.MergeAll(context.Background(), hyrise.MergeAllOptions{
-				Merge: hyrise.MergeOptions{Threads: 2},
+				Merge: merge,
 			}); err != nil {
 				t.Errorf("MergeAll: %v", err)
 				return
