@@ -52,7 +52,10 @@ var (
 	// (ServerOptions.MaxSnapshots); Release a snapshot before capturing
 	// another.
 	ErrTooManySnapshots = errors.New("hyrise: too many registered snapshots")
-	ErrClientClosed     = errors.New("hyrise: client closed")
+	// ErrReadOnly: the server is a replication follower; route writes to
+	// the primary.
+	ErrReadOnly     = errors.New("hyrise: read-only follower")
+	ErrClientClosed = errors.New("hyrise: client closed")
 )
 
 func errFromStatus(code uint8, msg string) error {
@@ -76,6 +79,8 @@ func errFromStatus(code uint8, msg string) error {
 		sentinel = ErrBadRequest
 	case wire.StatusErrColumnType:
 		sentinel = ErrColumnType
+	case wire.StatusErrReadOnly:
+		sentinel = ErrReadOnly
 	default:
 		sentinel = ErrServer
 	}
@@ -128,6 +133,22 @@ type Options struct {
 	Conns int
 	// DialTimeout bounds each TCP dial (default 5s).
 	DialTimeout time.Duration
+	// Followers lists read-replica addresses.  When set (and the primary
+	// speaks protocol version 2), eligible reads are routed to followers:
+	// snapshot reads go to any follower that has applied the snapshot's
+	// epoch (exact, verified server-side), latest reads to any follower
+	// lagging at most MaxStaleness epochs.  Every follower error falls
+	// back to the primary, so routing never changes results — only which
+	// machine serves them.
+	Followers []string
+	// MaxStaleness bounds, in epochs, how far behind the primary a
+	// follower may be and still serve LATEST reads (snapshot reads are
+	// exact regardless).  0 routes latest reads only to fully-caught-up
+	// followers.
+	MaxStaleness uint64
+	// StatsTTL bounds how long a follower's lag measurement is reused
+	// before being refreshed (default 100ms).
+	StatsTTL time.Duration
 }
 
 func (o *Options) setDefaults() {
@@ -136,6 +157,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 5 * time.Second
+	}
+	if o.StatsTTL <= 0 {
+		o.StatsTTL = 100 * time.Millisecond
 	}
 }
 
@@ -151,11 +175,22 @@ type Client struct {
 	keyColumn string
 	schema    []Column
 	colIdx    map[string]int
+	protocol  uint32 // negotiated by the hello exchange
+	role      Role
 
 	sem       chan struct{} // counts live connections (pool capacity)
 	free      chan *poolConn
 	closed    chan struct{}
 	closeOnce sync.Once
+
+	// Follower routing state (empty without Options.Followers).
+	followers []*follower
+	rr        uint64 // round-robin cursor, accessed atomically
+
+	// snapEpochs maps primary snapshot tokens to their epochs, learned
+	// from OpSnapshotEpoch; follower routing pins these epochs remotely.
+	snapMu     sync.Mutex
+	snapEpochs map[Snap]uint64
 }
 
 type poolConn struct {
@@ -172,11 +207,12 @@ func Dial(addr string) (*Client, error) { return DialOptions(addr, Options{}) }
 func DialOptions(addr string, opts Options) (*Client, error) {
 	opts.setDefaults()
 	c := &Client{
-		addr:   addr,
-		opts:   opts,
-		sem:    make(chan struct{}, opts.Conns),
-		free:   make(chan *poolConn, opts.Conns),
-		closed: make(chan struct{}),
+		addr:       addr,
+		opts:       opts,
+		sem:        make(chan struct{}, opts.Conns),
+		free:       make(chan *poolConn, opts.Conns),
+		closed:     make(chan struct{}),
+		snapEpochs: make(map[Snap]uint64),
 	}
 	// Dial eagerly once: verifies the server speaks the protocol and
 	// caches the schema every later request needs for value coercion.
@@ -191,8 +227,57 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 		c.Close()
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
+	if err := c.hello(); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	for _, faddr := range opts.Followers {
+		c.followers = append(c.followers, &follower{parent: c, addr: faddr})
+	}
 	return c, nil
 }
+
+// hello negotiates the protocol generation.  A version-1 server answers
+// the unknown opcode with ErrBadRequest; that is the negotiation — the
+// client records protocol 1 and keeps to the version-1 opcode set
+// (follower routing and epoch-addressed snapshots stay disabled).
+func (c *Client) hello() error {
+	var req wire.Buffer
+	req.U8(wire.OpHello)
+	req.U32(wire.ProtocolVersion)
+	r, err := c.do(req.Bytes())
+	if errors.Is(err, ErrBadRequest) {
+		c.protocol = 1
+		c.role = RolePrimary
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	ver, err := r.U32()
+	if err != nil {
+		return err
+	}
+	role, err := r.U8()
+	if err != nil {
+		return err
+	}
+	if ver < c.protocol || ver == 0 {
+		return fmt.Errorf("%w: server protocol version %d", ErrBadRequest, ver)
+	}
+	// Both sides speak min(client, server); the server promises the same.
+	c.protocol = min(wire.ProtocolVersion, ver)
+	c.role = Role(role)
+	return nil
+}
+
+// Protocol returns the negotiated protocol generation (1 for pre-hello
+// servers).
+func (c *Client) Protocol() int { return int(c.protocol) }
+
+// Role returns the server's announced role (RolePrimary for version-1
+// servers, which cannot be followers).
+func (c *Client) Role() Role { return c.role }
 
 func (c *Client) readSchema(r *wire.Reader) error {
 	var err error
@@ -249,6 +334,9 @@ func (c *Client) Schema() []Column {
 func (c *Client) Close() error {
 	c.closeOnce.Do(func() { close(c.closed) })
 	c.drainFree()
+	for _, f := range c.followers {
+		f.close()
+	}
 	return nil
 }
 
@@ -627,6 +715,28 @@ func (c *Client) IsValid(row int) (bool, error) {
 // past its capacity Snapshot fails with ErrTooManySnapshots until a token
 // is Released.
 func (c *Client) Snapshot() (Snap, error) {
+	// On a version-2 server the capture also reports the frozen epoch;
+	// follower routing needs it to pin the same epoch on replicas.
+	if c.protocol >= 2 {
+		var req wire.Buffer
+		req.U8(wire.OpSnapshotEpoch)
+		r, err := c.do(req.Bytes())
+		if err != nil {
+			return 0, err
+		}
+		tok, err := r.U64()
+		if err != nil {
+			return 0, err
+		}
+		e, err := r.U64()
+		if err != nil {
+			return 0, err
+		}
+		c.snapMu.Lock()
+		c.snapEpochs[Snap(tok)] = e
+		c.snapMu.Unlock()
+		return Snap(tok), nil
+	}
 	var req wire.Buffer
 	req.U8(wire.OpSnapshot)
 	r, err := c.do(req.Bytes())
@@ -637,12 +747,29 @@ func (c *Client) Snapshot() (Snap, error) {
 	return Snap(tok), err
 }
 
+// SnapshotEpoch returns the epoch a snapshot token was frozen at, when
+// known (tokens from Snapshot on a version-2 server).
+func (c *Client) SnapshotEpoch(s Snap) (uint64, bool) {
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	e, ok := c.snapEpochs[s]
+	return e, ok
+}
+
 // Release drops a snapshot token from the server's registry.  Do call it:
 // a registered token pins the server's GC watermark (merges keep every
 // version the snapshot can see), and the registry itself is bounded, so
 // unreleased tokens eventually make Snapshot fail with
 // ErrTooManySnapshots.
 func (c *Client) Release(s Snap) error {
+	c.snapMu.Lock()
+	delete(c.snapEpochs, s)
+	c.snapMu.Unlock()
+	// Drop any epoch pins this token's reads created on followers; their
+	// failure is not the caller's problem (the follower may be gone).
+	for _, f := range c.followers {
+		f.releasePin(s)
+	}
 	var req wire.Buffer
 	req.U8(wire.OpSnapshotRelease)
 	req.U64(uint64(s))
@@ -672,7 +799,7 @@ func (c *Client) LookupAt(s Snap, col string, v any) ([]int, error) {
 	if err := req.Value(cv); err != nil {
 		return nil, err
 	}
-	r, err := c.do(req.Bytes())
+	r, err := c.doRead(req.Bytes(), s)
 	if err != nil {
 		return nil, err
 	}
@@ -701,7 +828,7 @@ func (c *Client) RangeAt(s Snap, col string, lo, hi any) ([]int, error) {
 	if err := req.Value(chi); err != nil {
 		return nil, err
 	}
-	r, err := c.do(req.Bytes())
+	r, err := c.doRead(req.Bytes(), s)
 	if err != nil {
 		return nil, err
 	}
@@ -745,7 +872,7 @@ func (c *Client) scan(s Snap, col string, limit int, withRows bool) ([]int, []an
 	}
 	req.U32(uint32(limit))
 	req.U8(boolByte(withRows))
-	r, err := c.do(req.Bytes())
+	r, err := c.doRead(req.Bytes(), s)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -784,7 +911,7 @@ func (c *Client) Sum(col string) (uint64, error) { return c.SumAt(Latest, col) }
 // cross-shard aggregate.
 func (c *Client) SumAt(s Snap, col string) (uint64, error) {
 	req := readReq(wire.OpSum, s, col)
-	r, err := c.do(req.Bytes())
+	r, err := c.doRead(req.Bytes(), s)
 	if err != nil {
 		return 0, err
 	}
@@ -810,7 +937,7 @@ func (c *Client) MaxAt(s Snap, col string) (any, bool, error) {
 
 func (c *Client) minMax(op uint8, s Snap, col string) (any, bool, error) {
 	req := readReq(op, s, col)
-	r, err := c.do(req.Bytes())
+	r, err := c.doRead(req.Bytes(), s)
 	if err != nil {
 		return nil, false, err
 	}
@@ -840,7 +967,7 @@ func (c *Client) CountEqualAt(s Snap, col string, v any) (int, error) {
 	if err := req.Value(cv); err != nil {
 		return 0, err
 	}
-	r, err := c.do(req.Bytes())
+	r, err := c.doRead(req.Bytes(), s)
 	if err != nil {
 		return 0, err
 	}
@@ -857,7 +984,7 @@ func (c *Client) ValidRowsAt(s Snap) (int, error) {
 	var req wire.Buffer
 	req.U8(wire.OpValidRows)
 	req.U64(uint64(s))
-	r, err := c.do(req.Bytes())
+	r, err := c.doRead(req.Bytes(), s)
 	if err != nil {
 		return 0, err
 	}
@@ -871,7 +998,7 @@ func (c *Client) VisibleAt(s Snap, row int) (bool, error) {
 	req.U8(wire.OpVisible)
 	req.U64(uint64(s))
 	req.U64(uint64(row))
-	r, err := c.do(req.Bytes())
+	r, err := c.doRead(req.Bytes(), s)
 	if err != nil {
 		return false, err
 	}

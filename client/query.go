@@ -70,7 +70,7 @@ func (c *Client) QueryAt(s Snap, filters []Filter, project []string) (*Result, e
 	if err := req.Strings(project); err != nil {
 		return nil, err
 	}
-	r, err := c.do(req.Bytes())
+	r, err := c.doRead(req.Bytes(), s)
 	if err != nil {
 		return nil, err
 	}

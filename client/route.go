@@ -1,0 +1,311 @@
+package client
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyrise/internal/wire"
+)
+
+// Role is a server's replication role, as announced by the hello exchange.
+type Role uint8
+
+// Roles.
+const (
+	RolePrimary  Role = wire.RolePrimary
+	RoleFollower Role = wire.RoleFollower
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleFollower:
+		return "follower"
+	default:
+		return "unknown"
+	}
+}
+
+// follower is one read replica the client may route to: a lazily-dialed
+// sub-client plus per-snapshot pin tokens and a cached lag measurement.
+type follower struct {
+	parent *Client
+	addr   string
+
+	mu      sync.Mutex
+	c       *Client       // nil until first use
+	pins    map[Snap]Snap // primary snapshot token -> follower pin token
+	statsAt time.Time     // when stats was measured (zero = never)
+	stats   ServerStats
+	downTo  time.Time // cooling off after an error
+}
+
+// followerCooldown is how long a follower sits out after an error before
+// routing tries it again.
+const followerCooldown = time.Second
+
+// client returns the lazily-dialed sub-client.
+func (f *follower) client() (*Client, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.c != nil {
+		return f.c, nil
+	}
+	c, err := DialOptions(f.addr, Options{
+		Conns:       f.parent.opts.Conns,
+		DialTimeout: f.parent.opts.DialTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.c = c
+	return c, nil
+}
+
+func (f *follower) close() {
+	f.mu.Lock()
+	c := f.c
+	f.c = nil
+	f.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+func (f *follower) available() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return time.Now().After(f.downTo)
+}
+
+// markDown benches the follower briefly; the caller has already fallen
+// back to the primary, this only stops every request from re-paying the
+// failure.
+func (f *follower) markDown() {
+	f.mu.Lock()
+	f.downTo = time.Now().Add(followerCooldown)
+	f.statsAt = time.Time{}
+	f.mu.Unlock()
+}
+
+// lag returns the follower's epoch lag behind its primary, measuring it
+// over the wire when the cached value is older than StatsTTL.
+func (f *follower) lag() (uint64, error) {
+	f.mu.Lock()
+	if !f.statsAt.IsZero() && time.Since(f.statsAt) < f.parent.opts.StatsTTL {
+		l := f.stats.Lag
+		f.mu.Unlock()
+		return l, nil
+	}
+	f.mu.Unlock()
+	c, err := f.client()
+	if err != nil {
+		return 0, err
+	}
+	st, err := c.ServerStats()
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	f.stats = st
+	f.statsAt = time.Now()
+	f.mu.Unlock()
+	return st.Lag, nil
+}
+
+// pinFor resolves the follower-local pin token for a primary snapshot,
+// pinning the snapshot's epoch on the follower on first use.  The server
+// verifies the epoch is applied and its history intact, so reads through
+// the returned token are exactly the primary snapshot's reads.
+func (f *follower) pinFor(s Snap, epoch uint64) (Snap, error) {
+	f.mu.Lock()
+	if tok, ok := f.pins[s]; ok {
+		f.mu.Unlock()
+		return tok, nil
+	}
+	f.mu.Unlock()
+	c, err := f.client()
+	if err != nil {
+		return 0, err
+	}
+	var req wire.Buffer
+	req.U8(wire.OpPinEpoch)
+	req.U64(epoch)
+	r, err := c.do(req.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	tok64, err := r.U64()
+	if err != nil {
+		return 0, err
+	}
+	tok := Snap(tok64)
+	f.mu.Lock()
+	if f.pins == nil {
+		f.pins = make(map[Snap]Snap)
+	}
+	if prev, ok := f.pins[s]; ok {
+		// Lost a race with another goroutine; keep theirs, drop ours.
+		f.mu.Unlock()
+		go c.Release(tok)
+		return prev, nil
+	}
+	f.pins[s] = tok
+	f.mu.Unlock()
+	return tok, nil
+}
+
+// releasePin drops the cached pin for a primary snapshot token, releasing
+// it on the follower best-effort.
+func (f *follower) releasePin(s Snap) {
+	f.mu.Lock()
+	tok, ok := f.pins[s]
+	if ok {
+		delete(f.pins, s)
+	}
+	c := f.c
+	f.mu.Unlock()
+	if ok && c != nil {
+		c.Release(tok)
+	}
+}
+
+// doRead sends a token-carrying read request (token at bytes [1:9], right
+// after the opcode), routing it to a follower when one can serve it
+// exactly, and to the primary otherwise.  Any follower failure falls back
+// to the primary, so routing is invisible to callers.
+func (c *Client) doRead(req []byte, s Snap) (*wire.Reader, error) {
+	if len(c.followers) == 0 || c.protocol < 2 {
+		return c.do(req)
+	}
+	var epoch uint64
+	if s != Latest {
+		var ok bool
+		if epoch, ok = c.SnapshotEpoch(s); !ok {
+			// Unknown epoch (token from another client): unroutable.
+			return c.do(req)
+		}
+	}
+	start := int(atomic.AddUint64(&c.rr, 1))
+	for i := 0; i < len(c.followers); i++ {
+		f := c.followers[(start+i)%len(c.followers)]
+		if !f.available() {
+			continue
+		}
+		r, err := c.tryFollower(f, req, s, epoch)
+		if err == nil {
+			return r, nil
+		}
+		if !errors.Is(err, errStale) {
+			// Staleness clears by itself within a heartbeat; real
+			// failures bench the follower for a cooldown.
+			f.markDown()
+		}
+	}
+	return c.do(req)
+}
+
+// tryFollower attempts one read on one follower.
+func (c *Client) tryFollower(f *follower, req []byte, s Snap, epoch uint64) (*wire.Reader, error) {
+	tok := Snap(0)
+	if s != Latest {
+		var err error
+		if tok, err = f.pinFor(s, epoch); err != nil {
+			return nil, err
+		}
+	} else {
+		lag, err := f.lag()
+		if err != nil {
+			return nil, err
+		}
+		if lag > c.opts.MaxStaleness {
+			return nil, errStale
+		}
+	}
+	fc, err := f.client()
+	if err != nil {
+		return nil, err
+	}
+	routed := make([]byte, len(req))
+	copy(routed, req)
+	binary.BigEndian.PutUint64(routed[1:9], uint64(tok))
+	return fc.do(routed)
+}
+
+// errStale marks a follower too far behind for a latest read; it only
+// travels from tryFollower to doRead.
+var errStale = errors.New("client: follower too stale")
+
+// ServerStats is the server-level replication and op-log summary returned
+// by Client.ServerStats.
+type ServerStats struct {
+	// Role and Protocol echo the hello exchange.
+	Role     Role
+	Protocol int
+	// Replicating reports whether an op log is attached (primary side).
+	Replicating bool
+	// OplogFirst/OplogNext bound the retained log [first, next); Entries
+	// is their distance.
+	OplogFirst   uint64
+	OplogNext    uint64
+	OplogEntries uint64
+	// Followers counts live replication subscribers (primary side).
+	Followers int
+	// PrimaryEpoch is the primary's epoch (its own on a primary; as of
+	// the last heartbeat on a follower).  AppliedEpoch is the epoch local
+	// reads are exact at; Lag is their distance.
+	PrimaryEpoch uint64
+	AppliedEpoch uint64
+	Lag          uint64
+	// AppliedLSN is the next op-log position the server will apply (on a
+	// primary: the log's next LSN).
+	AppliedLSN uint64
+}
+
+// ServerStats fetches the server's replication/op-log summary.  It fails
+// with ErrBadRequest on version-1 servers.
+func (c *Client) ServerStats() (ServerStats, error) {
+	var req wire.Buffer
+	req.U8(wire.OpServerStats)
+	r, err := c.do(req.Bytes())
+	if err != nil {
+		return ServerStats{}, err
+	}
+	var st ServerStats
+	role, err := r.U8()
+	if err != nil {
+		return st, err
+	}
+	st.Role = Role(role)
+	proto, err := r.U32()
+	if err != nil {
+		return st, err
+	}
+	st.Protocol = int(proto)
+	repl, err := r.U8()
+	if err != nil {
+		return st, err
+	}
+	st.Replicating = repl != 0
+	for _, p := range []*uint64{&st.OplogFirst, &st.OplogNext, &st.OplogEntries} {
+		if *p, err = r.U64(); err != nil {
+			return st, err
+		}
+	}
+	nf, err := r.U32()
+	if err != nil {
+		return st, err
+	}
+	st.Followers = int(nf)
+	for _, p := range []*uint64{&st.PrimaryEpoch, &st.AppliedEpoch, &st.Lag, &st.AppliedLSN} {
+		if *p, err = r.U64(); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}

@@ -47,6 +47,30 @@
 //	                 unlimited — every registered snapshot pins history)
 //	-compact         merge all deltas before the shutdown save (default true)
 //	-drain           graceful-shutdown timeout (default 10s)
+//
+// # Replication
+//
+// A daemon started with -replicate keeps an epoch-stamped operation log
+// of every write and serves it to subscribing followers; one started with
+// -follow bootstraps its store from the primary's snapshot stream, serves
+// reads only (writes fail with the read-only status), and keeps applying
+// the primary's ops:
+//
+//	$ hyrised -addr :4860 -replicate                  # primary
+//	$ hyrised -addr :4861 -follow 127.0.0.1:4860      # follower
+//	$ hyrised -addr :4862 -follow 127.0.0.1:4860      # another
+//
+// Followers serve reads that are exact as of their applied epoch: a
+// pooled client (hyrise/client with Options.Followers) routes snapshot
+// reads to any follower that has applied the snapshot's epoch and latest
+// reads to any follower within its staleness bound, falling back to the
+// primary otherwise.
+//
+//	-replicate       keep an op log and serve replication subscribers
+//	-oplog-cap       retained op-log entries (default 1<<20); followers
+//	                 that fall further behind must re-bootstrap
+//	-follow          primary address: run as a read-only follower
+//	                 (excludes -replicate and -snapshot)
 package main
 
 import (
@@ -81,6 +105,9 @@ type config struct {
 	maxSnapshots  int  // 0 = server.DefaultMaxSnapshots
 	compact       bool
 	drain         time.Duration
+	replicate     bool
+	oplogCap      int
+	follow        string
 
 	// onReady, when non-nil, receives the bound listen address once the
 	// server is accepting (tests listen on :0 and need the real port).
@@ -106,6 +133,9 @@ func main() {
 		"snapshot registry capacity (< 0 = unlimited)")
 	flag.BoolVar(&cfg.compact, "compact", true, "merge all deltas before the shutdown save")
 	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown timeout")
+	flag.BoolVar(&cfg.replicate, "replicate", false, "keep an op log and serve replication subscribers")
+	flag.IntVar(&cfg.oplogCap, "oplog-cap", 0, "retained op-log entries (0 = 1<<20)")
+	flag.StringVar(&cfg.follow, "follow", "", "primary address: run as a read-only follower")
 	flag.Parse()
 	cfg.noGC = !*gc
 
@@ -122,13 +152,44 @@ func main() {
 // save.  It is the whole daemon minus flags and signals, so tests run it
 // in-process.
 func run(ctx context.Context, cfg config, logger *log.Logger) error {
-	st, err := openStore(cfg, logger)
-	if err != nil {
+	if cfg.follow != "" {
+		if cfg.replicate {
+			return errors.New("-follow excludes -replicate (followers cannot chain)")
+		}
+		if cfg.snapshot != "" {
+			return errors.New("-follow excludes -snapshot (the store comes from the primary)")
+		}
+	}
+
+	var st hyrise.Store
+	var rep *hyrise.Replica
+	var err error
+	if cfg.follow != "" {
+		// Follower: the store is bootstrapped from the primary's snapshot
+		// stream and advanced by its op stream; Follow returns after the
+		// first heartbeat, so reads are servable immediately.
+		rep, err = hyrise.Follow(cfg.follow, hyrise.ReplicaOptions{Logf: logger.Printf})
+		if err != nil {
+			return fmt.Errorf("follow %s: %w", cfg.follow, err)
+		}
+		defer rep.Close()
+		st = hyrise.FollowStore(rep)
+		logger.Printf("following %s: bootstrapped %q at epoch %d (lsn %d)",
+			cfg.follow, st.Name(), rep.AppliedEpoch(), rep.AppliedLSN())
+	} else if st, err = openStore(cfg, logger); err != nil {
 		return err
 	}
 	if cfg.noGC {
 		st.SetGC(false)
 		logger.Printf("garbage collection disabled (-gc=false): history kept forever")
+	}
+
+	var olog *hyrise.OpLog
+	if cfg.replicate {
+		if olog, err = hyrise.EnableReplication(st, cfg.oplogCap); err != nil {
+			return fmt.Errorf("attach op log: %w", err)
+		}
+		logger.Printf("replication enabled (op-log capacity %d entries)", olog.Cap())
 	}
 
 	var sched *hyrise.Scheduler
@@ -153,15 +214,27 @@ func run(ctx context.Context, cfg config, logger *log.Logger) error {
 	if err != nil {
 		return err
 	}
-	srv, err := server.New(st, server.Options{
+	sopts := server.Options{
 		Logf:         logger.Printf,
 		MaxSnapshots: cfg.maxSnapshots,
-	})
+		OpLog:        olog,
+	}
+	if rep != nil {
+		// Assign only a live replica: a typed-nil pointer in the interface
+		// field would read as "follower" to the server.
+		sopts.Replica = rep
+	}
+	srv, err := server.New(st, sopts)
 	if err != nil {
 		l.Close()
 		return err
 	}
-	logger.Printf("serving %q (%d shard(s)) on %s", st.Name(), st.StoreStats().Shards, l.Addr())
+	role := "primary"
+	if rep != nil {
+		role = "follower"
+	}
+	logger.Printf("serving %q (%d shard(s), %s) on %s",
+		st.Name(), st.StoreStats().Shards, role, l.Addr())
 	if cfg.onReady != nil {
 		cfg.onReady(l.Addr().String())
 	}
@@ -200,7 +273,7 @@ func run(ctx context.Context, cfg config, logger *log.Logger) error {
 	// reclaimed.
 	needsCompact := st.DeltaRows() > 0 ||
 		(!cfg.noGC && st.Rows() > st.ValidRows())
-	if cfg.compact && needsCompact {
+	if cfg.compact && needsCompact && rep == nil {
 		// Fold the remaining deltas so the snapshot reloads fully merged
 		// and garbage-collected; the stopped scheduler still carries the
 		// configured merge budget.

@@ -187,6 +187,40 @@
 // listener to Serve; the returned DBServer drains gracefully via
 // Shutdown.  The wire protocol is documented in internal/server.
 //
+// # Replication
+//
+// A primary scales its read side out to followers by streaming its
+// operation log.  EnableReplication attaches an epoch-stamped op log to
+// the store's write path — every insert, update, delete and cross-shard
+// move is recorded with the epoch it committed under — and a server
+// given that log (ServerOptions.OpLog, or hyrised -replicate) lets
+// followers subscribe over the ordinary listener.  Follow bootstraps a
+// follower: it streams the primary's snapshot into a fresh local store,
+// applies the op tail, and keeps applying — and reconnecting — until
+// closed.  Because replayed ops carry the primary's epochs and row ids,
+// a follower's store is bit-identical to the primary's at every applied
+// epoch: reads at epoch E answer exactly what the primary answers at E.
+//
+//	olog, _ := hyrise.EnableReplication(st, 0)        // primary side
+//	hyrise.Serve(l, st, hyrise.ServerOptions{OpLog: olog})
+//
+//	rep, _ := hyrise.Follow(primaryAddr, hyrise.ReplicaOptions{})
+//	hyrise.Serve(fl, hyrise.FollowStore(rep),         // follower side
+//	    hyrise.ServerOptions{Replica: rep})
+//
+// A follower server is read-only (writes fail with client.ErrReadOnly)
+// and advances Replica.AppliedEpoch only on the primary's heartbeats, so
+// the epoch it reports is always exact.  The pooled client routes reads
+// transparently: client.Options.Followers lists follower addresses,
+// snapshot reads go to any follower that has applied the snapshot's
+// epoch (pinned remotely, so the answer equals the primary's), latest
+// reads go to any follower lagging at most client.Options.MaxStaleness
+// epochs, and everything else — including any follower failure — falls
+// back to the primary.  Client.ServerStats exposes role, replication lag
+// and op-log bounds for monitoring.  The same topology runs as daemons
+// with hyrised -replicate and hyrised -follow; see examples/replication
+// for the whole wiring in one process.
+//
 // The subpackages under internal implement the paper's substrate systems
 // (bit-packed vectors, sorted dictionaries, CSB+ trees, the merge itself,
 // the analytical cost model, workload generators and the experiment

@@ -120,6 +120,25 @@ func (c *Clock) CapturePinned() (uint64, *Pin) {
 	return e, p
 }
 
+// PinAt registers a pin at an arbitrary epoch without capturing: the clock
+// does not advance and e may lie in the past.  Replication followers use it
+// to serve reads at their applied epoch, and the server uses it to pin a
+// client-chosen epoch on a follower.  Unlike CapturePinned it cannot
+// promise the epoch's history is still intact — versions invalidated at or
+// below a past GC watermark may already be gone — so callers must check
+// the store's GC bound (table.Table.GCBound) after pinning and release the
+// pin if the bound has passed e.
+func (c *Clock) PinAt(e uint64) *Pin {
+	c.pinMu.Lock()
+	defer c.pinMu.Unlock()
+	p := &Pin{c: c, epoch: e}
+	if c.pins == nil {
+		c.pins = make(map[*Pin]struct{})
+	}
+	c.pins[p] = struct{}{}
+	return p
+}
+
 // Pins returns the number of currently registered pins.
 func (c *Clock) Pins() int {
 	c.pinMu.Lock()

@@ -66,6 +66,59 @@
 // columns of the matched rows — row versions are immutable, so the
 // late reads are identical to what the scan saw.
 //
+// # Version negotiation
+//
+// OpHello carries the client's protocol version (u32) and answers with
+// the server's version plus its replication role (wire.RolePrimary or
+// wire.RoleFollower); both sides then speak the minimum of the two.  The
+// exchange is stateless — the server answers every hello identically —
+// so any connection of a pool may negotiate independently.  A version-1
+// server (PR 4-6) does not know the opcode and answers
+// wire.StatusErrBadRequest, which clients treat as "version 1, primary":
+// every protocol-1 request keeps working unchanged against either side.
+// Unknown future opcodes fail the same way, so speaking v2 to a v1
+// server degrades cleanly rather than desynchronizing the stream.
+//
+// # Replication
+//
+// A server whose store has an operation log attached (Options.OpLog) is
+// a replication primary.  OpSubscribe turns the requesting connection
+// into a one-way replication stream; it must be the only request on its
+// connection.  The request body is a mode byte plus a u64 LSN:
+//
+//   - wire.SubSnapshot bootstraps a follower: the server cuts the log
+//     position, responds StatusOK + mode + the cut LSN, streams a
+//     consistent persist-format snapshot image as FrameSnapChunk frames
+//     terminated by FrameSnapEnd, and then streams ops from the cut.
+//   - wire.SubTail resumes from the given LSN.  If the log no longer
+//     covers it (trimmed past the follower's position) the server
+//     refuses with wire.StatusErrStaleEpoch before any stream bytes, and
+//     the follower must re-bootstrap; a tail is never silently degraded
+//     to a snapshot, because the follower cannot absorb a second image.
+//
+// After the OK response the connection carries frames of ops
+// (FrameOps: a count plus oplog-encoded records, each stamped with the
+// epoch it committed under and its LSN) interleaved with heartbeats
+// (FrameHeartbeat: safe epoch, primary epoch, next LSN).  A heartbeat is
+// sent only when the subscriber is exactly caught up, so its safe epoch
+// is exact: a follower that has applied every op below the heartbeat's
+// LSN serves reads at the safe epoch that are bit-identical to the
+// primary's at the same epoch.  Stream-side failures after the OK travel
+// as FrameError frames.  internal/replica implements the follower side;
+// oplog ops replayed through Table.ApplyInsert/ApplyUpdate/
+// ApplyInvalidate reproduce row ids, epochs and values exactly.
+//
+// A server created with Options.Replica set is a read-only follower:
+// mutating opcodes fail with wire.StatusErrReadOnly, OpSnapshot pins the
+// applied epoch (the latest its store is exact at), and OpPinEpoch pins
+// an explicit epoch — refusing epochs the follower has not applied or
+// whose history its merges already garbage-collected
+// (wire.StatusErrStaleEpoch) — which is how the pooled client routes a
+// primary snapshot's reads to a follower with exact-answer semantics.
+// OpServerStats reports role, protocol version, op-log bounds, follower
+// count and applied/primary epochs on either side, giving clients a
+// replication-lag measurement.
+//
 // # Shutdown
 //
 // Server.Shutdown stops accepting connections, lets every in-flight

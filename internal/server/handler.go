@@ -27,6 +27,13 @@ func (s *Server) handle(payload []byte, out *wire.Buffer) {
 		s.fail(out, fmt.Errorf("%w: empty request", wire.ErrMalformed))
 		return
 	}
+	if s.opts.Replica != nil {
+		switch op {
+		case wire.OpInsert, wire.OpInsertBatch, wire.OpUpdate, wire.OpDelete:
+			s.fail(out, fmt.Errorf("%w: route writes to the primary", errReadOnly))
+			return
+		}
+	}
 	out.U8(wire.StatusOK)
 	switch op {
 	case wire.OpPing:
@@ -48,10 +55,28 @@ func (s *Server) handle(payload []byte, out *wire.Buffer) {
 	case wire.OpSnapshot:
 		if err = r.Rest(); err == nil {
 			var tok uint64
-			if tok, err = s.registerSnapshot(); err == nil {
+			if tok, _, err = s.registerSnapshot(); err == nil {
 				out.U64(tok)
 			}
 		}
+	case wire.OpSnapshotEpoch:
+		if err = r.Rest(); err == nil {
+			var tok, e uint64
+			if tok, e, err = s.registerSnapshot(); err == nil {
+				out.U64(tok)
+				out.U64(e)
+			}
+		}
+	case wire.OpPinEpoch:
+		err = s.opPinEpoch(r, out)
+	case wire.OpHello:
+		err = s.opHello(r, out)
+	case wire.OpServerStats:
+		err = s.opServerStats(r, out)
+	case wire.OpSubscribe:
+		// serveConn intercepts OpSubscribe before handle; seeing it here
+		// means the caller cannot stream (fuzz harness, misuse).
+		err = fmt.Errorf("%w: OpSubscribe must be the only request on its connection", wire.ErrMalformed)
 	case wire.OpSnapshotRelease:
 		err = s.opSnapshotRelease(r, out)
 	case wire.OpLookup:
@@ -103,8 +128,10 @@ func statusOf(err error) uint8 {
 		return wire.StatusErrArity
 	case errors.Is(err, table.ErrMergeInProgress):
 		return wire.StatusErrMergeBusy
-	case errors.Is(err, errBadSnapshot):
+	case errors.Is(err, errBadSnapshot), errors.Is(err, errStaleEpoch):
 		return wire.StatusErrBadSnapshot
+	case errors.Is(err, errReadOnly):
+		return wire.StatusErrReadOnly
 	case errors.Is(err, errTooManySnapshots):
 		return wire.StatusErrTooManySnapshots
 	case errors.Is(err, errColumnType):
@@ -737,6 +764,74 @@ func (s *Server) opMerge(r *wire.Reader, out *wire.Buffer) error {
 	out.U64(uint64(rep.Wall.Nanoseconds()))
 	out.U32(uint32(rep.Threads))
 	out.U8(boolByte(rep.Aborted))
+	return nil
+}
+
+// --- replication / capability ops (protocol v2) ---
+
+func (s *Server) opHello(r *wire.Reader, out *wire.Buffer) error {
+	ver, err := r.U32()
+	if err != nil {
+		return err
+	}
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	if ver == 0 {
+		return fmt.Errorf("%w: protocol version 0", wire.ErrMalformed)
+	}
+	out.U32(wire.ProtocolVersion)
+	out.U8(s.role())
+	return nil
+}
+
+func (s *Server) opPinEpoch(r *wire.Reader, out *wire.Buffer) error {
+	e, err := r.U64()
+	if err != nil {
+		return err
+	}
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	tok, err := s.registerPinned(e)
+	if err != nil {
+		return err
+	}
+	out.U64(tok)
+	return nil
+}
+
+func (s *Server) opServerStats(r *wire.Reader, out *wire.Buffer) error {
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	out.U8(s.role())
+	out.U32(wire.ProtocolVersion)
+	var first, next uint64
+	if s.opts.OpLog != nil {
+		first, next = s.opts.OpLog.Bounds()
+	}
+	out.U8(boolByte(s.opts.OpLog != nil))
+	out.U64(first)
+	out.U64(next)
+	out.U64(next - first)
+	out.U32(uint32(s.Subscribers()))
+	primary := s.clock().Now()
+	applied := primary
+	lsn := next
+	if rep := s.opts.Replica; rep != nil {
+		primary = rep.PrimaryEpoch()
+		applied = rep.AppliedEpoch()
+		lsn = rep.AppliedLSN()
+	}
+	out.U64(primary)
+	out.U64(applied)
+	var lag uint64
+	if primary > applied {
+		lag = primary - applied
+	}
+	out.U64(lag)
+	out.U64(lsn)
 	return nil
 }
 

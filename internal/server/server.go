@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hyrise/internal/epoch"
+	"hyrise/internal/oplog"
 	"hyrise/internal/shard"
 	"hyrise/internal/table"
 	"hyrise/internal/wire"
@@ -48,6 +50,16 @@ type Store interface {
 // pin dead versions forever.
 const DefaultMaxSnapshots = 1024
 
+// ReplicaInfo is the follower-state surface a replica applier
+// (internal/replica) exposes to the server that fronts it: the epoch the
+// local store exactly matches the primary at, the primary's epoch as of
+// the last heartbeat, and the next op-log position to apply.
+type ReplicaInfo interface {
+	AppliedEpoch() uint64
+	PrimaryEpoch() uint64
+	AppliedLSN() uint64
+}
+
 // Options configures a Server.
 type Options struct {
 	// Logf, if non-nil, receives connection-level diagnostics (accept
@@ -58,6 +70,16 @@ type Options struct {
 	// negative = unlimited).  OpSnapshot beyond the cap fails with
 	// wire.StatusErrTooManySnapshots until a token is released.
 	MaxSnapshots int
+	// OpLog, when set, makes this server a replication primary: OpSubscribe
+	// bootstraps followers (snapshot + log tail) and streams live ops.  The
+	// log must already be attached to the store's write path (AttachOplog)
+	// and be stamped by the store's clock.
+	OpLog *oplog.Log
+	// Replica, when set, makes this server a read-only follower fed by the
+	// given applier: mutations fail with wire.StatusErrReadOnly, and
+	// snapshots are captured at the applier's applied epoch — the highest
+	// epoch at which local reads exactly match the primary's.
+	Replica ReplicaInfo
 }
 
 func (o Options) logf(format string, args ...any) {
@@ -88,6 +110,14 @@ type Server struct {
 	snaps    map[uint64]table.View
 	nextSnap uint64
 
+	// drainCh is closed when a drain begins; subscribe streamers select on
+	// it so a graceful shutdown wakes them out of their idle waits.
+	drainCh   chan struct{}
+	drainOnce sync.Once
+
+	subMu sync.Mutex
+	subs  map[*conn]struct{} // live replication subscribers
+
 	requests atomic.Uint64
 
 	// lifeCtx is cancelled when sessions are force-closed (Close, or
@@ -101,10 +131,12 @@ type Server struct {
 // *table.Table or *shard.Table (both root topologies are).
 func New(st Store, opts Options) (*Server, error) {
 	s := &Server{
-		st:    st,
-		opts:  opts,
-		conns: make(map[*conn]struct{}),
-		snaps: make(map[uint64]table.View),
+		st:      st,
+		opts:    opts,
+		conns:   make(map[*conn]struct{}),
+		snaps:   make(map[uint64]table.View),
+		drainCh: make(chan struct{}),
+		subs:    make(map[*conn]struct{}),
 	}
 	s.lifeCtx, s.cancelLife = context.WithCancel(context.Background())
 	switch x := st.(type) {
@@ -205,6 +237,7 @@ func (s *Server) beginDrain() {
 	s.draining = true
 	l := s.listener
 	s.mu.Unlock()
+	s.drainOnce.Do(func() { close(s.drainCh) })
 	if l != nil {
 		l.Close()
 	}
@@ -238,6 +271,41 @@ func (s *Server) closeConns(force bool) {
 // Requests returns the number of requests handled since start.
 func (s *Server) Requests() uint64 { return s.requests.Load() }
 
+// Subscribers returns the number of connected replication followers.
+func (s *Server) Subscribers() int {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	return len(s.subs)
+}
+
+func (s *Server) addSubscriber(c *conn) {
+	s.subMu.Lock()
+	s.subs[c] = struct{}{}
+	s.subMu.Unlock()
+}
+
+func (s *Server) removeSubscriber(c *conn) {
+	s.subMu.Lock()
+	delete(s.subs, c)
+	s.subMu.Unlock()
+}
+
+// clock returns the store's epoch clock (shared across shards).
+func (s *Server) clock() *epoch.Clock {
+	if s.flat != nil {
+		return s.flat.Clock()
+	}
+	return s.sharded.Clock()
+}
+
+// role reports what OpHello and OpServerStats announce.
+func (s *Server) role() uint8 {
+	if s.opts.Replica != nil {
+		return wire.RoleFollower
+	}
+	return wire.RolePrimary
+}
+
 // ActiveConns returns the number of live sessions.
 func (s *Server) ActiveConns() int {
 	s.mu.Lock()
@@ -264,12 +332,78 @@ func (s *Server) maxSnapshots() int {
 	}
 }
 
-// registerSnapshot captures a store snapshot under a fresh token.  The
-// registry is bounded: each registered view pins the GC watermark, so past
-// the cap the capture is refused (and the just-taken pin released) instead
-// of letting a leaky client pin history forever.
-func (s *Server) registerSnapshot() (uint64, error) {
-	v := s.st.Snapshot()
+// registerSnapshot captures a store snapshot under a fresh token and
+// returns the token and the snapshot's epoch.  On a primary this is a
+// fresh pinned capture; on a follower it is a pinned view at the applied
+// epoch, the highest epoch at which local state exactly equals the
+// primary's.  The registry is bounded: each registered view pins the GC
+// watermark, so past the cap the capture is refused (and the just-taken
+// pin released) instead of letting a leaky client pin history forever.
+func (s *Server) registerSnapshot() (uint64, uint64, error) {
+	var v table.View
+	if rep := s.opts.Replica; rep != nil {
+		e := rep.AppliedEpoch()
+		if e == 0 {
+			return 0, 0, fmt.Errorf("%w: follower has not applied any epoch yet", errBadSnapshot)
+		}
+		var err error
+		if v, err = s.pinAt(e); err != nil {
+			return 0, 0, err
+		}
+	} else {
+		v = s.st.Snapshot()
+		if l := s.opts.OpLog; l != nil {
+			// The capture advanced the clock: wake caught-up subscribers
+			// so the new safe epoch heartbeats immediately and followers
+			// can pin this snapshot's epoch without waiting an idle tick.
+			l.Wake()
+		}
+	}
+	tok, err := s.registerView(v)
+	return tok, v.Epoch(), err
+}
+
+// registerPinned pins an explicit epoch under a fresh token (OpPinEpoch):
+// the follower-routing path of the pooled client uses it to read at the
+// exact epoch of a primary snapshot.  The epoch must not be in the future
+// — beyond Now() on a primary, beyond the applied epoch on a follower —
+// and its history must still be intact (see pinAt).
+func (s *Server) registerPinned(e uint64) (uint64, error) {
+	if e == 0 {
+		return 0, fmt.Errorf("%w: cannot pin epoch 0", wire.ErrMalformed)
+	}
+	if rep := s.opts.Replica; rep != nil {
+		if a := rep.AppliedEpoch(); e > a {
+			return 0, fmt.Errorf("%w: epoch %d not applied yet (applied %d)", errStaleEpoch, e, a)
+		}
+	} else if now := s.clock().Now(); e > now {
+		return 0, fmt.Errorf("%w: epoch %d is in the future (now %d)", errBadSnapshot, e, now)
+	}
+	v, err := s.pinAt(e)
+	if err != nil {
+		return 0, err
+	}
+	return s.registerView(v)
+}
+
+// pinAt pins epoch e on the store's clock and verifies e's history is
+// still complete on every partition.  The pin is registered before the
+// check, so any garbage-collecting merge either sees the pin when it
+// computes its watermark (and keeps e's history) or froze earlier — in
+// which case its intent is visible through GCBound and caught here.
+func (s *Server) pinAt(e uint64) (table.View, error) {
+	v := table.PinnedViewAt(s.clock(), e)
+	for _, p := range s.st.Partitions() {
+		if b := p.GCBound(); b > e {
+			v.Release()
+			return table.View{}, fmt.Errorf("%w: epoch %d already below GC bound %d", errStaleEpoch, e, b)
+		}
+	}
+	return v, nil
+}
+
+// registerView files a captured view in the bounded token registry.
+func (s *Server) registerView(v table.View) (uint64, error) {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	if len(s.snaps) >= s.maxSnapshots() {
@@ -299,6 +433,14 @@ func (s *Server) ReleaseAllSnapshots() int {
 
 // errBadSnapshot maps to wire.StatusErrBadSnapshot.
 var errBadSnapshot = errors.New("server: unknown snapshot token")
+
+// errStaleEpoch maps to wire.StatusErrBadSnapshot: the requested epoch is
+// not servable here (history reclaimed, or not yet applied by this
+// follower); the client falls back to the primary.
+var errStaleEpoch = errors.New("server: epoch not servable")
+
+// errReadOnly maps to wire.StatusErrReadOnly.
+var errReadOnly = errors.New("server: read-only follower")
 
 // errTooManySnapshots maps to wire.StatusErrTooManySnapshots.
 var errTooManySnapshots = errors.New("server: snapshot registry full")
@@ -380,6 +522,12 @@ func (s *Server) serveConn(c *conn) {
 			return
 		}
 		s.requests.Add(1)
+		// OpSubscribe turns the session into a one-way replication stream;
+		// it never returns to request/response handling.
+		if len(payload) > 0 && payload[0] == wire.OpSubscribe {
+			s.serveSubscribe(c, payload[1:], bw)
+			return
+		}
 		out.Reset()
 		s.handle(payload, &out)
 		err = wire.WriteFrame(bw, out.Bytes())

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"hyrise/internal/epoch"
+	"hyrise/internal/oplog"
 	"hyrise/internal/table"
 )
 
@@ -98,6 +99,19 @@ func New(name string, schema table.Schema, key string, shards int) (*Table, erro
 
 // Clock returns the epoch clock shared by every shard.
 func (st *Table) Clock() *epoch.Clock { return st.clock }
+
+// AttachOplog connects every shard's write path to one replication log
+// (table.Table.AttachOplog), recording each shard's index in its ops so a
+// follower replays them into the matching partition.  The log must be
+// stamped by the store's shared clock.
+func (st *Table) AttachOplog(l *oplog.Log) error {
+	for i, s := range st.shards {
+		if err := s.AttachOplog(l, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Snapshot captures one epoch across ALL shards atomically (a single
 // fetch-add on the shared clock) and returns it as a read view pinned

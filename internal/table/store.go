@@ -38,6 +38,9 @@ func (t *Table) InsertRows(rows [][]any) ([]int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	at := t.clock.Now()
+	if t.olog != nil && len(rows) > 0 {
+		at = t.olog.Append(t.insertRecs(rows))
+	}
 	ids := make([]int, len(rows))
 	for i, values := range rows {
 		ids[i] = t.insertLocked(values, at)

@@ -50,6 +50,7 @@ import (
 
 	"hyrise/internal/core"
 	"hyrise/internal/epoch"
+	"hyrise/internal/oplog"
 )
 
 // Type enumerates supported column types.
@@ -161,6 +162,13 @@ type Table struct {
 	merging   bool       // true between beginMerge and commit/abort (under mu)
 	mergeGen  int
 	lastMerge Report
+
+	// olog, when attached, is the replication op log: mutations record
+	// their op in it and take their epoch stamp from the append (see
+	// oplog.Log.Append), which totally orders the log.  oshard is this
+	// partition's index in the op stream.
+	olog   *oplog.Log
+	oshard uint32
 }
 
 // New creates an empty table with its own epoch clock.
@@ -290,7 +298,14 @@ func (t *Table) Insert(values []any) (int, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.insertLocked(values, t.clock.Now()), nil
+	at := t.clock.Now()
+	if t.olog != nil {
+		at = t.olog.Append([]oplog.Rec{{
+			Kind: oplog.KindInsert, Shard: t.oshard, ID: uint64(t.nextID),
+			Rows: [][]any{t.logRow(values)},
+		}})
+	}
+	return t.insertLocked(values, at), nil
 }
 
 // insertLocked appends a row stamped as inserted at epoch at and returns
@@ -344,6 +359,13 @@ func (t *Table) Update(row int, changes map[string]any) (int, error) {
 	// One stamp for both sides makes the version switch atomic: a snapshot
 	// at any epoch sees exactly one of the two versions.
 	at := t.clock.Now()
+	if t.olog != nil {
+		at = t.olog.Append([]oplog.Rec{{
+			Kind: oplog.KindUpdate, Shard: t.oshard,
+			ID: uint64(row), ID2: uint64(t.nextID),
+			Rows: [][]any{t.logRow(values)},
+		}})
+	}
 	t.epochs.Invalidate(slot, at)
 	t.dead++
 	return t.insertLocked(values, at), nil
@@ -361,7 +383,11 @@ func (t *Table) Delete(row int) error {
 	if !t.epochs.Alive(slot) {
 		return fmt.Errorf("%w: %d", ErrRowInvalid, row)
 	}
-	t.epochs.Invalidate(slot, t.clock.Now())
+	at := t.clock.Now()
+	if t.olog != nil {
+		at = t.olog.Append([]oplog.Rec{{Kind: oplog.KindDelete, Shard: t.oshard, ID: uint64(row)}})
+	}
+	t.epochs.Invalidate(slot, at)
 	t.dead++
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hyrise/internal/epoch"
+	"hyrise/internal/oplog"
 )
 
 // View is a frozen read epoch: reads filtered through it see exactly the
@@ -55,6 +56,15 @@ func (v View) Release() { v.pin.Release() }
 func PinnedView(c *epoch.Clock) View {
 	e, pin := c.CapturePinned()
 	return View{epoch: e, pin: pin}
+}
+
+// PinnedViewAt pins an explicit epoch on a clock and returns a view at it.
+// The server uses it to serve reads at a client-chosen epoch on a
+// replication follower.  The pin only prevents future reclamation; the
+// caller must verify the epoch's history is still intact — every
+// partition's GCBound must be <= e — and Release the view if not.
+func PinnedViewAt(c *epoch.Clock, e uint64) View {
+	return View{epoch: e, pin: c.PinAt(e)}
 }
 
 // resolve maps the zero view to the Latest sentinel.
@@ -128,6 +138,15 @@ func MoveRow(src *Table, row int, dst *Table, values []any) (int, error) {
 		return 0, fmt.Errorf("%w: %d", ErrRowInvalid, row)
 	}
 	at := src.clock.Now()
+	if src.olog != nil {
+		// Both tables share the log (AttachOplog fans out over one store),
+		// so one op with one stamp carries the whole move.
+		at = src.olog.Append([]oplog.Rec{{
+			Kind: oplog.KindMove, Shard: src.oshard, Dst: dst.oshard,
+			ID: uint64(row), ID2: uint64(dst.nextID),
+			Rows: [][]any{dst.logRow(values)},
+		}})
+	}
 	src.epochs.Invalidate(slot, at)
 	src.dead++
 	return dst.insertLocked(values, at), nil

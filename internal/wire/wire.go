@@ -47,6 +47,16 @@ import (
 // responses).  Batches larger than this must be split by the client.
 const MaxFrame = 16 << 20
 
+// ProtocolVersion is the protocol generation this build speaks.  Version 1
+// is the original opcode set (OpPing..OpMerge); version 2 adds the
+// hello/capability exchange, replication (OpSubscribe and the follower
+// opcodes) and epoch-addressed snapshots.  OpHello carries the client's
+// version and returns the server's; each side then restricts itself to the
+// opcodes of min(client, server).  A version-1 server answers OpHello —
+// like any unknown opcode — with StatusErrBadRequest, which a version-2
+// client treats as "speak version 1".
+const ProtocolVersion = 2
+
 // Opcodes.  The zero value is intentionally invalid.
 const (
 	OpPing            = 0x01 // -> empty
@@ -71,6 +81,44 @@ const (
 	OpVisible         = 0x14 // token, id u64 -> u8
 	OpStats           = 0x15 // -> stats (incl. GC retired/reclaimed counters)
 	OpMerge           = 0x16 // algorithm u8, threads u32 -> merge report
+
+	// Version 2 opcodes.
+	OpHello         = 0x17 // version u32 -> version u32, role u8
+	OpServerStats   = 0x18 // -> server stats (replication lag, followers, oplog)
+	OpSnapshotEpoch = 0x19 // -> token u64, epoch u64
+	OpPinEpoch      = 0x1a // epoch u64 -> token u64
+	OpSubscribe     = 0x1b // mode u8, fromLSN u64 -> mode u8, startLSN u64, then stream
+)
+
+// Subscribe modes (request and response).  A fresh follower requests
+// SubSnapshot; a reconnecting follower requests SubTail with the next LSN
+// it needs.  The response echoes the granted mode — a tail request the
+// server cannot honor (log trimmed past fromLSN) fails with a normal error
+// response instead, since a follower with an existing store cannot absorb
+// a second full snapshot.
+const (
+	SubSnapshot = 0x00 // bootstrap: snapshot image, then ops from the cut
+	SubTail     = 0x01 // resume: ops from fromLSN on
+)
+
+// Server roles reported by OpHello and OpServerStats.
+const (
+	RolePrimary  = 0x00 // serves writes; streams the op log when enabled
+	RoleFollower = 0x01 // read-only replica fed by a primary's op log
+)
+
+// Subscribe stream frame kinds.  After the OpSubscribe response, the
+// server sends a one-way sequence of frames whose payload starts with a
+// kind byte.  In snapshot mode the stream opens with FrameSnapChunk frames
+// carrying the v4 snapshot image, terminated by FrameSnapEnd; then (and
+// immediately, in tail mode) FrameOps and FrameHeartbeat frames alternate
+// for the life of the connection.
+const (
+	FrameSnapChunk = 0x01 // raw snapshot bytes (bounded chunks)
+	FrameSnapEnd   = 0x02 // end of snapshot image
+	FrameOps       = 0x03 // u32 n + n encoded ops, consecutive LSNs
+	FrameHeartbeat = 0x04 // safe u64, primaryEpoch u64, nextLSN u64
+	FrameError     = 0x05 // message string; the subscription is dead
 )
 
 // Response status codes.  StatusOK precedes a result body; every other
@@ -90,6 +138,9 @@ const (
 	// StatusErrTooManySnapshots: the server's snapshot registry is at its
 	// configured capacity; release a token before capturing another.
 	StatusErrTooManySnapshots = 0x0a
+	// StatusErrReadOnly: the server is a replication follower; mutations
+	// must go to the primary.
+	StatusErrReadOnly = 0x0b
 )
 
 // Value type tags.

@@ -1,0 +1,159 @@
+package hyrise_test
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"hyrise"
+	"hyrise/client"
+)
+
+// benchReplPrimary serves a preloaded, replicating 4-shard primary.
+func benchReplPrimary(b *testing.B, preload int) string {
+	b.Helper()
+	st, err := hyrise.NewShardedTable("bench", hyrise.Schema{
+		{Name: "k", Type: hyrise.Uint64},
+		{Name: "v", Type: hyrise.Uint64},
+	}, "k", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	olog, err := hyrise.EnableReplication(st, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := make([][]any, preload)
+	for i := range rows {
+		rows[i] = []any{uint64(i), uint64(i)}
+	}
+	if _, err := st.InsertRows(rows); err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := hyrise.Serve(l, st, hyrise.ServerOptions{OpLog: olog})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return l.Addr().String()
+}
+
+// benchReplFollowers bootstraps n served followers of the primary.
+func benchReplFollowers(b *testing.B, paddr string, n int) ([]string, []*hyrise.Replica) {
+	b.Helper()
+	addrs := make([]string, n)
+	reps := make([]*hyrise.Replica, n)
+	for i := 0; i < n; i++ {
+		rep, err := hyrise.Follow(paddr, hyrise.ReplicaOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { rep.Close() })
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := hyrise.Serve(l, hyrise.FollowStore(rep), hyrise.ServerOptions{Replica: rep})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { srv.Close() })
+		addrs[i] = l.Addr().String()
+		reps[i] = rep
+	}
+	return addrs, reps
+}
+
+func waitReplApplied(b *testing.B, rep *hyrise.Replica, e uint64) {
+	b.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for rep.AppliedEpoch() < e {
+		if time.Now().After(deadline) {
+			b.Fatalf("follower stuck at epoch %d, want %d (err=%v)", rep.AppliedEpoch(), e, rep.Err())
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// BenchmarkReplRead measures pinned-snapshot point-read throughput as the
+// read side scales out: the same 4-client workload against a lone
+// primary, then with one and two followers absorbing the routed reads.
+// CI publishes the trajectory as BENCH_repl.json.
+func BenchmarkReplRead(b *testing.B) {
+	const (
+		preload = 100_000
+		clients = 4
+	)
+	for _, nf := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("followers=%d", nf), func(b *testing.B) {
+			paddr := benchReplPrimary(b, preload)
+			faddrs, reps := benchReplFollowers(b, paddr, nf)
+			cs := make([]*client.Client, clients)
+			snaps := make([]client.Snap, clients)
+			idx := map[*client.Client]int{}
+			for i := range cs {
+				c, err := client.DialOptions(paddr, client.Options{
+					Followers:    faddrs,
+					MaxStaleness: 1 << 20,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { c.Close() })
+				if snaps[i], err = c.Snapshot(); err != nil {
+					b.Fatal(err)
+				}
+				if e, ok := c.SnapshotEpoch(snaps[i]); ok {
+					for _, rep := range reps {
+						waitReplApplied(b, rep, e)
+					}
+				}
+				cs[i] = c
+				idx[c] = i
+			}
+			b.ResetTimer()
+			runConcurrent(b, cs, func(c *client.Client, i int) error {
+				rows, err := c.LookupAt(snaps[idx[c]], "k", uint64(i%preload))
+				if err == nil && len(rows) != 1 {
+					err = fmt.Errorf("lookup found %d rows", len(rows))
+				}
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkReplApplyLag measures write-to-follower propagation: each op
+// commits a write on the primary, captures its epoch, and waits until the
+// follower's applied epoch covers it — ns/op is the full replication
+// round trip (append, stream, apply, heartbeat).
+func BenchmarkReplApplyLag(b *testing.B) {
+	paddr := benchReplPrimary(b, 1000)
+	_, reps := benchReplFollowers(b, paddr, 1)
+	rep := reps[0]
+	c, err := client.Dial(paddr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Insert([]any{uint64(1_000_000 + i), uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+		snap, err := c.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, _ := c.SnapshotEpoch(snap)
+		waitReplApplied(b, rep, e)
+		if err := c.Release(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
