@@ -261,3 +261,98 @@ func TestDialRefusesNonServer(t *testing.T) {
 		t.Fatal("dial to dead port succeeded")
 	}
 }
+
+// TestCreateIndexRoundTrip exercises the v3 index opcodes end to end:
+// build an index over the wire, read its statistics back, and check
+// that indexed lookups return the same rows as before.
+func TestCreateIndexRoundTrip(t *testing.T) {
+	addr := testServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Protocol() < 3 {
+		t.Fatalf("negotiated protocol %d want >= 3", c.Protocol())
+	}
+
+	const n = 500
+	rows := make([][]any, n)
+	for i := range rows {
+		rows[i] = []any{uint64(i % 50), uint32(i % 7), "r"}
+	}
+	if _, err := c.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Merge(MergeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	before, err := c.Lookup("k", uint64(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != n/50 {
+		t.Fatalf("lookup before index: %d rows want %d", len(before), n/50)
+	}
+
+	if err := c.CreateIndex("k"); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent: a second call is a no-op, not an error.
+	if err := c.CreateIndex("k"); err != nil {
+		t.Fatalf("repeat CreateIndex: %v", err)
+	}
+	if err := c.CreateIndex("nope"); !errors.Is(err, ErrNoColumn) {
+		t.Fatalf("CreateIndex(nope) err=%v want ErrNoColumn", err)
+	}
+
+	stats, err := c.IndexStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 || stats[0].Column != "k" {
+		t.Fatalf("index stats %+v want one entry for k", stats)
+	}
+	if stats[0].Postings != n {
+		t.Fatalf("postings %d want %d", stats[0].Postings, n)
+	}
+	if stats[0].Builds == 0 || stats[0].SizeBytes == 0 {
+		t.Fatalf("stats not populated: %+v", stats[0])
+	}
+
+	after, err := c.Lookup("k", uint64(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("indexed lookup %d rows want %d", len(after), len(before))
+	}
+	for i := range after {
+		if after[i] != before[i] {
+			t.Fatalf("row %d: indexed %d scan %d", i, after[i], before[i])
+		}
+	}
+
+	// The index stays current through post-index writes and merges.
+	if _, err := c.Insert([]any{uint64(17), uint32(1), "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Merge(MergeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.CountEqual("k", uint64(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != len(before)+1 {
+		t.Fatalf("count after merge %d want %d", got, len(before)+1)
+	}
+	stats, err = c.IndexStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Postings != n+1 || stats[0].Builds < 2 {
+		t.Fatalf("stats after merge %+v want %d postings, >=2 builds", stats[0], n+1)
+	}
+}

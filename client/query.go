@@ -277,3 +277,65 @@ func boolByte(b bool) uint8 {
 	}
 	return 0
 }
+
+// IndexStat summarizes one group-key index as reported by the server.
+// On a sharded store, Postings / SizeBytes / Builds are summed across
+// shards and LastBuild is the slowest shard's most recent rebuild.
+type IndexStat struct {
+	Column    string
+	Postings  int
+	SizeBytes int
+	Builds    uint64
+	LastBuild time.Duration
+}
+
+// CreateIndex builds a group-key index on column server-side.  The call
+// is idempotent; subsequent merges keep the index current.  Requires
+// protocol version 3.
+func (c *Client) CreateIndex(column string) error {
+	var req wire.Buffer
+	req.U8(wire.OpCreateIndex)
+	req.String(column)
+	_, err := c.do(req.Bytes())
+	return err
+}
+
+// IndexStats fetches per-column statistics for every group-key index on
+// the server.  Requires protocol version 3.
+func (c *Client) IndexStats() ([]IndexStat, error) {
+	var req wire.Buffer
+	req.U8(wire.OpIndexStats)
+	r, err := c.do(req.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	stats := make([]IndexStat, n)
+	for i := range stats {
+		if stats[i].Column, err = r.String(); err != nil {
+			return nil, err
+		}
+		postings, err := r.U64()
+		if err != nil {
+			return nil, err
+		}
+		stats[i].Postings = int(postings)
+		size, err := r.U64()
+		if err != nil {
+			return nil, err
+		}
+		stats[i].SizeBytes = int(size)
+		if stats[i].Builds, err = r.U64(); err != nil {
+			return nil, err
+		}
+		ns, err := r.U64()
+		if err != nil {
+			return nil, err
+		}
+		stats[i].LastBuild = time.Duration(ns)
+	}
+	return stats, nil
+}

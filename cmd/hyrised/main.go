@@ -43,6 +43,9 @@
 //	-merge-bg        merge with a single background thread
 //	-gc              garbage-collect dead row versions during merges
 //	                 (default true; -gc=false keeps full history forever)
+//	-index           comma-separated columns to build group-key indexes
+//	                 on at startup (indexes are in-memory, so a store
+//	                 loaded from a snapshot re-indexes here)
 //	-max-snapshots   snapshot registry capacity (default 1024; < 0 =
 //	                 unlimited — every registered snapshot pins history)
 //	-compact         merge all deltas before the shutdown save (default true)
@@ -101,6 +104,7 @@ type config struct {
 	mergeInterval time.Duration
 	mergeThreads  int
 	mergeBg       bool
+	index         string
 	noGC          bool // -gc=false; zero value = GC on
 	maxSnapshots  int  // 0 = server.DefaultMaxSnapshots
 	compact       bool
@@ -128,6 +132,8 @@ func main() {
 	flag.DurationVar(&cfg.mergeInterval, "merge-interval", 100*time.Millisecond, "scheduler poll period")
 	flag.IntVar(&cfg.mergeThreads, "merge-threads", 0, "per-merge thread budget (0 = split evenly)")
 	flag.BoolVar(&cfg.mergeBg, "merge-bg", false, "merge with a single background thread")
+	flag.StringVar(&cfg.index, "index", "",
+		"comma-separated columns to build group-key indexes on at startup")
 	gc := flag.Bool("gc", true, "garbage-collect dead row versions during merges")
 	flag.IntVar(&cfg.maxSnapshots, "max-snapshots", server.DefaultMaxSnapshots,
 		"snapshot registry capacity (< 0 = unlimited)")
@@ -182,6 +188,21 @@ func run(ctx context.Context, cfg config, logger *log.Logger) error {
 	if cfg.noGC {
 		st.SetGC(false)
 		logger.Printf("garbage collection disabled (-gc=false): history kept forever")
+	}
+
+	// Group-key indexes are in-memory only, so a store loaded from a
+	// snapshot (or bootstrapped from a primary) starts unindexed and is
+	// re-indexed here; merges keep the indexes current from then on.
+	for _, col := range strings.Split(cfg.index, ",") {
+		col = strings.TrimSpace(col)
+		if col == "" {
+			continue
+		}
+		t0 := time.Now()
+		if err := st.CreateIndex(col); err != nil {
+			return fmt.Errorf("index %s: %w", col, err)
+		}
+		logger.Printf("indexed column %q in %s", col, time.Since(t0).Round(time.Microsecond))
 	}
 
 	var olog *hyrise.OpLog

@@ -69,6 +69,7 @@ func TestHyrisedEndToEnd(t *testing.T) {
 		schema:        "k:uint64,id:uint64,v:uint64",
 		shards:        4,
 		snapshot:      snapPath,
+		index:         "id",
 		mergeFraction: 0.01,
 		mergeInterval: time.Millisecond,
 		compact:       true,
@@ -228,6 +229,15 @@ func TestHyrisedEndToEnd(t *testing.T) {
 	}
 	if stats.DeltaRows != 0 {
 		t.Fatalf("restart should serve a compacted store, delta=%d", stats.DeltaRows)
+	}
+	// Indexes are in-memory only; -index must have re-created them over
+	// the reloaded snapshot.
+	istats, err := c.IndexStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(istats) != 1 || istats[0].Column != "id" || istats[0].Postings != clients*idsEach {
+		t.Fatalf("restarted index stats %+v want %d postings on id", istats, clients*idsEach)
 	}
 	for id := uint64(0); id < clients*idsEach; id += 17 {
 		rids, err := c.Lookup("id", id)

@@ -157,6 +157,35 @@
 // serializes compaction.  CI tracks both sides in BENCH_kernels.json
 // (scalar-vs-kernel scan throughput, merge thread scaling).
 //
+// # Secondary indexes
+//
+// The scan kernels make full-column predicates fast, but a selective
+// point or range read still pays a pass over every main row.
+// CreateIndex builds a merge-maintained group-key index on one column:
+// for the dictionary-encoded main partition, a posting list of row
+// positions per value code (two counting-sort passes over the packed
+// codes — no per-row comparisons), while the delta partitions are
+// already covered by their per-column CSB+ trees.  With an index
+// attached, Lookup/LookupAt, Range/RangeAt, CountEqual/CountEqualAt and
+// the Query planner's driving predicate read the posting buckets
+// instead of scanning, then apply the same epoch-visibility kernel —
+// indexed and scanned reads return byte-identical results at every
+// epoch, which the differential suites assert under concurrent writes,
+// merges and GC.
+//
+// The index is maintained by the merge itself: each merge rebuilds the
+// posting lists over the new main as a side product of the code rewrite
+// and publishes them atomically with it, so readers always observe a
+// main/index pair that agrees and an aborted merge leaves the old pair
+// untouched.  Two caveats: posting lists store positions in the current
+// main (not row ids, and never filtered in place — visibility filtering
+// works on copies), and indexes are in-memory only — they are absent
+// from the persist format and the replication stream, so a reloaded or
+// re-bootstrapped store starts unindexed (hyrised -index re-creates
+// them at startup).  IndexStats reports per-column posting counts,
+// sizes and rebuild times; on a sharded store CreateIndex fans out and
+// stats aggregate across shards.
+//
 // # Network serving
 //
 // Either topology can serve real concurrent client traffic as a

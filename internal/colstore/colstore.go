@@ -13,15 +13,23 @@ import (
 
 	"hyrise/internal/bitpack"
 	"hyrise/internal/dict"
+	"hyrise/internal/index"
 	"hyrise/internal/kernel"
 	"hyrise/internal/val"
 )
 
 // Main is an immutable main partition.  Build one with FromValues, or via
 // the merge process in internal/core.
+//
+// A Main may optionally carry a group-key index (internal/index) attached
+// with SetIndex; the payload (dict, codes) is immutable either way, and
+// after the index is attached the Main as a whole must be treated as
+// immutable — the merge builds the next main's index before publication,
+// and table.CreateIndex attaches one under the table write lock.
 type Main[V val.Value] struct {
 	dict  *dict.Dict[V]
 	codes *bitpack.Vector
+	idx   *index.Postings
 }
 
 // New wraps an existing dictionary and code vector.  The vector's width
@@ -96,6 +104,51 @@ func (m *Main[V]) SelRange(lo, hi V, dst []int32) []int32 {
 		return dst
 	}
 	return kernel.MatchRange(m.codes, cLo, cHi, dst)
+}
+
+// SetIndex attaches a group-key index built over this main's code vector.
+// The index must have been built from exactly this vector (Rows and
+// Cardinality must agree); it panics otherwise.  Pass nil to detach.
+func (m *Main[V]) SetIndex(p *index.Postings) {
+	if p != nil && (p.Rows() != m.codes.Len() || p.Cardinality() != m.dict.Len()) {
+		panic(fmt.Sprintf("colstore: index shape %dx%d does not match main %dx%d",
+			p.Rows(), p.Cardinality(), m.codes.Len(), m.dict.Len()))
+	}
+	m.idx = p
+}
+
+// Index returns the attached group-key index, or nil if the main is
+// unindexed.
+func (m *Main[V]) Index() *index.Postings { return m.idx }
+
+// BuildIndex builds and attaches a group-key index over the code vector.
+func (m *Main[V]) BuildIndex() {
+	m.SetIndex(index.Build(m.codes, m.dict.Len()))
+}
+
+// SelEqualIndexed is SelEqual served from the group-key index: one
+// dictionary binary search plus a posting-list copy, no code-vector scan.
+// The appended span is an ascending selection vector owned by the caller —
+// safe to hand to the in-place visibility kernels.  It panics if no index
+// is attached (callers check Index() under the same lock).
+func (m *Main[V]) SelEqualIndexed(v V, dst []int32) []int32 {
+	code, ok := m.LookupCode(v)
+	if !ok {
+		return dst
+	}
+	return m.idx.Equal(code, dst)
+}
+
+// SelRangeIndexed is SelRange served from the group-key index: the value
+// range maps to a code interval whose posting lists are concatenated and
+// sorted back to ascending positions.
+func (m *Main[V]) SelRangeIndexed(lo, hi V, dst []int32) []int32 {
+	cLo := uint64(m.dict.LowerBound(lo))
+	cHi := uint64(m.dict.UpperBound(hi)) // exclusive
+	if cLo >= cHi {
+		return dst
+	}
+	return m.idx.Range(cLo, cHi, dst)
 }
 
 // ScanEqual appends to dst the positions whose value equals v.

@@ -191,3 +191,68 @@ func BenchmarkAt(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestIndexedSelectionDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, card := range []int{1, 3, 100, 5000} {
+		vals := make([]uint64, 20000)
+		for i := range vals {
+			vals[i] = uint64(rng.Intn(card)) * 3 // gaps so probes can miss
+		}
+		m := FromValues(vals)
+		m.BuildIndex()
+		if m.Index() == nil {
+			t.Fatal("BuildIndex did not attach")
+		}
+		probes := []uint64{0, 1, 3, vals[0], vals[len(vals)-1], uint64(card) * 3}
+		for _, v := range probes {
+			scan := m.SelEqual(v, nil)
+			idx := m.SelEqualIndexed(v, nil)
+			if len(scan) != len(idx) {
+				t.Fatalf("card=%d SelEqualIndexed(%d): %d vs scan %d", card, v, len(idx), len(scan))
+			}
+			for i := range scan {
+				if scan[i] != idx[i] {
+					t.Fatalf("card=%d SelEqualIndexed(%d) diverges at %d", card, v, i)
+				}
+			}
+		}
+		for trial := 0; trial < 20; trial++ {
+			lo := uint64(rng.Intn(card * 3))
+			hi := lo + uint64(rng.Intn(card))
+			scan := m.SelRange(lo, hi, nil)
+			idx := m.SelRangeIndexed(lo, hi, nil)
+			if len(scan) != len(idx) {
+				t.Fatalf("card=%d SelRangeIndexed(%d,%d): %d vs scan %d", card, lo, hi, len(idx), len(scan))
+			}
+			for i := range scan {
+				if scan[i] != idx[i] {
+					t.Fatalf("card=%d SelRangeIndexed(%d,%d) diverges at %d", card, lo, hi, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSetIndexShapeMismatchPanics(t *testing.T) {
+	m := FromValues([]uint64{1, 2, 3})
+	other := FromValues([]uint64{1, 2, 3, 4})
+	other.BuildIndex()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched SetIndex did not panic")
+		}
+	}()
+	m.SetIndex(other.Index())
+}
+
+func TestEmptyMainIndex(t *testing.T) {
+	m := Empty[uint64]()
+	m.BuildIndex()
+	if got := m.SelEqualIndexed(7, nil); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if got := m.SelRangeIndexed(1, 9, nil); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}

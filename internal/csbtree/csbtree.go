@@ -441,6 +441,75 @@ func (t *Tree[V]) ascend(n int32, buf *[]int32, fn func(v V, tids []int32) bool)
 	return true
 }
 
+// AscendRange is Ascend bounded to distinct values in [lo, hi], both
+// inclusive: fn is called once per distinct value in ascending order with
+// the value's tuple IDs in insertion order.  Subtrees wholly outside the
+// bounds are never visited, so a selective probe costs O(log n + k) — this
+// is the delta-side complement of the main partition's group-key index.
+// The tids slice is reused between calls; fn must not retain it.
+// Traversal stops early if fn returns false.
+func (t *Tree[V]) AscendRange(lo, hi V, fn func(v V, tids []int32) bool) {
+	if t.root < 0 || hi < lo {
+		return
+	}
+	buf := make([]int32, 0, 16)
+	t.ascendRange(t.root, lo, hi, &buf, fn)
+}
+
+func (t *Tree[V]) ascendRange(n int32, lo, hi V, buf *[]int32, fn func(v V, tids []int32) bool) bool {
+	base := int(n) * t.k
+	m := int(t.nkeys[n])
+	if t.leaf[n] {
+		// First key >= lo, then iterate while keys stay <= hi.
+		i, j := 0, m
+		for i < j {
+			mid := (i + j) / 2
+			if t.keys[base+mid] < lo {
+				i = mid + 1
+			} else {
+				j = mid
+			}
+		}
+		for ; i < m && t.keys[base+i] <= hi; i++ {
+			b := (*buf)[:0]
+			for p := t.phead[base+i]; p >= 0; p = t.postings[p].next {
+				b = append(b, t.postings[p].tid)
+			}
+			*buf = b
+			if !fn(t.keys[base+i], b) {
+				return false
+			}
+		}
+		return true
+	}
+	// Child index for a bound v is the number of separators <= v (same rule
+	// as Find): left siblings of that child hold only values strictly below
+	// the preceding separator, right siblings only values above it.
+	lc := t.childIndex(base, m, lo)
+	hc := t.childIndex(base, m, hi)
+	for i := lc; i <= hc; i++ {
+		if !t.ascendRange(t.first[n]+int32(i), lo, hi, buf, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// childIndex returns the number of separator keys <= v in a node whose key
+// slots start at base and hold m separators.
+func (t *Tree[V]) childIndex(base, m int, v V) int {
+	lo, hi := 0, m
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.keys[base+mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // Depth returns the number of levels (0 for an empty tree).
 func (t *Tree[V]) Depth() int {
 	if t.root < 0 {

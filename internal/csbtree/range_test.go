@@ -1,0 +1,152 @@
+package csbtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refAscendRange is the sorted-slice reference: distinct keys of ref in
+// [lo, hi] ascending, each with its insertion-order tids.
+func refAscendRange(ref *reference, lo, hi uint64) ([]uint64, [][]int32) {
+	var ks []uint64
+	var ts [][]int32
+	for _, k := range ref.sortedKeys() {
+		if k >= lo && k <= hi {
+			ks = append(ks, k)
+			ts = append(ts, ref.m[k])
+		}
+	}
+	return ks, ts
+}
+
+func checkRange(t *testing.T, tr *Tree[uint64], ref *reference, lo, hi uint64) {
+	t.Helper()
+	wantKeys, wantTids := refAscendRange(ref, lo, hi)
+	i := 0
+	tr.AscendRange(lo, hi, func(v uint64, tids []int32) bool {
+		if i >= len(wantKeys) {
+			t.Fatalf("AscendRange(%d,%d) yielded extra key %d", lo, hi, v)
+		}
+		if v != wantKeys[i] {
+			t.Fatalf("AscendRange(%d,%d)[%d]=%d want %d", lo, hi, i, v, wantKeys[i])
+		}
+		if len(tids) != len(wantTids[i]) {
+			t.Fatalf("key %d: %d tids want %d", v, len(tids), len(wantTids[i]))
+		}
+		for j := range tids {
+			if tids[j] != wantTids[i][j] {
+				t.Fatalf("key %d: tids[%d]=%d want %d", v, j, tids[j], wantTids[i][j])
+			}
+		}
+		i++
+		return true
+	})
+	if i != len(wantKeys) {
+		t.Fatalf("AscendRange(%d,%d) yielded %d keys want %d", lo, hi, i, len(wantKeys))
+	}
+}
+
+func TestAscendRangeFanouts(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 7} {
+		rng := rand.New(rand.NewSource(int64(k)))
+		tr := NewWithFanout[uint64](k)
+		ref := newRef()
+		for i := int32(0); i < 700; i++ {
+			v := uint64(rng.Intn(200))
+			tr.Insert(v, i)
+			ref.insert(v, i)
+		}
+		// Deliberate edges: empty, everything, single value, inverted.
+		checkRange(t, tr, ref, 0, 199)
+		checkRange(t, tr, ref, 0, 0)
+		checkRange(t, tr, ref, 199, 199)
+		checkRange(t, tr, ref, 50, 50)
+		checkRange(t, tr, ref, 300, 400)
+		checkRange(t, tr, ref, 10, 5) // hi < lo: no calls
+		for trial := 0; trial < 50; trial++ {
+			lo := uint64(rng.Intn(220))
+			hi := lo + uint64(rng.Intn(80))
+			checkRange(t, tr, ref, lo, hi)
+		}
+	}
+}
+
+func TestAscendRangeEmptyTree(t *testing.T) {
+	tr := New[uint64]()
+	tr.AscendRange(0, ^uint64(0), func(uint64, []int32) bool {
+		t.Fatal("callback on empty tree")
+		return true
+	})
+}
+
+func TestAscendRangeEarlyStop(t *testing.T) {
+	tr := NewWithFanout[uint64](2)
+	for i := int32(0); i < 100; i++ {
+		tr.Insert(uint64(i), i)
+	}
+	calls := 0
+	tr.AscendRange(10, 90, func(v uint64, _ []int32) bool {
+		calls++
+		return v < 20
+	})
+	if calls != 11 { // 10..20 inclusive, stop after seeing 20
+		t.Fatalf("calls=%d want 11", calls)
+	}
+}
+
+func TestAscendRangeStrings(t *testing.T) {
+	tr := New[string]()
+	for i, s := range []string{"delta", "alpha", "echo", "bravo", "charlie"} {
+		tr.Insert(s, int32(i))
+	}
+	var got []string
+	tr.AscendRange("b", "d", func(v string, _ []int32) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 2 || got[0] != "bravo" || got[1] != "charlie" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// FuzzAscendRange cross-checks the bounded traversal against the
+// sorted-slice reference on fuzz-chosen value streams and bounds.
+func FuzzAscendRange(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, uint64(1), uint64(4), 3)
+	f.Add([]byte{9, 9, 9, 0, 0}, uint64(0), uint64(9), 2)
+	f.Add([]byte{}, uint64(5), uint64(1), 4)
+	f.Fuzz(func(t *testing.T, data []byte, lo, hi uint64, fanout int) {
+		if fanout < 2 || fanout > 8 {
+			fanout = 2 + (fanout&0x7fffffff)%7
+		}
+		tr := NewWithFanout[uint64](fanout)
+		ref := newRef()
+		for i, b := range data {
+			if i >= 512 {
+				break
+			}
+			tr.Insert(uint64(b), int32(i))
+			ref.insert(uint64(b), int32(i))
+		}
+		wantKeys, wantTids := refAscendRange(ref, lo, hi)
+		i := 0
+		tr.AscendRange(lo, hi, func(v uint64, tids []int32) bool {
+			if i >= len(wantKeys) || v != wantKeys[i] {
+				t.Fatalf("key %d at position %d, want %v", v, i, wantKeys)
+			}
+			if len(tids) != len(wantTids[i]) {
+				t.Fatalf("key %d: %d tids want %d", v, len(tids), len(wantTids[i]))
+			}
+			for j := range tids {
+				if tids[j] != wantTids[i][j] {
+					t.Fatalf("key %d: tid order diverges from insertion order", v)
+				}
+			}
+			i++
+			return true
+		})
+		if i != len(wantKeys) {
+			t.Fatalf("yielded %d keys want %d", i, len(wantKeys))
+		}
+	})
+}

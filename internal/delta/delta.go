@@ -11,6 +11,7 @@ package delta
 
 import (
 	"fmt"
+	"sort"
 
 	"hyrise/internal/csbtree"
 	"hyrise/internal/dict"
@@ -59,6 +60,24 @@ func (p *Partition[V]) Values() []V { return p.values }
 
 // Find returns the delta positions holding value v, in insertion order.
 func (p *Partition[V]) Find(v V) ([]int32, bool) { return p.tree.Find(v) }
+
+// FindRange appends the delta positions holding values in [lo, hi] (both
+// inclusive) to dst and returns the extended slice, sorted ascending by
+// position.  It walks only the tree leaves inside the bounds, so a
+// selective probe is O(log |U_D| + k) — the delta-side counterpart of the
+// main partition's group-key index (internal/index).  The appended span is
+// sorted so indexed read paths emit positions in the same order a linear
+// scan of the value vector would.
+func (p *Partition[V]) FindRange(lo, hi V, dst []int32) []int32 {
+	base := len(dst)
+	p.tree.AscendRange(lo, hi, func(_ V, tids []int32) bool {
+		dst = append(dst, tids...)
+		return true
+	})
+	out := dst[base:]
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return dst
+}
 
 // Tree exposes the CSB+ index (read-only use).
 func (p *Partition[V]) Tree() *csbtree.Tree[V] { return p.tree }

@@ -219,3 +219,43 @@ func BenchmarkExtractDict(b *testing.B) {
 		p.ExtractDict()
 	}
 }
+
+func TestFindRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := NewWithFanout[uint64](2)
+	for i := 0; i < 500; i++ {
+		p.Insert(uint64(rng.Intn(60)))
+	}
+	ref := func(lo, hi uint64) []int32 {
+		var out []int32
+		for i, v := range p.Values() {
+			if v >= lo && v <= hi {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for trial := 0; trial < 40; trial++ {
+		lo := uint64(rng.Intn(70))
+		hi := lo + uint64(rng.Intn(30))
+		got := p.FindRange(lo, hi, nil)
+		want := ref(lo, hi)
+		if len(got) != len(want) {
+			t.Fatalf("FindRange(%d,%d): %d positions want %d", lo, hi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("FindRange(%d,%d)[%d]=%d want %d (ascending positions)", lo, hi, i, got[i], want[i])
+			}
+		}
+	}
+	// Appends to dst, preserving the prefix.
+	dst := []int32{-7}
+	dst = p.FindRange(0, 5, dst)
+	if dst[0] != -7 {
+		t.Fatalf("prefix clobbered: %v", dst[0])
+	}
+	if got := p.FindRange(9, 3, nil); len(got) != 0 {
+		t.Fatalf("inverted bounds: %v", got)
+	}
+}

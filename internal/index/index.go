@@ -1,0 +1,178 @@
+// Package index implements the merge-maintained group-key index over a
+// dictionary-encoded main partition (Krueger et al., VLDB 2011; the
+// "group-key" organization of §2).
+//
+// A Postings is an inverted index: for every dictionary code c it holds the
+// ascending list of row positions whose packed code equals c.  Because the
+// merge rewrites the whole code vector anyway (re-sorted dictionary, new
+// widths), the index is rebuilt from scratch during merge phase 2 by a
+// two-pass counting sort over the freshly written vector — O(n) with
+// sequential access, no comparisons — and published atomically together
+// with the new main.  Between merges the main is immutable, so the index
+// never needs maintenance; fresh writes live in the delta, which carries
+// its own CSB+ tree (internal/delta).
+//
+// The lists store POSITIONS in the main vector, not row ids, and carry no
+// visibility information.  Callers must copy a list (Equal/Range append to
+// a caller-owned destination), run kernel.FilterVisible over the copy, and
+// only then map positions to ids via ids[slot] — all under the table read
+// lock.  Bucket returns the interior slice for zero-allocation counting and
+// must be treated as read-only.
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"hyrise/internal/bitpack"
+)
+
+// buildBlock is the decode granularity of Build.  It matches the scan
+// kernels' block size: large enough to amortize DecodeRange setup, small
+// enough to stay in L1.
+const buildBlock = 4096
+
+// Postings is a group-key index: starts[c]..starts[c+1] delimits the
+// ascending positions whose code is c.  It is immutable after Build.
+type Postings struct {
+	starts []int32 // len cardinality+1; starts[c+1]-starts[c] = bucket size
+	pos    []int32 // len rows; bucket contents, ascending within a bucket
+}
+
+// Build constructs the index for a packed code vector with the given
+// dictionary cardinality using a two-pass counting sort.  Positions within
+// each bucket come out ascending because the fill pass walks the vector in
+// order.  It panics if a code is out of range — the vector and dictionary
+// are published together by the merge, so a mismatch is a corruption bug,
+// not an input error.
+func Build(codes *bitpack.Vector, cardinality int) *Postings {
+	n := codes.Len()
+	p := &Postings{
+		starts: make([]int32, cardinality+1),
+		pos:    make([]int32, n),
+	}
+	if n == 0 {
+		return p
+	}
+	counts := make([]int32, cardinality+1)
+	var buf []uint64
+	for blk := 0; blk < n; blk += buildBlock {
+		hi := min(blk+buildBlock, n)
+		buf = codes.DecodeRange(blk, hi, buf)
+		for _, c := range buf {
+			if int(c) >= cardinality {
+				panic(fmt.Sprintf("index: code %d out of range (cardinality %d)", c, cardinality))
+			}
+			counts[c]++
+		}
+	}
+	var sum int32
+	for c := 0; c <= cardinality; c++ {
+		p.starts[c] = sum
+		if c < cardinality {
+			sum += counts[c]
+		}
+	}
+	// Reuse counts as per-bucket fill cursors.
+	next := counts
+	copy(next, p.starts[:cardinality])
+	for blk := 0; blk < n; blk += buildBlock {
+		hi := min(blk+buildBlock, n)
+		buf = codes.DecodeRange(blk, hi, buf)
+		for i, c := range buf {
+			p.pos[next[c]] = int32(blk + i)
+			next[c]++
+		}
+	}
+	return p
+}
+
+// Rows returns the number of indexed positions.
+func (p *Postings) Rows() int { return len(p.pos) }
+
+// Cardinality returns the number of distinct codes the index covers.
+func (p *Postings) Cardinality() int { return len(p.starts) - 1 }
+
+// SizeBytes returns the in-memory footprint of the posting lists.
+func (p *Postings) SizeBytes() int { return 4 * (len(p.starts) + len(p.pos)) }
+
+// Bucket returns the ascending positions whose code is c.  The slice
+// aliases the index's backing array: callers must not modify it and must
+// not hand it to in-place kernels such as kernel.FilterVisible — use Equal
+// for a filterable copy.
+func (p *Postings) Bucket(c uint64) []int32 {
+	if int(c) >= p.Cardinality() {
+		return nil
+	}
+	return p.pos[p.starts[c]:p.starts[c+1]]
+}
+
+// Equal appends the positions whose code is c to dst and returns the
+// extended slice.  The appended span is ascending and owned by the caller.
+func (p *Postings) Equal(c uint64, dst []int32) []int32 {
+	return append(dst, p.Bucket(c)...)
+}
+
+// Range appends the positions whose code lies in [lo, hi) to dst and
+// returns the extended slice.  The appended span is sorted ascending to
+// preserve the selection-vector contract (kernels require ascending
+// positions); for the selective probes an index serves, the k·log k sort of
+// a small result beats rescanning n rows.
+func (p *Postings) Range(lo, hi uint64, dst []int32) []int32 {
+	card := uint64(p.Cardinality())
+	if hi > card {
+		hi = card
+	}
+	if lo >= hi {
+		return dst
+	}
+	base := len(dst)
+	dst = append(dst, p.pos[p.starts[lo]:p.starts[hi]]...)
+	out := dst[base:]
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return dst
+}
+
+// CountRange returns the number of positions whose code lies in [lo, hi)
+// — an O(1) starts-array subtraction, used for exact selectivity estimates.
+func (p *Postings) CountRange(lo, hi uint64) int {
+	card := uint64(p.Cardinality())
+	if hi > card {
+		hi = card
+	}
+	if lo >= hi {
+		return 0
+	}
+	return int(p.starts[hi] - p.starts[lo])
+}
+
+// Validate checks structural invariants: monotone starts covering all
+// positions, each bucket ascending and in range.  Used by tests and the
+// differential suite; returns nil on a well-formed index.
+func (p *Postings) Validate() error {
+	if len(p.starts) == 0 {
+		return fmt.Errorf("index: empty starts")
+	}
+	if p.starts[0] != 0 || int(p.starts[len(p.starts)-1]) != len(p.pos) {
+		return fmt.Errorf("index: starts do not cover pos: [%d,%d] vs %d",
+			p.starts[0], p.starts[len(p.starts)-1], len(p.pos))
+	}
+	for c := 1; c < len(p.starts); c++ {
+		if p.starts[c] < p.starts[c-1] {
+			return fmt.Errorf("index: starts not monotone at code %d", c-1)
+		}
+	}
+	n := int32(len(p.pos))
+	for c := 0; c < p.Cardinality(); c++ {
+		b := p.pos[p.starts[c]:p.starts[c+1]]
+		for i, q := range b {
+			if q < 0 || q >= n {
+				return fmt.Errorf("index: code %d position %d out of range", c, q)
+			}
+			if i > 0 && b[i-1] >= q {
+				return fmt.Errorf("index: code %d bucket not strictly ascending", c)
+			}
+		}
+	}
+	return nil
+}

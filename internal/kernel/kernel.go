@@ -290,6 +290,20 @@ func FilterVisible(sel []int32, begin, end []uint64, e uint64) []int32 {
 	return sel[:w]
 }
 
+// CountSelVisible returns the number of positions in sel visible at epoch
+// e without modifying sel — the counting companion of FilterVisible for
+// read-only selections such as index posting lists (Bucket slices must not
+// be compacted in place).
+func CountSelVisible(sel []int32, begin, end []uint64, e uint64) int {
+	n := 0
+	for _, p := range sel {
+		if visible(begin, end, int(p), e) {
+			n++
+		}
+	}
+	return n
+}
+
 // SelectVisible appends to dst the positions in [from, to) visible at
 // epoch e and returns the extended selection vector — the seed kernel for
 // full scans and aggregates.

@@ -294,6 +294,16 @@ func TestDifferentialVisibilityKernels(t *testing.T) {
 			t.Fatalf("FilterVisible: got %v want %v", head(gotF), head(wantF))
 		}
 
+		// CountSelVisible must agree with FilterVisible's survivor count and
+		// leave the selection untouched (posting lists are read-only).
+		before := append([]int32(nil), matches...)
+		if got, want := CountSelVisible(matches, begin, end, e), len(wantF); got != want {
+			t.Fatalf("CountSelVisible: got %d want %d", got, want)
+		}
+		if !eqSel(matches, before) {
+			t.Fatalf("CountSelVisible mutated its selection")
+		}
+
 		if got, want := CountEqual(v, needle, begin, end, e), refCountEqual(v, needle, begin, end, e); got != want {
 			t.Fatalf("CountEqual fused: got %d want %d", got, want)
 		}

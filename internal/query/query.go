@@ -10,6 +10,7 @@ package query
 
 import (
 	"fmt"
+	"math"
 
 	"hyrise/internal/table"
 	"hyrise/internal/val"
@@ -89,15 +90,7 @@ func RunAt(t *table.Table, view table.View, filters []Filter, project []string) 
 		}
 	}
 
-	// Pick the driving predicate: prefer an equality (smallest expected
-	// candidate set from one dictionary probe).
-	drive := 0
-	for i, f := range filters {
-		if f.Op == Eq {
-			drive = i
-			break
-		}
-	}
+	drive := chooseSeed(t, filters)
 	rows, err := seed(t, view, filters[drive])
 	if err != nil {
 		return nil, err
@@ -135,6 +128,86 @@ func RunAt(t *table.Table, view table.View, filters []Filter, project []string) 
 		}
 	}
 	return res, nil
+}
+
+// chooseSeed picks the driving predicate by estimated cost: the estimated
+// candidate-set size (exact posting-list counts on indexed columns, a
+// uniform-distribution guess via the dictionary spread otherwise), plus
+// the cost of producing it — a scan over the stored rows unless the column
+// is indexed.  An indexed equality on a narrow value therefore beats any
+// scan, and among unindexed predicates the narrowest dictionary spread
+// wins.  Filters that cannot be estimated (unknown column, type mismatch)
+// rank last; seed/refine surface the error.
+func chooseSeed(t *table.Table, filters []Filter) int {
+	if len(filters) == 1 {
+		return 0
+	}
+	// Producing a seed without an index scans main codes word-at-a-time
+	// (cheap per row) and probes the delta trees; charge the scan at a
+	// fraction of a row each, so a small expected result on an unindexed
+	// column still beats a large one on an indexed column.
+	scanCost := float64(t.MainRows())/8 + float64(t.DeltaRows())
+	best, bestCost := 0, math.Inf(1)
+	for i, f := range filters {
+		est, indexed, err := estimate(t, f)
+		if err != nil {
+			continue
+		}
+		cost := float64(est)
+		if !indexed {
+			cost += scanCost
+		}
+		if cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	return best
+}
+
+// estimate returns the expected candidate rows for one filter and whether
+// an index serves it.
+func estimate(t *table.Table, f Filter) (rows int, indexed bool, err error) {
+	ci, err := colIndex(t, f.Column)
+	if err != nil {
+		return 0, false, err
+	}
+	switch t.Schema()[ci].Type {
+	case table.Uint32:
+		return estimateTyped[uint32](t, f)
+	case table.Uint64:
+		return estimateTyped[uint64](t, f)
+	default:
+		return estimateTyped[string](t, f)
+	}
+}
+
+func estimateTyped[V val.Value](t *table.Table, f Filter) (int, bool, error) {
+	h, err := table.ColumnOf[V](t, f.Column)
+	if err != nil {
+		return 0, false, err
+	}
+	switch f.Op {
+	case Eq:
+		v, err := coerce[V](f.Value, f.Column)
+		if err != nil {
+			return 0, false, err
+		}
+		rows, indexed := h.EstimateEqual(v)
+		return rows, indexed, nil
+	case Between:
+		lo, err := coerce[V](f.Value, f.Column)
+		if err != nil {
+			return 0, false, err
+		}
+		hi, err := coerce[V](f.Hi, f.Column)
+		if err != nil {
+			return 0, false, err
+		}
+		rows, indexed := h.EstimateRange(lo, hi)
+		return rows, indexed, nil
+	default:
+		return 0, false, fmt.Errorf("query: unknown op %v", f.Op)
+	}
 }
 
 func colIndex(t *table.Table, name string) (int, error) {

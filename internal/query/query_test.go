@@ -105,7 +105,7 @@ func TestConjunction(t *testing.T) {
 }
 
 func TestRangeDriven(t *testing.T) {
-	// No equality filter: the first filter drives.
+	// No equality filter: a range predicate drives.
 	tb := buildOrders(t, 1500, true)
 	res, err := Run(tb, []Filter{
 		{Column: "customer", Op: Between, Value: uint64(10), Hi: uint64(20)},

@@ -1,0 +1,159 @@
+package query
+
+import (
+	"context"
+	"testing"
+
+	"hyrise/internal/table"
+)
+
+// buildSeedTable returns a merged table with a wide-spread column "k"
+// (~1000 distinct), a narrow one "g" (10 distinct), and a string column
+// "s" (3 distinct).
+func buildSeedTable(t *testing.T) *table.Table {
+	t.Helper()
+	tb, err := table.New("seed", table.Schema{
+		{Name: "k", Type: table.Uint64},
+		{Name: "g", Type: table.Uint64},
+		{Name: "s", Type: table.String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := []string{"x", "y", "z"}
+	for i := 0; i < 10000; i++ {
+		if _, err := tb.Insert([]any{uint64(i % 1000), uint64(i % 10), tags[i%3]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tb.Merge(context.Background(), table.MergeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// TestChooseSeedNarrowestSpread pins the unindexed choice: among plain
+// equalities the narrowest dictionary spread (fewest expected rows) drives,
+// regardless of filter order.
+func TestChooseSeedNarrowestSpread(t *testing.T) {
+	tb := buildSeedTable(t)
+	filters := []Filter{
+		{Column: "s", Op: Eq, Value: "x"},         // ~3333 rows
+		{Column: "g", Op: Eq, Value: uint64(4)},   // ~1000 rows
+		{Column: "k", Op: Eq, Value: uint64(123)}, // ~10 rows
+	}
+	if got := chooseSeed(tb, filters); got != 2 {
+		t.Fatalf("chooseSeed = %d (%s), want 2 (k: narrowest spread)", got, filters[got].Column)
+	}
+	// Order independence.
+	filters[0], filters[2] = filters[2], filters[0]
+	if got := chooseSeed(tb, filters); got != 0 {
+		t.Fatalf("chooseSeed = %d, want 0 after reorder", got)
+	}
+}
+
+// TestChooseSeedPrefersIndex pins the indexed choice: once a column is
+// indexed its seed needs no scan, so it beats an unindexed column with a
+// smaller expected result as long as the scan cost dominates.
+func TestChooseSeedPrefersIndex(t *testing.T) {
+	tb := buildSeedTable(t)
+	filters := []Filter{
+		{Column: "g", Op: Eq, Value: uint64(4)},   // ~1000 rows
+		{Column: "k", Op: Eq, Value: uint64(123)}, // ~10 rows, but needs a scan
+	}
+	if got := chooseSeed(tb, filters); got != 1 {
+		t.Fatalf("pre-index chooseSeed = %d, want 1 (k)", got)
+	}
+	if err := tb.CreateIndex("g"); err != nil {
+		t.Fatal(err)
+	}
+	if got := chooseSeed(tb, filters); got != 0 {
+		t.Fatalf("post-index chooseSeed = %d, want 0 (g is indexed)", got)
+	}
+	// Index k too: both indexed, exact counts decide — k wins again.
+	if err := tb.CreateIndex("k"); err != nil {
+		t.Fatal(err)
+	}
+	if got := chooseSeed(tb, filters); got != 1 {
+		t.Fatalf("both indexed chooseSeed = %d, want 1 (k: fewer postings)", got)
+	}
+}
+
+// TestChooseSeedRange pins range estimation: a narrow Between on the wide
+// column beats a wide Between on the narrow column.
+func TestChooseSeedRange(t *testing.T) {
+	tb := buildSeedTable(t)
+	filters := []Filter{
+		{Column: "g", Op: Between, Value: uint64(0), Hi: uint64(8)},   // ~9000 rows
+		{Column: "k", Op: Between, Value: uint64(10), Hi: uint64(19)}, // ~100 rows
+	}
+	if got := chooseSeed(tb, filters); got != 1 {
+		t.Fatalf("chooseSeed = %d, want 1 (narrow range on k)", got)
+	}
+}
+
+// TestChooseSeedBadFilterFallsBack: filters that cannot be estimated rank
+// last but the query still errors through the normal path.
+func TestChooseSeedBadFilter(t *testing.T) {
+	tb := buildSeedTable(t)
+	filters := []Filter{
+		{Column: "missing", Op: Eq, Value: uint64(1)},
+		{Column: "k", Op: Eq, Value: uint64(5)},
+	}
+	if got := chooseSeed(tb, filters); got != 1 {
+		t.Fatalf("chooseSeed = %d, want 1 (estimable filter)", got)
+	}
+	if _, err := Run(tb, filters, nil); err == nil {
+		t.Fatal("query with unknown column did not error")
+	}
+	// All filters bad: falls back to 0 and the error surfaces from seed.
+	bad := []Filter{{Column: "missing", Op: Eq, Value: uint64(1)}}
+	if got := chooseSeed(tb, bad); got != 0 {
+		t.Fatalf("chooseSeed = %d, want 0", got)
+	}
+}
+
+// TestIndexedQueryDifferential: query results are identical before and
+// after indexing every column.
+func TestIndexedQueryDifferential(t *testing.T) {
+	tb := buildSeedTable(t)
+	// Leave a delta tail so both index paths (posting lists + CSB+ range)
+	// are exercised.
+	for i := 0; i < 500; i++ {
+		if _, err := tb.Insert([]any{uint64(i % 1000), uint64(i % 10), "y"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := [][]Filter{
+		{{Column: "k", Op: Eq, Value: uint64(77)}, {Column: "g", Op: Eq, Value: uint64(7)}},
+		{{Column: "g", Op: Between, Value: uint64(2), Hi: uint64(4)}, {Column: "s", Op: Eq, Value: "z"}},
+		{{Column: "k", Op: Between, Value: uint64(900), Hi: uint64(950)}},
+	}
+	var before []*Result
+	for _, q := range queries {
+		r, err := Run(tb, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before = append(before, r)
+	}
+	for _, col := range []string{"k", "g", "s"} {
+		if err := tb.CreateIndex(col); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for qi, q := range queries {
+		r, err := Run(tb, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Rows) != len(before[qi].Rows) {
+			t.Fatalf("query %d: %d rows indexed vs %d unindexed", qi, len(r.Rows), len(before[qi].Rows))
+		}
+		for i := range r.Rows {
+			if r.Rows[i] != before[qi].Rows[i] {
+				t.Fatalf("query %d row %d: %d vs %d", qi, i, r.Rows[i], before[qi].Rows[i])
+			}
+		}
+	}
+}

@@ -79,6 +79,20 @@
 // Unknown future opcodes fail the same way, so speaking v2 to a v1
 // server degrades cleanly rather than desynchronizing the stream.
 //
+// # Secondary indexes (protocol v3)
+//
+// OpCreateIndex builds a merge-maintained group-key index on one column
+// (body: column name; empty response) and OpIndexStats reports
+// per-column index statistics (posting count, size, rebuild count,
+// last rebuild duration — summed across shards on a sharded store).
+// Both are idempotent reads of store structure rather than data
+// mutations, so unlike the four write opcodes they are deliberately
+// allowed on read-only followers: a follower may index its local copy
+// to speed up the selective reads routed to it, independent of whether
+// the primary carries the same index.  Indexes are in-memory only —
+// they are not part of the persist format or the replication stream,
+// and must be re-created after a restart or re-bootstrap.
+//
 // # Replication
 //
 // A server whose store has an operation log attached (Options.OpLog) is

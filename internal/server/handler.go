@@ -99,6 +99,10 @@ func (s *Server) handle(payload []byte, out *wire.Buffer) {
 		err = s.opStats(r, out)
 	case wire.OpMerge:
 		err = s.opMerge(r, out)
+	case wire.OpCreateIndex:
+		err = s.opCreateIndex(r, out)
+	case wire.OpIndexStats:
+		err = s.opIndexStats(r, out)
 	default:
 		err = fmt.Errorf("%w: unknown opcode 0x%02x", wire.ErrMalformed, op)
 	}
@@ -732,6 +736,36 @@ func (s *Server) opStats(r *wire.Reader, out *wire.Buffer) error {
 	out.U32(uint32(s.ActiveConns()))
 	out.U64(s.Requests())
 	out.U32(uint32(s.SnapshotCount()))
+	return nil
+}
+
+// opCreateIndex is deliberately allowed on followers: an index is a local
+// read optimization, not a data mutation, and followers serve exactly the
+// selective reads indexes accelerate.
+func (s *Server) opCreateIndex(r *wire.Reader, out *wire.Buffer) error {
+	col, err := r.String()
+	if err != nil {
+		return err
+	}
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	return s.st.CreateIndex(col)
+}
+
+func (s *Server) opIndexStats(r *wire.Reader, out *wire.Buffer) error {
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	stats := s.st.IndexStats()
+	out.U32(uint32(len(stats)))
+	for _, is := range stats {
+		out.String(is.Column)
+		out.U64(uint64(is.Postings))
+		out.U64(uint64(is.SizeBytes))
+		out.U64(is.Builds)
+		out.U64(uint64(is.LastBuild.Nanoseconds()))
+	}
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"hyrise/internal/server"
 	"hyrise/internal/shard"
 	"hyrise/internal/table"
+	"hyrise/internal/wire"
 )
 
 // startReplicated serves st as a replication primary (op log attached)
@@ -92,8 +93,8 @@ func TestHelloNegotiation(t *testing.T) {
 		t.Fatal(err)
 	}
 	c, _, _ := startServer(t, flat)
-	if c.Protocol() != 2 {
-		t.Fatalf("protocol %d, want 2", c.Protocol())
+	if c.Protocol() != wire.ProtocolVersion {
+		t.Fatalf("protocol %d, want %d", c.Protocol(), wire.ProtocolVersion)
 	}
 	if c.Role() != client.RolePrimary {
 		t.Fatalf("role %v, want primary", c.Role())
@@ -173,6 +174,18 @@ func TestFollowerRejectsWrites(t *testing.T) {
 	}
 	if err := fc.Delete(0); !errors.Is(err, client.ErrReadOnly) {
 		t.Fatalf("delete on follower: %v, want ErrReadOnly", err)
+	}
+	// CreateIndex is a local read optimization, not a data mutation, so
+	// followers accept it (see the package doc's secondary-index note).
+	if err := fc.CreateIndex("order_id"); err != nil {
+		t.Fatalf("create index on follower: %v", err)
+	}
+	stats, err := fc.IndexStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 || stats[0].Column != "order_id" {
+		t.Fatalf("follower index stats %+v want one entry for order_id", stats)
 	}
 }
 

@@ -39,6 +39,8 @@ type Store interface {
 	Snapshot() table.View
 	ValidRowsAt(v table.View) int
 	VisibleAt(v table.View, row int) bool
+	CreateIndex(column string) error
+	IndexStats() []table.IndexStats
 	StoreStats() table.StoreStats
 	Partitions() []*table.Table
 }

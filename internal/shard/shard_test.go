@@ -444,3 +444,44 @@ func TestStringKeySharding(t *testing.T) {
 		}
 	}
 }
+
+func TestShardCreateIndexAndStats(t *testing.T) {
+	st := newKV(t, 4)
+	for i := 0; i < 2000; i++ {
+		if _, err := st.Insert([]any{uint64(i), uint64(i % 13)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.MergeAll(context.Background(), MergeAllOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CreateIndex("nope"); err == nil {
+		t.Fatal("CreateIndex(nope) did not error")
+	}
+	if err := st.CreateIndex("v"); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.IndexStats()
+	if len(stats) != 1 || stats[0].Column != "v" {
+		t.Fatalf("IndexStats = %+v", stats)
+	}
+	if stats[0].Postings != 2000 || stats[0].Builds != uint64(st.NumShards()) {
+		t.Fatalf("aggregate = %+v", stats[0])
+	}
+	// Indexed cross-shard reads agree with an unindexed scan column.
+	hv, err := NumericColumnOf[uint64](st, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := hv.Lookup(5)
+	want := 0
+	hv.Scan(func(_ int, x uint64) bool {
+		if x == 5 {
+			want++
+		}
+		return true
+	})
+	if len(got) != want {
+		t.Fatalf("indexed sharded Lookup: %d rows, scan %d", len(got), want)
+	}
+}

@@ -2,7 +2,9 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 
 	"hyrise/internal/table"
 )
@@ -92,6 +94,55 @@ func (st *Table) RequestMerge(ctx context.Context, opts table.MergeOptions) (tab
 
 // Partitions returns the underlying physical tables in shard order.
 func (st *Table) Partitions() []*table.Table { return st.Shards() }
+
+// CreateIndex builds a group-key index over the named column on every
+// shard, in parallel (each shard's build excludes that shard's merges but
+// never blocks reads).  The first error wins; already-indexed shards are
+// skipped, so a partially failed call can simply be retried.
+func (st *Table) CreateIndex(column string) error {
+	errs := make([]error, len(st.shards))
+	var wg sync.WaitGroup
+	for i, s := range st.shards {
+		wg.Add(1)
+		go func(i int, s *table.Table) {
+			defer wg.Done()
+			errs[i] = s.CreateIndex(column)
+		}(i, s)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// IndexStats aggregates per-column index statistics across shards: one
+// entry per indexed column with postings, bytes and builds summed, and
+// LastBuild the per-shard maximum (the slowest shard bounds a merge's
+// index overhead).
+func (st *Table) IndexStats() []table.IndexStats {
+	byCol := make(map[string]*table.IndexStats)
+	var order []string
+	for _, s := range st.shards {
+		for _, is := range s.IndexStats() {
+			agg := byCol[is.Column]
+			if agg == nil {
+				cp := is
+				byCol[is.Column] = &cp
+				order = append(order, is.Column)
+				continue
+			}
+			agg.Postings += is.Postings
+			agg.SizeBytes += is.SizeBytes
+			agg.Builds += is.Builds
+			if is.LastBuild > agg.LastBuild {
+				agg.LastBuild = is.LastBuild
+			}
+		}
+	}
+	out := make([]table.IndexStats, 0, len(order))
+	for _, c := range order {
+		out = append(out, *byCol[c])
+	}
+	return out
+}
 
 // StoreStats returns the unified statistics snapshot: aggregate counts
 // plus every shard's table.Stats as a partition entry.

@@ -2,10 +2,12 @@ package table
 
 import (
 	"fmt"
+	"time"
 
 	"hyrise/internal/colstore"
 	"hyrise/internal/core"
 	"hyrise/internal/delta"
+	"hyrise/internal/index"
 	"hyrise/internal/val"
 )
 
@@ -20,6 +22,15 @@ type column interface {
 	mainLen() int
 	deltaLen() int
 	stats() ColumnStats
+
+	// Group-key index maintenance; see Table.CreateIndex for the locking
+	// protocol.  buildMainIndex reads only the immutable main, so it may
+	// run without Table.mu as long as the merge lock pins the main pointer;
+	// attachIndex and indexStats require Table.mu (write/read).
+	indexed() bool
+	buildMainIndex() *index.Postings
+	attachIndex(p *index.Postings)
+	indexStats() IndexStats
 
 	// Merge pipeline; see Table.Merge for the locking protocol.  drop is
 	// the table's frozen GC mask over main+delta slots (nil = keep all).
@@ -40,6 +51,16 @@ type typedColumn[V val.Value] struct {
 	pending      *colstore.Main[V] // merge result awaiting commit
 	pendingStats core.Stats        // written by runMerge, published at commit
 	lastStats    core.Stats        // stats of the last committed merge
+
+	// Group-key index bookkeeping.  idxOn is flipped by attachIndex (under
+	// Table.mu, with the merge lock held); runMerge reads it while holding
+	// the merge lock, which orders the read after any CreateIndex.  The
+	// build counters are published by commitMerge under Table.mu so stats
+	// readers never race the unlocked merge phase.
+	idxOn        bool
+	idxBuilds    uint64
+	idxLastBuild time.Duration
+	pendingBuild time.Duration // index build time of the pending merge
 
 	convert func(any) (V, error)
 }
@@ -215,9 +236,19 @@ func (c *typedColumn[V]) runMerge(opts core.Options, drop []bool) {
 	// write lock, so concurrent readers never observe a torn merge.
 	if drop != nil {
 		c.pending, c.pendingStats = core.MergeColumnGC(c.main, c.dlt, drop, opts)
-		return
+	} else {
+		c.pending, c.pendingStats = core.MergeColumn(c.main, c.dlt, opts)
 	}
-	c.pending, c.pendingStats = core.MergeColumn(c.main, c.dlt, opts)
+	// Merge-maintained index rebuild: the merge just rewrote the whole code
+	// vector against the re-sorted dictionary, so the group-key index is a
+	// single counting-sort pass over the fresh vector.  Building it here —
+	// still unlocked, on the unpublished pending main — means commitMerge
+	// publishes main and index atomically and an abort simply discards both.
+	if c.idxOn {
+		t0 := time.Now()
+		c.pending.BuildIndex()
+		c.pendingBuild = time.Since(t0)
+	}
 }
 
 // commitMerge installs the merged main and promotes the second delta
@@ -228,6 +259,37 @@ func (c *typedColumn[V]) commitMerge() {
 	c.pending = nil
 	c.dlt = c.dlt2
 	c.dlt2 = nil
+	if c.idxOn {
+		c.idxBuilds++
+		c.idxLastBuild = c.pendingBuild
+	}
+}
+
+func (c *typedColumn[V]) indexed() bool { return c.idxOn }
+
+// buildMainIndex builds (but does not attach) a group-key index over the
+// current main.  It reads only immutable state, so it is safe without
+// Table.mu provided the caller holds the merge lock — the only path that
+// replaces c.main is commitMerge, which requires that lock.
+func (c *typedColumn[V]) buildMainIndex() *index.Postings {
+	return index.Build(c.main.Codes(), c.main.Dict().Len())
+}
+
+// attachIndex installs a previously built index and turns on maintenance
+// (called under Table.mu write lock, merge lock held).
+func (c *typedColumn[V]) attachIndex(p *index.Postings) {
+	c.main.SetIndex(p)
+	c.idxOn = true
+	c.idxBuilds++
+}
+
+func (c *typedColumn[V]) indexStats() IndexStats {
+	s := IndexStats{Column: c.d.Name, Builds: c.idxBuilds, LastBuild: c.idxLastBuild}
+	if p := c.main.Index(); p != nil {
+		s.Postings = p.Rows()
+		s.SizeBytes = p.SizeBytes()
+	}
+	return s
 }
 
 // mergeStats returns the statistics of the column's most recent merge.

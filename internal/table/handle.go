@@ -76,7 +76,16 @@ func (h *Handle[V]) LookupAt(view View, v V) []int {
 	c := h.col()
 	begin, end := h.t.epochs.Raw()
 	var rows []int
-	sel := kernel.FilterVisible(c.main.SelEqual(v, nil), begin, end, e)
+	// The group-key index, when present, replaces the code-vector scan with
+	// a posting-list copy; both paths yield the same ascending positions,
+	// which are visibility-filtered and only then mapped through ids.
+	var sel []int32
+	if c.main.Index() != nil {
+		sel = c.main.SelEqualIndexed(v, nil)
+	} else {
+		sel = c.main.SelEqual(v, nil)
+	}
+	sel = kernel.FilterVisible(sel, begin, end, e)
 	for _, p := range sel {
 		rows = append(rows, h.t.ids[p])
 	}
@@ -113,21 +122,47 @@ func (h *Handle[V]) RangeAt(view View, lo, hi V) []int {
 	c := h.col()
 	begin, end := h.t.epochs.Raw()
 	var rows []int
-	sel := kernel.FilterVisible(c.main.SelRange(lo, hi, nil), begin, end, e)
+	indexed := c.main.Index() != nil
+	var sel []int32
+	if indexed {
+		sel = c.main.SelRangeIndexed(lo, hi, nil)
+	} else {
+		sel = c.main.SelRange(lo, hi, nil)
+	}
+	sel = kernel.FilterVisible(sel, begin, end, e)
 	for _, p := range sel {
 		rows = append(rows, h.t.ids[p])
 	}
 	base := c.main.Len()
-	for i, v := range c.dlt.Values() {
-		if v >= lo && v <= hi && h.t.epochs.VisibleAt(base+i, e) {
-			rows = append(rows, h.t.ids[base+i])
+	if indexed {
+		// Delta side of an indexed column: bounded CSB+ traversal instead
+		// of a value scan.  FindRange returns ascending positions, so the
+		// output order matches the scan path exactly.
+		for _, tid := range c.dlt.FindRange(lo, hi, nil) {
+			if r := base + int(tid); h.t.epochs.VisibleAt(r, e) {
+				rows = append(rows, h.t.ids[r])
+			}
+		}
+	} else {
+		for i, v := range c.dlt.Values() {
+			if v >= lo && v <= hi && h.t.epochs.VisibleAt(base+i, e) {
+				rows = append(rows, h.t.ids[base+i])
+			}
 		}
 	}
 	if c.dlt2 != nil {
 		base2 := base + c.dlt.Len()
-		for i, v := range c.dlt2.Values() {
-			if v >= lo && v <= hi && h.t.epochs.VisibleAt(base2+i, e) {
-				rows = append(rows, h.t.ids[base2+i])
+		if indexed {
+			for _, tid := range c.dlt2.FindRange(lo, hi, nil) {
+				if r := base2 + int(tid); h.t.epochs.VisibleAt(r, e) {
+					rows = append(rows, h.t.ids[r])
+				}
+			}
+		} else {
+			for i, v := range c.dlt2.Values() {
+				if v >= lo && v <= hi && h.t.epochs.VisibleAt(base2+i, e) {
+					rows = append(rows, h.t.ids[base2+i])
+				}
 			}
 		}
 	}
@@ -203,7 +238,14 @@ func (h *Handle[V]) CountEqualAt(view View, v V) int {
 	begin, end := h.t.epochs.Raw()
 	n := 0
 	if code, ok := c.main.LookupCode(v); ok {
-		n = kernel.CountEqual(c.main.Codes(), code, begin, end, e)
+		if p := c.main.Index(); p != nil {
+			// Count visible entries of the posting list directly; Bucket
+			// aliases the index, so the read-only counting kernel is used
+			// rather than the in-place filter.
+			n = kernel.CountSelVisible(p.Bucket(code), begin, end, e)
+		} else {
+			n = kernel.CountEqual(c.main.Codes(), code, begin, end, e)
+		}
 	}
 	base := c.main.Len()
 	if tids, ok := c.dlt.Find(v); ok {
@@ -224,6 +266,69 @@ func (h *Handle[V]) CountEqualAt(view View, v V) int {
 		}
 	}
 	return n
+}
+
+// Indexed reports whether the column's main partition currently carries a
+// group-key index (attached by Table.CreateIndex and rebuilt by merges).
+func (h *Handle[V]) Indexed() bool {
+	h.t.mu.RLock()
+	defer h.t.mu.RUnlock()
+	return h.col().main.Index() != nil
+}
+
+// EstimateEqual estimates how many row versions match v, and whether the
+// probe would be served by indexes (group-key main + CSB+ delta) rather
+// than a scan.  Indexed estimates are exact pre-visibility counts; the
+// unindexed main estimate assumes a uniform value distribution.  The query
+// planner uses this to pick the cheapest driving predicate.
+func (h *Handle[V]) EstimateEqual(v V) (rows int, indexed bool) {
+	h.t.mu.RLock()
+	defer h.t.mu.RUnlock()
+	c := h.col()
+	if p := c.main.Index(); p != nil {
+		indexed = true
+		if code, ok := c.main.LookupCode(v); ok {
+			rows = len(p.Bucket(code))
+		}
+	} else if d := c.main.Dict().Len(); d > 0 {
+		rows = c.main.Len() / d
+	}
+	if tids, ok := c.dlt.Find(v); ok {
+		rows += len(tids)
+	}
+	if c.dlt2 != nil {
+		if tids, ok := c.dlt2.Find(v); ok {
+			rows += len(tids)
+		}
+	}
+	return rows, indexed
+}
+
+// EstimateRange is EstimateEqual for the inclusive value range [lo, hi].
+// The main-side code interval gives the exact pre-visibility count when
+// indexed (O(1) via the posting starts) and an interval-proportional
+// estimate otherwise; the delta contribution is scaled by the same value
+// fraction.
+func (h *Handle[V]) EstimateRange(lo, hi V) (rows int, indexed bool) {
+	h.t.mu.RLock()
+	defer h.t.mu.RUnlock()
+	c := h.col()
+	d := c.main.Dict()
+	cLo, cHi := uint64(d.LowerBound(lo)), uint64(d.UpperBound(hi))
+	if p := c.main.Index(); p != nil {
+		indexed = true
+		rows = p.CountRange(cLo, cHi)
+	} else if d.Len() > 0 {
+		rows = c.main.Len() * int(cHi-cLo) / d.Len()
+	}
+	if nd := c.deltaLen(); nd > 0 {
+		if d.Len() > 0 {
+			rows += nd * int(cHi-cLo) / d.Len()
+		} else {
+			rows += nd
+		}
+	}
+	return rows, indexed
 }
 
 // Gather appends the values of the given row ids to dst in order, under a

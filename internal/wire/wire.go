@@ -50,12 +50,13 @@ const MaxFrame = 16 << 20
 // ProtocolVersion is the protocol generation this build speaks.  Version 1
 // is the original opcode set (OpPing..OpMerge); version 2 adds the
 // hello/capability exchange, replication (OpSubscribe and the follower
-// opcodes) and epoch-addressed snapshots.  OpHello carries the client's
+// opcodes) and epoch-addressed snapshots; version 3 adds secondary-index
+// management (OpCreateIndex, OpIndexStats).  OpHello carries the client's
 // version and returns the server's; each side then restricts itself to the
 // opcodes of min(client, server).  A version-1 server answers OpHello —
-// like any unknown opcode — with StatusErrBadRequest, which a version-2
+// like any unknown opcode — with StatusErrBadRequest, which a version-2+
 // client treats as "speak version 1".
-const ProtocolVersion = 2
+const ProtocolVersion = 3
 
 // Opcodes.  The zero value is intentionally invalid.
 const (
@@ -88,6 +89,10 @@ const (
 	OpSnapshotEpoch = 0x19 // -> token u64, epoch u64
 	OpPinEpoch      = 0x1a // epoch u64 -> token u64
 	OpSubscribe     = 0x1b // mode u8, fromLSN u64 -> mode u8, startLSN u64, then stream
+
+	// Version 3 opcodes.
+	OpCreateIndex = 0x1c // col string -> empty
+	OpIndexStats  = 0x1d // -> u32 n + per column: col string, postings u64, bytes u64, builds u64, lastBuildNs u64
 )
 
 // Subscribe modes (request and response).  A fresh follower requests

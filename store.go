@@ -82,6 +82,15 @@ type Store interface {
 	// VisibleAt reports whether the row exists and is visible at the
 	// view's epoch — IsValid generalized to snapshots.
 	VisibleAt(v ReadView, row int) bool
+	// CreateIndex builds a merge-maintained group-key index over the named
+	// column (every shard, for a sharded table) and keeps it rebuilt by
+	// subsequent merges.  Idempotent; indexes are in-memory only and must
+	// be re-created after Load.  See the package doc's "Secondary indexes"
+	// section.
+	CreateIndex(column string) error
+	// IndexStats reports one entry per indexed column (aggregated across
+	// shards for a sharded table).
+	IndexStats() []IndexStats
 	// StoreStats returns the topology-independent statistics snapshot.
 	StoreStats() StoreStats
 	// Partitions returns the physical table partitions in order: the table
@@ -105,6 +114,11 @@ var (
 // StoreStats is the unified statistics snapshot: aggregate counts plus
 // per-partition detail (see table.StoreStats).
 type StoreStats = table.StoreStats
+
+// IndexStats describes one column's group-key index (see table.IndexStats);
+// for a sharded table, postings/bytes/builds are summed across shards and
+// LastBuild is the slowest shard's most recent rebuild.
+type IndexStats = table.IndexStats
 
 // ErrUnknownStore is returned by the generic entry points for a Store
 // implementation other than *Table or *ShardedTable.
