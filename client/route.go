@@ -37,12 +37,13 @@ type follower struct {
 	parent *Client
 	addr   string
 
-	mu      sync.Mutex
-	c       *Client       // nil until first use
-	pins    map[Snap]Snap // primary snapshot token -> follower pin token
-	statsAt time.Time     // when stats was measured (zero = never)
-	stats   ServerStats
-	downTo  time.Time // cooling off after an error
+	mu         sync.Mutex
+	c          *Client       // nil until first use
+	pins       map[Snap]Snap // primary snapshot token -> follower pin token
+	statsAt    time.Time     // when stats was measured (zero = never)
+	stats      ServerStats
+	downTo     time.Time // cooling off after an error
+	refreshing bool      // a background stats refresher is running
 }
 
 // followerCooldown is how long a follower sits out after an error before
@@ -85,12 +86,62 @@ func (f *follower) available() bool {
 
 // markDown benches the follower briefly; the caller has already fallen
 // back to the primary, this only stops every request from re-paying the
-// failure.
+// failure.  The cached lag measurement is dropped (it predates the
+// failure) and a single background refresher keeps re-measuring while
+// the follower sits out, so the first read after the cooldown routes on
+// fresh stats instead of paying a synchronous measurement — and a
+// follower that recovered mid-cooldown is not judged on pre-failure lag.
 func (f *follower) markDown() {
 	f.mu.Lock()
 	f.downTo = time.Now().Add(followerCooldown)
 	f.statsAt = time.Time{}
+	spawn := !f.refreshing
+	f.refreshing = true
 	f.mu.Unlock()
+	if spawn {
+		go f.refreshStats()
+	}
+}
+
+// refreshStats re-measures the follower's stats in the background until
+// its cooldown expires (failed attempts count toward the exit too: if the
+// follower stays unreachable, the next routed read re-benches it and
+// re-arms a refresher).
+func (f *follower) refreshStats() {
+	defer func() {
+		f.mu.Lock()
+		f.refreshing = false
+		f.mu.Unlock()
+	}()
+	for {
+		select {
+		case <-f.parent.closed:
+			return
+		case <-time.After(followerCooldown / 4):
+		}
+		if c, err := f.client(); err == nil {
+			if st, err := c.ServerStats(); err == nil {
+				f.mu.Lock()
+				f.stats = st
+				f.statsAt = time.Now()
+				f.mu.Unlock()
+			}
+		}
+		select {
+		case <-f.parent.closed:
+			// The parent closed while we were measuring; drop the
+			// sub-client a concurrent Close may have missed.
+			f.close()
+			return
+		default:
+		}
+		f.mu.Lock()
+		done := time.Now().After(f.downTo)
+		f.mu.Unlock()
+		if done {
+			return
+		}
+	}
 }
 
 // lag returns the follower's epoch lag behind its primary, measuring it
@@ -265,6 +316,22 @@ type ServerStats struct {
 	// AppliedLSN is the next op-log position the server will apply (on a
 	// primary: the log's next LSN).
 	AppliedLSN uint64
+	// Uptime is how long the server has been up (protocol version 4+;
+	// zero on older servers).
+	Uptime time.Duration
+	// Ops lists cumulative request/error counts per opcode, for every
+	// opcode served at least once (protocol version 4+; empty on older
+	// servers or when the server runs with metrics disabled).
+	Ops []OpCount
+}
+
+// OpCount is one opcode's cumulative request and error totals since
+// server start.
+type OpCount struct {
+	// Op is the opcode's wire name ("lookup", "insert", ...).
+	Op       string
+	Requests uint64
+	Errors   uint64
 }
 
 // ServerStats fetches the server's replication/op-log summary.  It fails
@@ -305,6 +372,35 @@ func (c *Client) ServerStats() (ServerStats, error) {
 	for _, p := range []*uint64{&st.PrimaryEpoch, &st.AppliedEpoch, &st.Lag, &st.AppliedLSN} {
 		if *p, err = r.U64(); err != nil {
 			return st, err
+		}
+	}
+	if c.protocol >= 4 {
+		// Version 4 tail: uptime and per-op counters.  The negotiated
+		// protocol proves the server wrote it, so a decode failure here is
+		// a real error, not an old server.
+		up, err := r.U64()
+		if err != nil {
+			return st, err
+		}
+		st.Uptime = time.Duration(up)
+		n, err := r.U16()
+		if err != nil {
+			return st, err
+		}
+		st.Ops = make([]OpCount, 0, n)
+		for i := 0; i < int(n); i++ {
+			op, err := r.U8()
+			if err != nil {
+				return st, err
+			}
+			oc := OpCount{Op: wire.OpName(op)}
+			if oc.Requests, err = r.U64(); err != nil {
+				return st, err
+			}
+			if oc.Errors, err = r.U64(); err != nil {
+				return st, err
+			}
+			st.Ops = append(st.Ops, oc)
 		}
 	}
 	return st, nil

@@ -51,6 +51,26 @@
 //	-compact         merge all deltas before the shutdown save (default true)
 //	-drain           graceful-shutdown timeout (default 10s)
 //
+// # Observability
+//
+// The daemon exposes the server's metrics registry over a private HTTP
+// endpoint when -metrics-addr is set:
+//
+//	$ hyrised -addr :4860 -metrics-addr 127.0.0.1:9860
+//	$ curl -s http://127.0.0.1:9860/metrics   # Prometheus text format
+//	$ curl -s http://127.0.0.1:9860/healthz   # role + lag-aware readiness
+//
+// The endpoint also mounts net/http/pprof under /debug/pprof/.  Keep it
+// on a private interface: pprof and metrics are operator surfaces, not
+// client ones.
+//
+//	-metrics-addr        HTTP listen address for /metrics, /healthz and
+//	                     /debug/pprof/ (empty = disabled)
+//	-slow-op-threshold   log ops slower than this duration with opcode,
+//	                     latency, rows touched and snapshot epoch
+//	                     (0 = disabled)
+//	-log-format          log output format: text or json (default text)
+//
 // # Replication
 //
 // A daemon started with -replicate keeps an epoch-stamped operation log
@@ -81,8 +101,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -112,6 +133,8 @@ type config struct {
 	replicate     bool
 	oplogCap      int
 	follow        string
+	metricsAddr   string
+	slowOp        time.Duration
 
 	// onReady, when non-nil, receives the bound listen address once the
 	// server is accepting (tests listen on :0 and need the real port).
@@ -142,14 +165,31 @@ func main() {
 	flag.BoolVar(&cfg.replicate, "replicate", false, "keep an op log and serve replication subscribers")
 	flag.IntVar(&cfg.oplogCap, "oplog-cap", 0, "retained op-log entries (0 = 1<<20)")
 	flag.StringVar(&cfg.follow, "follow", "", "primary address: run as a read-only follower")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "",
+		"HTTP listen address for /metrics, /healthz and /debug/pprof/ (empty = disabled)")
+	flag.DurationVar(&cfg.slowOp, "slow-op-threshold", 0,
+		"log ops slower than this duration (0 = disabled)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
 	cfg.noGC = !*gc
 
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "hyrised: bad -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	logger := log.New(os.Stderr, "hyrised: ", log.LstdFlags)
 	if err := run(ctx, cfg, logger); err != nil {
-		logger.Fatal(err)
+		logger.Error("hyrised failed", "err", err)
+		os.Exit(1)
 	}
 }
 
@@ -157,7 +197,7 @@ func main() {
 // merge scheduler, serve until ctx is cancelled, then drain, compact and
 // save.  It is the whole daemon minus flags and signals, so tests run it
 // in-process.
-func run(ctx context.Context, cfg config, logger *log.Logger) error {
+func run(ctx context.Context, cfg config, logger *slog.Logger) error {
 	if cfg.follow != "" {
 		if cfg.replicate {
 			return errors.New("-follow excludes -replicate (followers cannot chain)")
@@ -174,20 +214,20 @@ func run(ctx context.Context, cfg config, logger *log.Logger) error {
 		// Follower: the store is bootstrapped from the primary's snapshot
 		// stream and advanced by its op stream; Follow returns after the
 		// first heartbeat, so reads are servable immediately.
-		rep, err = hyrise.Follow(cfg.follow, hyrise.ReplicaOptions{Logf: logger.Printf})
+		rep, err = hyrise.Follow(cfg.follow, hyrise.ReplicaOptions{Logger: logger})
 		if err != nil {
 			return fmt.Errorf("follow %s: %w", cfg.follow, err)
 		}
 		defer rep.Close()
 		st = hyrise.FollowStore(rep)
-		logger.Printf("following %s: bootstrapped %q at epoch %d (lsn %d)",
-			cfg.follow, st.Name(), rep.AppliedEpoch(), rep.AppliedLSN())
+		logger.Info("following primary", "primary", cfg.follow, "table", st.Name(),
+			"epoch", rep.AppliedEpoch(), "lsn", rep.AppliedLSN())
 	} else if st, err = openStore(cfg, logger); err != nil {
 		return err
 	}
 	if cfg.noGC {
 		st.SetGC(false)
-		logger.Printf("garbage collection disabled (-gc=false): history kept forever")
+		logger.Info("garbage collection disabled (-gc=false): history kept forever")
 	}
 
 	// Group-key indexes are in-memory only, so a store loaded from a
@@ -202,7 +242,7 @@ func run(ctx context.Context, cfg config, logger *log.Logger) error {
 		if err := st.CreateIndex(col); err != nil {
 			return fmt.Errorf("index %s: %w", col, err)
 		}
-		logger.Printf("indexed column %q in %s", col, time.Since(t0).Round(time.Microsecond))
+		logger.Info("indexed column", "column", col, "took", time.Since(t0).Round(time.Microsecond))
 	}
 
 	var olog *hyrise.OpLog
@@ -210,7 +250,7 @@ func run(ctx context.Context, cfg config, logger *log.Logger) error {
 		if olog, err = hyrise.EnableReplication(st, cfg.oplogCap); err != nil {
 			return fmt.Errorf("attach op log: %w", err)
 		}
-		logger.Printf("replication enabled (op-log capacity %d entries)", olog.Cap())
+		logger.Info("replication enabled", "oplog_cap", olog.Cap())
 	}
 
 	var sched *hyrise.Scheduler
@@ -219,7 +259,7 @@ func run(ctx context.Context, cfg config, logger *log.Logger) error {
 			Fraction: cfg.mergeFraction,
 			Interval: cfg.mergeInterval,
 			Threads:  cfg.mergeThreads,
-			OnError:  func(err error) { logger.Printf("merge: %v", err) },
+			OnError:  func(err error) { logger.Warn("merge failed", "err", err) },
 		}
 		if cfg.mergeBg {
 			sc.Strategy = hyrise.Background
@@ -236,9 +276,10 @@ func run(ctx context.Context, cfg config, logger *log.Logger) error {
 		return err
 	}
 	sopts := server.Options{
-		Logf:         logger.Printf,
-		MaxSnapshots: cfg.maxSnapshots,
-		OpLog:        olog,
+		Logger:          logger,
+		MaxSnapshots:    cfg.maxSnapshots,
+		OpLog:           olog,
+		SlowOpThreshold: cfg.slowOp,
 	}
 	if rep != nil {
 		// Assign only a live replica: a typed-nil pointer in the interface
@@ -250,12 +291,31 @@ func run(ctx context.Context, cfg config, logger *log.Logger) error {
 		l.Close()
 		return err
 	}
+
+	// The observability endpoint is a separate private HTTP listener:
+	// metrics, health and pprof never share a port with the data protocol.
+	var obsSrv *http.Server
+	if cfg.metricsAddr != "" {
+		ol, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			l.Close()
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		obsSrv = &http.Server{Handler: srv.ObsHandler()}
+		go func() {
+			if err := obsSrv.Serve(ol); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("metrics endpoint stopped", "addr", ol.Addr().String(), "err", err)
+			}
+		}()
+		logger.Info("observability endpoint up", "addr", ol.Addr().String())
+	}
+
 	role := "primary"
 	if rep != nil {
 		role = "follower"
 	}
-	logger.Printf("serving %q (%d shard(s), %s) on %s",
-		st.Name(), st.StoreStats().Shards, role, l.Addr())
+	logger.Info("serving", "table", st.Name(), "shards", st.StoreStats().Shards,
+		"role", role, "addr", l.Addr().String())
 	if cfg.onReady != nil {
 		cfg.onReady(l.Addr().String())
 	}
@@ -268,15 +328,18 @@ func run(ctx context.Context, cfg config, logger *log.Logger) error {
 	case <-ctx.Done():
 	}
 
-	logger.Printf("draining (timeout %s)", cfg.drain)
+	logger.Info("draining", "timeout", cfg.drain)
 	stalePins := srv.SnapshotCount()
 	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
-		logger.Printf("shutdown: %v (connections closed forcibly)", err)
+		logger.Warn("shutdown incomplete: connections closed forcibly", "err", err)
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, server.ErrServerClosed) {
-		logger.Printf("serve: %v", err)
+		logger.Warn("serve stopped with error", "err", err)
+	}
+	if obsSrv != nil {
+		obsSrv.Close()
 	}
 	if sched != nil {
 		sched.Stop()
@@ -286,7 +349,7 @@ func run(ctx context.Context, cfg config, logger *log.Logger) error {
 	// so stale tokens must not pin dead versions into the shutdown save);
 	// surface how many a misbehaving client left behind.
 	if stalePins > 0 {
-		logger.Printf("released %d stale snapshot pin(s)", stalePins)
+		logger.Info("released stale snapshot pins", "count", stalePins)
 	}
 
 	// Compact when deltas remain or (with GC on) dead versions linger in
@@ -305,21 +368,21 @@ func run(ctx context.Context, cfg config, logger *log.Logger) error {
 			_, err = st.RequestMerge(context.Background(), hyrise.MergeOptions{Threads: cfg.mergeThreads})
 		}
 		if err != nil {
-			logger.Printf("final merge: %v", err)
+			logger.Warn("final merge failed", "err", err)
 		}
 	}
 	if cfg.snapshot != "" {
 		if err := hyrise.SaveFile(st, cfg.snapshot); err != nil {
 			return fmt.Errorf("save snapshot: %w", err)
 		}
-		logger.Printf("saved %s (%d rows)", cfg.snapshot, st.Rows())
+		logger.Info("saved snapshot", "path", cfg.snapshot, "rows", st.Rows())
 	}
 	return nil
 }
 
 // openStore loads the snapshot when it exists (the file's topology wins)
 // and otherwise creates a fresh store from -schema/-key/-shards.
-func openStore(cfg config, logger *log.Logger) (hyrise.Store, error) {
+func openStore(cfg config, logger *slog.Logger) (hyrise.Store, error) {
 	if cfg.snapshot != "" {
 		if _, err := os.Stat(cfg.snapshot); err == nil {
 			st, err := hyrise.LoadFile(cfg.snapshot)
@@ -327,10 +390,10 @@ func openStore(cfg config, logger *log.Logger) (hyrise.Store, error) {
 				return nil, fmt.Errorf("load snapshot: %w", err)
 			}
 			stats := st.StoreStats()
-			logger.Printf("loaded %s: %d rows, %d shard(s)", cfg.snapshot, st.Rows(), stats.Shards)
+			logger.Info("loaded snapshot", "path", cfg.snapshot, "rows", st.Rows(), "shards", stats.Shards)
 			if cfg.shards > 1 && stats.Shards != cfg.shards {
-				logger.Printf("note: snapshot topology (%d shard(s)) overrides -shards %d",
-					stats.Shards, cfg.shards)
+				logger.Info("snapshot topology overrides -shards",
+					"snapshot_shards", stats.Shards, "flag_shards", cfg.shards)
 			}
 			return st, nil
 		}

@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -20,6 +20,10 @@ func (w testLogWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testLogWriter{t}, nil))
+}
+
 // startDaemon runs the daemon in-process on an ephemeral port and
 // returns its address plus a stop function that shuts it down gracefully
 // and reports run's error.
@@ -29,8 +33,7 @@ func startDaemon(t *testing.T, cfg config) (string, func() error) {
 	cfg.onReady = func(a string) { addrCh <- a }
 	ctx, cancel := context.WithCancel(context.Background())
 	runErr := make(chan error, 1)
-	logger := log.New(testLogWriter{t}, "hyrised: ", 0)
-	go func() { runErr <- run(ctx, cfg, logger) }()
+	go func() { runErr <- run(ctx, cfg, testLogger(t)) }()
 	select {
 	case addr := <-addrCh:
 		return addr, func() error {

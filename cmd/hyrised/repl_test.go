@@ -3,7 +3,6 @@ package main
 import (
 	"context"
 	"errors"
-	"log"
 	"sync"
 	"testing"
 	"time"
@@ -259,7 +258,7 @@ func TestHyrisedReplication(t *testing.T) {
 
 // TestFollowFlagValidation pins the -follow flag's exclusions.
 func TestFollowFlagValidation(t *testing.T) {
-	logger := log.New(testLogWriter{t}, "hyrised: ", 0)
+	logger := testLogger(t)
 	if err := run(context.Background(), config{follow: "x", replicate: true}, logger); err == nil {
 		t.Fatal("follow+replicate accepted")
 	}

@@ -11,12 +11,34 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"sync"
 	"time"
 
 	"hyrise"
 	"hyrise/client"
 )
+
+// waitReady polls a server's /healthz until it reports ready for the
+// epoch (a follower answers 200 only once it has applied min_epoch), so
+// topology convergence needs no fixed sleeps.
+func waitReady(obsURL string, minEpoch uint64) error {
+	deadline := time.Now().Add(10 * time.Second)
+	url := fmt.Sprintf("%s/healthz?min_epoch=%d", obsURL, minEpoch)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s not ready for epoch %d", obsURL, minEpoch)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
 
 func main() {
 	// Primary: a sharded store with an op log attached to its write path,
@@ -47,8 +69,9 @@ func main() {
 
 	// Two followers: each bootstraps over the wire from the primary's
 	// snapshot stream, then applies its op stream; each is served as a
-	// read-only replica on its own port.
-	var faddrs []string
+	// read-only replica on its own port, with its observability endpoint
+	// (metrics + healthz) on another.
+	var faddrs, fobs []string
 	for i := 0; i < 2; i++ {
 		rep, err := hyrise.Follow(paddr, hyrise.ReplicaOptions{})
 		if err != nil {
@@ -64,7 +87,19 @@ func main() {
 			log.Fatal(err)
 		}
 		defer fsrv.Close()
+		ol, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ol.Close()
+		go http.Serve(ol, fsrv.ObsHandler())
 		faddrs = append(faddrs, fl.Addr().String())
+		fobs = append(fobs, "http://"+ol.Addr().String())
+		// A follower is ready as soon as it has a primary heartbeat; no
+		// startup sleep needed.
+		if err := waitReady(fobs[i], 0); err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("follower %d on %s (bootstrapped at epoch %d)\n",
 			i, fl.Addr(), rep.AppliedEpoch())
 	}
@@ -164,26 +199,30 @@ func main() {
 		log.Fatal(err)
 	}
 	e2, _ := c.SnapshotEpoch(snap2)
-	deadline := time.Now().Add(10 * time.Second)
-	for _, addr := range faddrs {
-		for {
-			fc, err := client.Dial(addr)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fs, err := fc.ServerStats()
-			fc.Close()
-			if err != nil {
-				log.Fatal(err)
-			}
-			if fs.AppliedEpoch >= e2 {
-				break
-			}
-			if time.Now().After(deadline) {
-				log.Fatalf("follower %s stuck at epoch %d, want %d", addr, fs.AppliedEpoch, e2)
-			}
-			time.Sleep(time.Millisecond)
+	for i, obs := range fobs {
+		// /healthz?min_epoch answers 200 only once the follower has
+		// applied the epoch — readiness, not a fixed delay.
+		if err := waitReady(obs, e2); err != nil {
+			log.Fatal(err)
 		}
+		// And the follower's own metrics snapshot agrees, asserted from
+		// the client side via the OpMetrics wire op.
+		fc, err := client.Dial(faddrs[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		samples, err := fc.Metrics()
+		fc.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		applied, ok := client.MetricValue(samples, "hyrise_replica_applied_epoch")
+		if !ok || uint64(applied) < e2 {
+			log.Fatalf("follower %d metrics: applied epoch %v, want >= %d", i, applied, e2)
+		}
+		lag, _ := client.MetricValue(samples, "hyrise_replica_lag_epochs")
+		fmt.Printf("follower %d: applied_epoch=%d lag=%d (via client.Metrics)\n",
+			i, uint64(applied), uint64(lag))
 	}
 	final, err := c.SumAt(snap2, "qty")
 	if err != nil {

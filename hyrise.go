@@ -250,6 +250,47 @@
 // with hyrised -replicate and hyrised -follow; see examples/replication
 // for the whole wiring in one process.
 //
+// # Observability
+//
+// A running server measures itself: every layer feeds a dependency-free
+// metric registry (internal/metrics) of atomic counters, gauges and
+// power-of-two-bucket latency histograms.  Series are named
+// hyrise_<subsystem>_<name>, with Prometheus conventions for units and
+// suffixes (durations in seconds, cumulative counters ending in _total,
+// histograms contributing _bucket/_sum/_count).  The instrumented
+// subsystems:
+//
+//	hyrise_server_*   per-opcode request/error counters and latency
+//	                  histograms, live connections, registered
+//	                  snapshots, pipelined requests, slow ops
+//	hyrise_merge_*    merge counts, rows merged/reclaimed, per-phase
+//	                  (freeze/merge/commit) and wall durations
+//	hyrise_store_*    main/delta rows and the delta fill fraction
+//	hyrise_epoch_*    current epoch, pins, GC watermark
+//	hyrise_gc_*       watermark, watermark age in epochs, rows retired
+//	hyrise_oplog_*    retained LSN bounds, entries, subscribers
+//	hyrise_replica_*  applied/primary epochs, lag, applied LSN
+//	hyrise_index_*    indexed vs. scanned read routing
+//	hyrise_query_*    planner seeds, estimated vs. actual driving-
+//	                  predicate rows, indexed seeds
+//
+// DBServer.Registry exposes the registry; DBServer.ObsHandler serves it
+// as /metrics (Prometheus text exposition) alongside /healthz (role- and
+// lag-aware readiness, with an optional min_epoch convergence bound) and
+// /debug/pprof/*.  The hyrised daemon mounts that handler with
+// -metrics-addr, logs ops slower than -slow-op-threshold as structured
+// log/slog lines (opcode, duration, rows touched, snapshot epoch), and
+// selects text or JSON logs with -log-format.  Remote processes read the
+// same series over the data protocol via Client.Metrics, and
+// Client.ServerStats carries uptime plus cumulative per-op counts.
+//
+// Overhead: instruments on the request path are lock-free atomics bound
+// per opcode at server construction — no allocation, no map lookups, no
+// label rendering per request — and scrapes snapshot without stopping
+// writers.  The instrumented read path stays within a few percent of a
+// server built with ServerOptions.NoMetrics, which disables collection
+// entirely (nil-safe instruments compile to no-ops).
+//
 // The subpackages under internal implement the paper's substrate systems
 // (bit-packed vectors, sorted dictionaries, CSB+ trees, the merge itself,
 // the analytical cost model, workload generators and the experiment

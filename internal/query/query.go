@@ -91,9 +91,13 @@ func RunAt(t *table.Table, view table.View, filters []Filter, project []string) 
 	}
 
 	drive := chooseSeed(t, filters)
+	est, indexed, estErr := estimate(t, filters[drive])
 	rows, err := seed(t, view, filters[drive])
 	if err != nil {
 		return nil, err
+	}
+	if estErr == nil {
+		recordSeed(est, indexed, len(rows))
 	}
 
 	// Refine with the remaining predicates: one batched column gather per

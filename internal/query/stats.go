@@ -1,0 +1,51 @@
+package query
+
+import "sync/atomic"
+
+// Planner accounting: every RunAt records the driving predicate's
+// estimated candidate-set size next to the seed's actual size, so the
+// metrics endpoint can expose how well the §4-style cost model predicts
+// selectivity (hyrise_query_* series).  Plain package-level atomics — the
+// planner has no per-store state to hang them on, and the sums are
+// process-wide by design.
+var (
+	plannerRuns         atomic.Uint64
+	plannerEstimated    atomic.Uint64
+	plannerActual       atomic.Uint64
+	plannerIndexedSeeds atomic.Uint64
+)
+
+// PlannerStats is a snapshot of the planner's cumulative accounting.
+type PlannerStats struct {
+	// Runs counts completed seed phases (one per RunAt that reached the
+	// driving predicate).
+	Runs uint64
+	// EstimatedRows sums the driving predicate's pre-execution estimates;
+	// ActualRows sums the seed candidate sets actually produced.  The
+	// ratio of the two is the cost model's aggregate selectivity error.
+	EstimatedRows uint64
+	ActualRows    uint64
+	// IndexedSeeds counts runs whose driving predicate was served by a
+	// group-key index rather than a scan.
+	IndexedSeeds uint64
+}
+
+// Planner returns the cumulative planner statistics.
+func Planner() PlannerStats {
+	return PlannerStats{
+		Runs:          plannerRuns.Load(),
+		EstimatedRows: plannerEstimated.Load(),
+		ActualRows:    plannerActual.Load(),
+		IndexedSeeds:  plannerIndexedSeeds.Load(),
+	}
+}
+
+// recordSeed accumulates one run's estimate-vs-actual pair.
+func recordSeed(estimated int, indexed bool, actual int) {
+	plannerRuns.Add(1)
+	plannerEstimated.Add(uint64(estimated))
+	plannerActual.Add(uint64(actual))
+	if indexed {
+		plannerIndexedSeeds.Add(1)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -48,19 +49,20 @@ import (
 
 // Options configures a Replica.
 type Options struct {
-	// Logf, if non-nil, receives connection-level diagnostics (stream
-	// drops, resubscribe attempts).
-	Logf func(format string, args ...any)
+	// Logger, if non-nil, receives connection-level diagnostics (stream
+	// drops, resubscribe attempts) as structured records.  Nil discards.
+	Logger *slog.Logger
 	// DialTimeout bounds each dial attempt (0 = 5s).
 	DialTimeout time.Duration
 	// RetryMin and RetryMax bound the reconnect backoff (0 = 50ms / 2s).
 	RetryMin, RetryMax time.Duration
 }
 
-func (o Options) logf(format string, args ...any) {
-	if o.Logf != nil {
-		o.Logf(format, args...)
+func (o Options) logger() *slog.Logger {
+	if o.Logger != nil {
+		return o.Logger
 	}
+	return slog.New(slog.DiscardHandler)
 }
 
 func (o Options) dialTimeout() time.Duration {
@@ -100,6 +102,7 @@ type Stats struct {
 type Replica struct {
 	addr string
 	opts Options
+	log  *slog.Logger // never nil; discards when Options.Logger is nil
 
 	// Exactly one of flat/sharded is non-nil, mirroring the primary's
 	// topology (the snapshot image carries it).
@@ -132,6 +135,7 @@ func Open(addr string, opts Options) (*Replica, error) {
 	r := &Replica{
 		addr:    addr,
 		opts:    opts,
+		log:     opts.logger(),
 		ready:   make(chan struct{}),
 		done:    make(chan struct{}),
 		closeCh: make(chan struct{}),
@@ -220,7 +224,7 @@ func (r *Replica) fail(err error) {
 		r.err = err
 	}
 	r.mu.Unlock()
-	r.opts.logf("replica: %v", err)
+	r.log.Error("replica: permanent failure", "err", err)
 }
 
 // setConn publishes the live stream connection so Close can sever it.
@@ -252,7 +256,7 @@ func (r *Replica) run(nc net.Conn, br *bufio.Reader) {
 			r.fail(err)
 			return
 		}
-		r.opts.logf("replica: stream from %s dropped: %v", r.addr, err)
+		r.log.Warn("replica: stream dropped", "primary", r.addr, "err", err)
 		r.resubs.Add(1)
 		for {
 			select {
@@ -276,7 +280,7 @@ func (r *Replica) run(nc net.Conn, br *bufio.Reader) {
 				r.fail(derr)
 				return
 			}
-			r.opts.logf("replica: resubscribe to %s failed: %v", r.addr, derr)
+			r.log.Warn("replica: resubscribe failed", "primary", r.addr, "err", derr)
 		}
 	}
 }

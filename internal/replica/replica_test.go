@@ -2,6 +2,7 @@ package replica_test
 
 import (
 	"fmt"
+	"log/slog"
 	"net"
 	"reflect"
 	"sync"
@@ -14,6 +15,19 @@ import (
 	"hyrise/internal/shard"
 	"hyrise/internal/table"
 )
+
+// testLogWriter adapts t.Logf so replica slog output lands in the test
+// log.
+type testLogWriter struct{ t testing.TB }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}
+
+func testLogger(t testing.TB) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testLogWriter{t}, nil))
+}
 
 func replSchema() table.Schema {
 	return table.Schema{
@@ -61,7 +75,7 @@ func startPrimary(t testing.TB, st server.Store) *primary {
 
 func openReplica(t testing.TB, addr string) *replica.Replica {
 	t.Helper()
-	rep, err := replica.Open(addr, replica.Options{Logf: t.Logf})
+	rep, err := replica.Open(addr, replica.Options{Logger: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +223,7 @@ func TestReplicaResubscribe(t *testing.T) {
 	clock.Capture()
 
 	rep, err := replica.Open(p.addr, replica.Options{
-		Logf:     t.Logf,
+		Logger:   testLogger(t),
 		RetryMin: 5 * time.Millisecond,
 	})
 	if err != nil {

@@ -133,6 +133,35 @@
 // count and applied/primary epochs on either side, giving clients a
 // replication-lag measurement.
 //
+// # Observability (protocol v4)
+//
+// Every server carries a metric registry (hyrise/internal/metrics)
+// unless built with Options.NoMetrics: per-opcode request/error counters
+// and latency histograms bound at construction (no allocation or map
+// lookup on the request path), plus gauges over the store, epoch clock,
+// GC watermark, op log, replica state, index routing and query planner.
+// Server.Registry exposes it; Server.ObsHandler serves it over HTTP as
+// /metrics (Prometheus text exposition) together with /healthz
+// (readiness: a primary is ready unless draining, a follower once it has
+// a primary heartbeat; min_epoch=N tightens either to "epoch >= N") and
+// the /debug/pprof/ profiles.  Options.SlowOpThreshold makes any op
+// slower than the threshold emit one structured slog line with the
+// opcode, duration, rows touched, snapshot epoch, status and remote
+// address.
+//
+// OpMetrics (protocol v4) exposes the same registry over the data
+// protocol.  The request body is empty; the response is u32 n followed
+// by n samples, each a string (the full series name with labels rendered
+// in, e.g. `hyrise_server_requests_total{op="lookup"}`; histogram
+// families contribute their _count and _sum, with durations in seconds)
+// and the value as float64 bits in a u64.  Followers answer locally —
+// their lag gauges are exactly what a client-side topology check wants —
+// and a NoMetrics server answers an empty list.  OpServerStats gained a
+// v4 tail after the applied LSN: uptime (u64 nanoseconds), then u16
+// count and per entry opcode u8, requests u64, errors u64, listing every
+// opcode served at least once.  Pre-v4 clients stop decoding at the LSN,
+// so the tail is backward compatible.
+//
 // # Shutdown
 //
 // Server.Shutdown stops accepting connections, lets every in-flight

@@ -174,7 +174,7 @@ func FuzzHandle(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		var out wire.Buffer
-		srv.handle(payload, &out)
+		srv.handle(payload, &out, nil)
 		resp := out.Bytes()
 		if len(resp) == 0 {
 			t.Fatalf("empty response for payload % x", payload)

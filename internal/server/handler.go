@@ -3,6 +3,8 @@ package server
 import (
 	"errors"
 	"fmt"
+	"math"
+	"time"
 
 	"hyrise/internal/core"
 	"hyrise/internal/query"
@@ -16,11 +18,33 @@ import (
 // op itself) does not fit the column's declared type.
 var errColumnType = errors.New("server: value does not fit column type")
 
+// reqInfo collects per-request observability facts as a handler runs:
+// the slow-op log line reports them next to the opcode and duration.
+// Methods are nil-safe so handlers never need to know whether tracing is
+// on (the fuzz harness passes nil).
+type reqInfo struct {
+	rows  int    // rows touched or returned, best-effort per op
+	epoch uint64 // resolved snapshot epoch (0 = latest or none)
+}
+
+func (i *reqInfo) noteRows(n int) {
+	if i != nil {
+		i.rows = n
+	}
+}
+
+func (i *reqInfo) noteView(v table.View) {
+	if i != nil && !v.IsLatest() {
+		i.epoch = v.Epoch()
+	}
+}
+
 // handle decodes and executes one request, writing the full response
 // payload (status byte first) into out.  Malformed payloads become error
 // responses, never session faults: framing is length-delimited, so the
-// stream stays in sync regardless of payload content.
-func (s *Server) handle(payload []byte, out *wire.Buffer) {
+// stream stays in sync regardless of payload content.  info (nil-safe)
+// receives per-request facts for the slow-op log.
+func (s *Server) handle(payload []byte, out *wire.Buffer, info *reqInfo) {
 	r := wire.NewReader(payload)
 	op, err := r.U8()
 	if err != nil {
@@ -80,17 +104,17 @@ func (s *Server) handle(payload []byte, out *wire.Buffer) {
 	case wire.OpSnapshotRelease:
 		err = s.opSnapshotRelease(r, out)
 	case wire.OpLookup:
-		err = s.opLookup(r, out)
+		err = s.opLookup(r, out, info)
 	case wire.OpRange:
-		err = s.opRange(r, out)
+		err = s.opRange(r, out, info)
 	case wire.OpScan:
-		err = s.opScan(r, out)
+		err = s.opScan(r, out, info)
 	case wire.OpSum, wire.OpMin, wire.OpMax:
 		err = s.opAggregate(op, r, out)
 	case wire.OpCountEqual:
-		err = s.opCountEqual(r, out)
+		err = s.opCountEqual(r, out, info)
 	case wire.OpQuery:
-		err = s.opQuery(r, out)
+		err = s.opQuery(r, out, info)
 	case wire.OpValidRows:
 		err = s.opValidRows(r, out)
 	case wire.OpVisible:
@@ -103,6 +127,8 @@ func (s *Server) handle(payload []byte, out *wire.Buffer) {
 		err = s.opCreateIndex(r, out)
 	case wire.OpIndexStats:
 		err = s.opIndexStats(r, out)
+	case wire.OpMetrics:
+		err = s.opMetrics(r, out)
 	default:
 		err = fmt.Errorf("%w: unknown opcode 0x%02x", wire.ErrMalformed, op)
 	}
@@ -386,11 +412,12 @@ func lookupTyped[V val.Value](s *Server, view table.View, col string, v any) ([]
 	return h.LookupAt(view, tv), nil
 }
 
-func (s *Server) opLookup(r *wire.Reader, out *wire.Buffer) error {
+func (s *Server) opLookup(r *wire.Reader, out *wire.Buffer, info *reqInfo) error {
 	view, col, typ, err := s.readArgs(r)
 	if err != nil {
 		return err
 	}
+	info.noteView(view)
 	v, err := r.Value()
 	if err != nil {
 		return err
@@ -410,6 +437,7 @@ func (s *Server) opLookup(r *wire.Reader, out *wire.Buffer) error {
 	if err != nil {
 		return err
 	}
+	info.noteRows(len(ids))
 	out.RowIDs(ids)
 	return nil
 }
@@ -430,11 +458,12 @@ func rangeTyped[V val.Value](s *Server, view table.View, col string, lo, hi any)
 	return h.RangeAt(view, tlo, thi), nil
 }
 
-func (s *Server) opRange(r *wire.Reader, out *wire.Buffer) error {
+func (s *Server) opRange(r *wire.Reader, out *wire.Buffer, info *reqInfo) error {
 	view, col, typ, err := s.readArgs(r)
 	if err != nil {
 		return err
 	}
+	info.noteView(view)
 	lo, err := r.Value()
 	if err != nil {
 		return err
@@ -458,6 +487,7 @@ func (s *Server) opRange(r *wire.Reader, out *wire.Buffer) error {
 	if err != nil {
 		return err
 	}
+	info.noteRows(len(ids))
 	out.RowIDs(ids)
 	return nil
 }
@@ -474,11 +504,12 @@ func countTyped[V val.Value](s *Server, view table.View, col string, v any) (int
 	return h.CountEqualAt(view, tv), nil
 }
 
-func (s *Server) opCountEqual(r *wire.Reader, out *wire.Buffer) error {
+func (s *Server) opCountEqual(r *wire.Reader, out *wire.Buffer, info *reqInfo) error {
 	view, col, typ, err := s.readArgs(r)
 	if err != nil {
 		return err
 	}
+	info.noteView(view)
 	v, err := r.Value()
 	if err != nil {
 		return err
@@ -498,6 +529,7 @@ func (s *Server) opCountEqual(r *wire.Reader, out *wire.Buffer) error {
 	if err != nil {
 		return err
 	}
+	info.noteRows(n)
 	out.U64(uint64(n))
 	return nil
 }
@@ -530,11 +562,12 @@ func scanTyped[V val.Value](s *Server, view table.View, col string, limit int, o
 	return ids, nil
 }
 
-func (s *Server) opScan(r *wire.Reader, out *wire.Buffer) error {
+func (s *Server) opScan(r *wire.Reader, out *wire.Buffer, info *reqInfo) error {
 	view, col, typ, err := s.readArgs(r)
 	if err != nil {
 		return err
 	}
+	info.noteView(view)
 	limit, err := r.U32()
 	if err != nil {
 		return err
@@ -565,6 +598,7 @@ func (s *Server) opScan(r *wire.Reader, out *wire.Buffer) error {
 	if err != nil {
 		return err
 	}
+	info.noteRows(len(ids))
 	if withRows == 0 {
 		return nil
 	}
@@ -640,7 +674,7 @@ func (s *Server) opAggregate(op uint8, r *wire.Reader, out *wire.Buffer) error {
 
 // --- query op ---
 
-func (s *Server) opQuery(r *wire.Reader, out *wire.Buffer) error {
+func (s *Server) opQuery(r *wire.Reader, out *wire.Buffer, info *reqInfo) error {
 	tok, err := r.U64()
 	if err != nil {
 		return err
@@ -660,6 +694,7 @@ func (s *Server) opQuery(r *wire.Reader, out *wire.Buffer) error {
 	if err != nil {
 		return err
 	}
+	info.noteView(view)
 	filters := make([]query.Filter, len(wfs))
 	for i, f := range wfs {
 		filters[i] = query.Filter{Column: f.Column, Value: f.Value, Hi: f.Hi}
@@ -676,6 +711,7 @@ func (s *Server) opQuery(r *wire.Reader, out *wire.Buffer) error {
 	if err != nil {
 		return err
 	}
+	info.noteRows(len(res.Rows))
 	out.RowIDs(res.Rows)
 	if err := out.Strings(res.Columns); err != nil {
 		return err
@@ -866,6 +902,49 @@ func (s *Server) opServerStats(r *wire.Reader, out *wire.Buffer) error {
 	}
 	out.U64(lag)
 	out.U64(lsn)
+	// Version 4 tail: uptime and cumulative per-op request/error counts
+	// (fed from the metric registry; empty with metrics disabled).
+	// Pre-v4 clients never read past lsn — decoders do not drain the
+	// payload — so appending here is backward compatible.
+	out.U64(uint64(time.Since(s.started).Nanoseconds()))
+	type opCount struct {
+		op         uint8
+		reqs, errs uint64
+	}
+	var counts []opCount
+	if s.mx != nil {
+		for _, op := range wire.Opcodes() {
+			om := s.mx.byOp[op]
+			if r, e := om.reqs.Value(), om.errs.Value(); r > 0 || e > 0 {
+				counts = append(counts, opCount{op, r, e})
+			}
+		}
+	}
+	out.U16(uint16(len(counts)))
+	for _, c := range counts {
+		out.U8(c.op)
+		out.U64(c.reqs)
+		out.U64(c.errs)
+	}
+	return nil
+}
+
+// opMetrics answers with a flat snapshot of the server's metric registry:
+// u32 n, then per sample a full name (labels rendered in, e.g.
+// `hyrise_server_requests_total{op="lookup"}`) and the value as float64
+// bits.  Followers answer locally — their lag gauges are exactly what a
+// client-side topology check wants.  With metrics disabled the list is
+// empty.
+func (s *Server) opMetrics(r *wire.Reader, out *wire.Buffer) error {
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	samples := s.mxReg().Snapshot()
+	out.U32(uint32(len(samples)))
+	for _, smp := range samples {
+		out.String(smp.Name)
+		out.U64(math.Float64bits(smp.Value))
+	}
 	return nil
 }
 

@@ -1,0 +1,258 @@
+package server
+
+import (
+	"hyrise/internal/metrics"
+	"hyrise/internal/query"
+	"hyrise/internal/table"
+	"hyrise/internal/wire"
+)
+
+// opMetric is the pre-bound per-opcode instrument set.  serveConn indexes
+// it by raw opcode byte — no map lookup, no label rendering, no
+// allocation on the request path.
+type opMetric struct {
+	reqs *metrics.Counter
+	errs *metrics.Counter
+	lat  *metrics.Histogram
+}
+
+// serverMetrics binds every collector the server maintains.  A nil
+// *serverMetrics (Options.NoMetrics) is fully inert: byOp yields nil
+// instruments whose methods are no-ops, which is the baseline the
+// BENCH_obs overhead comparison runs against.
+type serverMetrics struct {
+	reg  *metrics.Registry
+	byOp [256]opMetric
+
+	pipelined *metrics.Counter
+	slowOps   *metrics.Counter
+
+	mergeTotal     *metrics.Counter
+	mergeAborted   *metrics.Counter
+	rowsMerged     *metrics.Counter
+	rowsReclaimed  *metrics.Counter
+	mergeFreezeDur *metrics.Histogram
+	mergeRunDur    *metrics.Histogram
+	mergeCommitDur *metrics.Histogram
+	mergeWallDur   *metrics.Histogram
+}
+
+// at returns the instrument set for an opcode; nil-safe.
+func (m *serverMetrics) at(op uint8) opMetric {
+	if m == nil {
+		return opMetric{}
+	}
+	return m.byOp[op]
+}
+
+// Registry returns the server's metric registry (nil with
+// Options.NoMetrics set).  Callers may add their own collectors; the
+// store's gauges and the per-op series are already registered.
+func (s *Server) Registry() *metrics.Registry { return s.mxReg() }
+
+func (s *Server) mxReg() *metrics.Registry {
+	if s.mx == nil {
+		return nil
+	}
+	return s.mx.reg
+}
+
+// newServerMetrics builds the registry for one server: per-op series for
+// every protocol opcode, merge/GC instruments fed by per-partition merge
+// hooks, and scrape-time gauges over the store, the epoch clock, the op
+// log, the replica applier, index routing and the query planner.
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := metrics.NewRegistry()
+	m := &serverMetrics{reg: reg}
+
+	for _, op := range wire.Opcodes() {
+		name := wire.OpName(op)
+		m.byOp[op] = opMetric{
+			reqs: reg.Counter("hyrise_server_requests_total",
+				"Requests handled, by opcode.", "op", name),
+			errs: reg.Counter("hyrise_server_errors_total",
+				"Requests answered with an error status, by opcode.", "op", name),
+			lat: reg.Histogram("hyrise_server_op_seconds",
+				"Request handling latency, by opcode.", "op", name),
+		}
+	}
+	m.pipelined = reg.Counter("hyrise_server_pipelined_requests_total",
+		"Requests that arrived while a previous request on the same connection was still queued.")
+	m.slowOps = reg.Counter("hyrise_server_slow_ops_total",
+		"Requests that exceeded the slow-op threshold.")
+	reg.GaugeFunc("hyrise_server_connections",
+		"Live client sessions.", func() float64 { return float64(s.ActiveConns()) })
+	reg.GaugeFunc("hyrise_server_snapshots",
+		"Registered (unreleased) snapshot tokens.", func() float64 { return float64(s.SnapshotCount()) })
+
+	// Epoch clock and pins (the GC retention inputs).
+	clock := s.clock()
+	reg.GaugeFunc("hyrise_epoch_current",
+		"Current epoch of the store clock.", func() float64 { return float64(clock.Now()) })
+	reg.GaugeFunc("hyrise_epoch_pins",
+		"Live pinned views on the store clock.", func() float64 { return float64(clock.Pins()) })
+	reg.GaugeFunc("hyrise_epoch_watermark",
+		"GC watermark: the minimum pinned epoch, or the current epoch with nothing pinned.",
+		func() float64 { return float64(clock.Watermark()) })
+
+	// Merge / GC instruments, fed by per-partition hooks (below).
+	m.mergeTotal = reg.Counter("hyrise_merge_total", "Committed merges across all partitions.")
+	m.mergeAborted = reg.Counter("hyrise_merge_aborted_total", "Merges cancelled and rolled back.")
+	m.rowsMerged = reg.Counter("hyrise_merge_rows_merged_total",
+		"Delta rows folded into main partitions by merges.")
+	m.rowsReclaimed = reg.Counter("hyrise_merge_rows_reclaimed_total",
+		"Dead row versions dropped by garbage-collecting merges.")
+	m.mergeFreezeDur = reg.Histogram("hyrise_merge_phase_seconds",
+		"Merge phase durations.", "phase", "freeze")
+	m.mergeRunDur = reg.Histogram("hyrise_merge_phase_seconds",
+		"Merge phase durations.", "phase", "merge")
+	m.mergeCommitDur = reg.Histogram("hyrise_merge_phase_seconds",
+		"Merge phase durations.", "phase", "commit")
+	m.mergeWallDur = reg.Histogram("hyrise_merge_wall_seconds",
+		"End-to-end merge duration including lock phases.")
+	parts := s.st.Partitions()
+	reg.GaugeFunc("hyrise_gc_watermark",
+		"Highest watermark a committed GC merge applied (max over partitions).",
+		func() float64 {
+			var w uint64
+			for _, p := range parts {
+				if v := p.GCWatermark(); v > w {
+					w = v
+				}
+			}
+			return float64(w)
+		})
+	reg.GaugeFunc("hyrise_gc_watermark_age_epochs",
+		"Epochs elapsed since the last applied GC watermark (staleness of reclamation).",
+		func() float64 {
+			var w uint64
+			for _, p := range parts {
+				if v := p.GCWatermark(); v > w {
+					w = v
+				}
+			}
+			now := clock.Now()
+			if w == 0 || now <= w {
+				return 0
+			}
+			return float64(now - w)
+		})
+	reg.CounterFunc("hyrise_gc_rows_retired_total",
+		"Row ids retired by garbage collection.",
+		func() float64 { return float64(s.st.StoreStats().RetiredRows) })
+
+	// Storage shape: delta fill drives the merge trigger of §4.
+	reg.GaugeFunc("hyrise_store_main_rows", "Main-partition tuple count (summed over shards).",
+		func() float64 { return float64(s.st.MainRows()) })
+	reg.GaugeFunc("hyrise_store_delta_rows", "Delta tuple count (summed over shards).",
+		func() float64 { return float64(s.st.DeltaRows()) })
+	reg.GaugeFunc("hyrise_store_delta_fill_fraction",
+		"Delta rows over main rows, the merge-trigger metric of §4.",
+		func() float64 {
+			nm, nd := s.st.MainRows(), s.st.DeltaRows()
+			if nm == 0 {
+				if nd == 0 {
+					return 0
+				}
+				return 1
+			}
+			return float64(nd) / float64(nm)
+		})
+
+	// Replication: primary-side op log, follower-side apply lag.
+	if l := s.opts.OpLog; l != nil {
+		reg.GaugeFunc("hyrise_oplog_first_lsn", "Oldest LSN still retained in the op log.",
+			func() float64 { first, _ := l.Bounds(); return float64(first) })
+		reg.GaugeFunc("hyrise_oplog_next_lsn", "LSN the next appended op will get.",
+			func() float64 { return float64(l.NextLSN()) })
+		reg.GaugeFunc("hyrise_oplog_entries", "Ops currently retained in the log.",
+			func() float64 { return float64(l.Len()) })
+		reg.GaugeFunc("hyrise_oplog_subscribers", "Connected replication followers.",
+			func() float64 { return float64(s.Subscribers()) })
+	}
+	if rep := s.opts.Replica; rep != nil {
+		reg.GaugeFunc("hyrise_replica_applied_epoch",
+			"Highest epoch at which local reads exactly match the primary.",
+			func() float64 { return float64(rep.AppliedEpoch()) })
+		reg.GaugeFunc("hyrise_replica_primary_epoch",
+			"Primary epoch as of the last heartbeat.",
+			func() float64 { return float64(rep.PrimaryEpoch()) })
+		reg.GaugeFunc("hyrise_replica_lag_epochs",
+			"Primary epoch minus applied epoch.",
+			func() float64 {
+				p, a := rep.PrimaryEpoch(), rep.AppliedEpoch()
+				if p <= a {
+					return 0
+				}
+				return float64(p - a)
+			})
+		reg.GaugeFunc("hyrise_replica_applied_lsn",
+			"Next op-log position this follower will apply.",
+			func() float64 { return float64(rep.AppliedLSN()) })
+	}
+
+	// Index routing: how reads were actually served.
+	reg.CounterFunc("hyrise_index_reads_total",
+		"Point/range reads served from a group-key index vs. a column scan.",
+		func() float64 {
+			var n uint64
+			for _, p := range parts {
+				i, _ := p.RoutingCounts()
+				n += i
+			}
+			return float64(n)
+		}, "route", "indexed")
+	reg.CounterFunc("hyrise_index_reads_total",
+		"Point/range reads served from a group-key index vs. a column scan.",
+		func() float64 {
+			var n uint64
+			for _, p := range parts {
+				_, sc := p.RoutingCounts()
+				n += sc
+			}
+			return float64(n)
+		}, "route", "scanned")
+
+	// Query planner: driving-predicate selectivity estimates vs. actuals.
+	// Process-wide by construction (the planner is stateless); still scraped
+	// here so one endpoint covers every subsystem.
+	reg.CounterFunc("hyrise_query_seeds_total", "Query seed phases executed.",
+		func() float64 { return float64(query.Planner().Runs) })
+	reg.CounterFunc("hyrise_query_estimated_rows_total",
+		"Sum of driving-predicate candidate-set estimates.",
+		func() float64 { return float64(query.Planner().EstimatedRows) })
+	reg.CounterFunc("hyrise_query_actual_rows_total",
+		"Sum of seed candidate sets actually produced.",
+		func() float64 { return float64(query.Planner().ActualRows) })
+	reg.CounterFunc("hyrise_query_indexed_seeds_total",
+		"Seed phases served by a group-key index.",
+		func() float64 { return float64(query.Planner().IndexedSeeds) })
+
+	for _, p := range parts {
+		p.OnMerge(m.observeMerge)
+	}
+	return m
+}
+
+// observeMerge is the per-partition merge hook: it runs after the merge
+// released the table locks, once per Merge call, in commit order.
+func (m *serverMetrics) observeMerge(rep table.Report) {
+	if rep.Aborted {
+		m.mergeAborted.Inc()
+	} else {
+		m.mergeTotal.Inc()
+		m.rowsMerged.Add(uint64(rep.RowsMerged))
+		m.rowsReclaimed.Add(uint64(rep.RowsReclaimed))
+	}
+	m.mergeFreezeDur.ObserveDuration(rep.Freeze)
+	m.mergeRunDur.ObserveDuration(rep.MergeRun)
+	m.mergeCommitDur.ObserveDuration(rep.Commit)
+	m.mergeWallDur.ObserveDuration(rep.Wall)
+}
+
+// timing reports whether latency needs to be measured at all: with
+// metrics off and no slow-op threshold, serveConn skips both time.Now
+// calls on the request path.
+func (s *Server) timing() bool {
+	return s.mx != nil || s.opts.SlowOpThreshold > 0
+}

@@ -36,7 +36,7 @@ func startReplicated(t testing.TB, st server.Store, n int) (string, []string, []
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := server.New(st, server.Options{Logf: t.Logf, OpLog: log})
+	srv, err := server.New(st, server.Options{Logger: testLogger(t), OpLog: log})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func startReplicated(t testing.TB, st server.Store, n int) (string, []string, []
 	srvs := make([]*server.Server, n)
 	reps := make([]*replica.Replica, n)
 	for i := 0; i < n; i++ {
-		rep, err := replica.Open(primaryAddr, replica.Options{Logf: t.Logf})
+		rep, err := replica.Open(primaryAddr, replica.Options{Logger: testLogger(t)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,7 +63,7 @@ func startReplicated(t testing.TB, st server.Store, n int) (string, []string, []
 		if err != nil {
 			t.Fatal(err)
 		}
-		fsrv, err := server.New(fst, server.Options{Logf: t.Logf, Replica: rep})
+		fsrv, err := server.New(fst, server.Options{Logger: testLogger(t), Replica: rep})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -64,10 +65,11 @@ type ReplicaInfo interface {
 
 // Options configures a Server.
 type Options struct {
-	// Logf, if non-nil, receives connection-level diagnostics (accept
-	// failures, protocol violations).  Per-request errors are reported to
-	// the client, not logged.
-	Logf func(format string, args ...any)
+	// Logger, if non-nil, receives connection-level diagnostics (accept
+	// failures, protocol violations) and slow-op lines as structured
+	// records.  Per-request errors are reported to the client, not
+	// logged.  Nil discards.
+	Logger *slog.Logger
 	// MaxSnapshots caps the snapshot registry (0 = DefaultMaxSnapshots;
 	// negative = unlimited).  OpSnapshot beyond the cap fails with
 	// wire.StatusErrTooManySnapshots until a token is released.
@@ -82,12 +84,22 @@ type Options struct {
 	// snapshots are captured at the applier's applied epoch — the highest
 	// epoch at which local reads exactly match the primary's.
 	Replica ReplicaInfo
+	// SlowOpThreshold, when positive, logs one structured warning for
+	// every request whose handling exceeds it (opcode, duration, rows
+	// touched, snapshot epoch).  Zero disables slow-op tracing.
+	SlowOpThreshold time.Duration
+	// NoMetrics disables the metric registry entirely: no per-op
+	// accounting, no scrape-time gauges, Registry() returns nil.  The
+	// request path then carries only nil checks — this is the baseline
+	// the BENCH_obs overhead comparison measures against.
+	NoMetrics bool
 }
 
-func (o Options) logf(format string, args ...any) {
-	if o.Logf != nil {
-		o.Logf(format, args...)
+func (o Options) logger() *slog.Logger {
+	if o.Logger != nil {
+		return o.Logger
 	}
+	return slog.New(slog.DiscardHandler)
 }
 
 // Server serves the wire protocol over a Store.  Create with New, start
@@ -121,6 +133,9 @@ type Server struct {
 	subs  map[*conn]struct{} // live replication subscribers
 
 	requests atomic.Uint64
+	started  time.Time      // ServerStats uptime base
+	log      *slog.Logger   // never nil; discards when Options.Logger is nil
+	mx       *serverMetrics // nil with Options.NoMetrics
 
 	// lifeCtx is cancelled when sessions are force-closed (Close, or
 	// Shutdown's deadline); long-running handler work (merges) runs
@@ -139,6 +154,8 @@ func New(st Store, opts Options) (*Server, error) {
 		snaps:   make(map[uint64]table.View),
 		drainCh: make(chan struct{}),
 		subs:    make(map[*conn]struct{}),
+		started: time.Now(),
+		log:     opts.logger(),
 	}
 	s.lifeCtx, s.cancelLife = context.WithCancel(context.Background())
 	switch x := st.(type) {
@@ -148,6 +165,9 @@ func New(st Store, opts Options) (*Server, error) {
 		s.sharded = x
 	default:
 		return nil, fmt.Errorf("server: unsupported Store implementation %T", st)
+	}
+	if !opts.NoMetrics {
+		s.mx = newServerMetrics(s)
 	}
 	return s, nil
 }
@@ -519,19 +539,60 @@ func (s *Server) serveConn(c *conn) {
 				if wire.WriteFrame(bw, out.Bytes()) == nil {
 					bw.Flush()
 				}
-				s.opts.logf("server: %s: %v", c.nc.RemoteAddr(), err)
+				s.log.Warn("server: oversized frame",
+					"remote", c.nc.RemoteAddr().String(), "err", err)
 			}
 			return
 		}
 		s.requests.Add(1)
+		var op uint8
+		if len(payload) > 0 {
+			op = payload[0]
+		}
 		// OpSubscribe turns the session into a one-way replication stream;
 		// it never returns to request/response handling.
-		if len(payload) > 0 && payload[0] == wire.OpSubscribe {
+		if op == wire.OpSubscribe {
 			s.serveSubscribe(c, payload[1:], bw)
 			return
 		}
+		om := s.mx.at(op)
+		if s.mx != nil && br.Buffered() > 0 {
+			// The next request is already queued behind this one: the
+			// client is pipelining.
+			s.mx.pipelined.Inc()
+		}
+		// Both time.Now calls are skipped when neither metrics nor slow-op
+		// tracing want the duration — the noop baseline costs nil checks
+		// only.
+		timed := s.timing()
+		var start time.Time
+		if timed {
+			start = time.Now()
+		}
+		var info reqInfo
 		out.Reset()
-		s.handle(payload, &out)
+		s.handle(payload, &out, &info)
+		om.reqs.Inc()
+		status := uint8(wire.StatusErr)
+		if b := out.Bytes(); len(b) > 0 {
+			status = b[0]
+		}
+		if status != wire.StatusOK {
+			om.errs.Inc()
+		}
+		if timed {
+			dur := time.Since(start)
+			om.lat.ObserveDuration(dur)
+			if th := s.opts.SlowOpThreshold; th > 0 && dur >= th {
+				if s.mx != nil {
+					s.mx.slowOps.Inc()
+				}
+				s.log.Warn("slow op",
+					"op", wire.OpName(op), "duration", dur,
+					"rows", info.rows, "epoch", info.epoch,
+					"status", status, "remote", c.nc.RemoteAddr().String())
+			}
+		}
 		err = wire.WriteFrame(bw, out.Bytes())
 		if errors.Is(err, wire.ErrFrameTooLarge) {
 			// The result outgrew the frame limit (e.g. an unbounded scan

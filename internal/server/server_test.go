@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"reflect"
 	"sync"
@@ -15,6 +16,19 @@ import (
 	"hyrise/internal/shard"
 	"hyrise/internal/table"
 )
+
+// testLogWriter adapts t.Logf so server/replica slog output lands in the
+// test log.
+type testLogWriter struct{ t testing.TB }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}
+
+func testLogger(t testing.TB) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testLogWriter{t}, nil))
+}
 
 func salesSchema() table.Schema {
 	return table.Schema{
@@ -32,7 +46,7 @@ func startServer(t testing.TB, st server.Store) (*client.Client, *server.Server,
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := server.New(st, server.Options{Logf: t.Logf})
+	srv, err := server.New(st, server.Options{Logger: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -102,7 +102,8 @@ func (s *Server) serveSubscribe(c *conn, payload []byte, bw *bufio.Writer) {
 		if send(out.Bytes()) == nil {
 			flush()
 		}
-		s.opts.logf("server: subscriber %s: %v", c.nc.RemoteAddr(), err)
+		s.log.Warn("server: subscriber stream failed",
+			"remote", c.nc.RemoteAddr().String(), "err", err)
 	}
 
 	pos := from

@@ -81,8 +81,10 @@ func (h *Handle[V]) LookupAt(view View, v V) []int {
 	// which are visibility-filtered and only then mapped through ids.
 	var sel []int32
 	if c.main.Index() != nil {
+		h.t.routeIndexed.Add(1)
 		sel = c.main.SelEqualIndexed(v, nil)
 	} else {
+		h.t.routeScanned.Add(1)
 		sel = c.main.SelEqual(v, nil)
 	}
 	sel = kernel.FilterVisible(sel, begin, end, e)
@@ -125,8 +127,10 @@ func (h *Handle[V]) RangeAt(view View, lo, hi V) []int {
 	indexed := c.main.Index() != nil
 	var sel []int32
 	if indexed {
+		h.t.routeIndexed.Add(1)
 		sel = c.main.SelRangeIndexed(lo, hi, nil)
 	} else {
+		h.t.routeScanned.Add(1)
 		sel = c.main.SelRange(lo, hi, nil)
 	}
 	sel = kernel.FilterVisible(sel, begin, end, e)
@@ -242,8 +246,10 @@ func (h *Handle[V]) CountEqualAt(view View, v V) int {
 			// Count visible entries of the posting list directly; Bucket
 			// aliases the index, so the read-only counting kernel is used
 			// rather than the in-place filter.
+			h.t.routeIndexed.Add(1)
 			n = kernel.CountSelVisible(p.Bucket(code), begin, end, e)
 		} else {
+			h.t.routeScanned.Add(1)
 			n = kernel.CountEqual(c.main.Codes(), code, begin, end, e)
 		}
 	}

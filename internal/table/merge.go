@@ -70,6 +70,12 @@ type Report struct {
 	MainRowsAfter int
 	// Wall is the end-to-end merge duration including lock phases.
 	Wall time.Duration
+	// Freeze, MergeRun and Commit break Wall into the three phases of §3:
+	// the write-locked delta freeze, the unlocked column merges, and the
+	// write-locked install/promote (abort path included in Commit).
+	Freeze   time.Duration
+	MergeRun time.Duration
+	Commit   time.Duration
 	// Algorithm and Threads echo the options used.
 	Algorithm core.Algorithm
 	Threads   int
@@ -167,19 +173,22 @@ func (t *Table) Merge(ctx context.Context, opts MergeOptions) (Report, error) {
 		c.beginMerge()
 	}
 	t.mu.Unlock()
+	frozen := time.Now()
 
 	// Phase 2: merge columns against the frozen snapshot, no table lock.
 	err := t.runColumnMerges(ctx, strategy, threads, opts.Algorithm, drop)
+	merged := time.Now()
 
 	// Phase 3: commit or abort (brief write lock).
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.merging = false
 	rep := Report{
 		RowsMerged: rowsMerged,
 		Algorithm:  opts.Algorithm,
 		Threads:    threads,
 		Strategy:   strategy,
+		Freeze:     frozen.Sub(start),
+		MergeRun:   merged.Sub(frozen),
 	}
 	if err != nil {
 		for _, c := range t.cols {
@@ -187,7 +196,10 @@ func (t *Table) Merge(ctx context.Context, opts MergeOptions) (Report, error) {
 		}
 		t.gcDrop, t.gcDropCount, t.gcMark = nil, 0, 0
 		rep.Aborted = true
+		rep.Commit = time.Since(merged)
 		rep.Wall = time.Since(start)
+		t.mu.Unlock()
+		t.notifyMerge(rep)
 		return rep, err
 	}
 	for _, c := range t.cols {
@@ -208,9 +220,21 @@ func (t *Table) Merge(ctx context.Context, opts MergeOptions) (Report, error) {
 	if len(t.cols) > 0 {
 		rep.MainRowsAfter = t.cols[0].mainLen()
 	}
+	rep.Commit = time.Since(merged)
 	rep.Wall = time.Since(start)
 	t.lastMerge = rep
+	t.mu.Unlock()
+	t.notifyMerge(rep)
 	return rep, nil
+}
+
+// notifyMerge delivers the report to the observer hook, if any.  It runs
+// with no table lock held (but still inside mergeMu, so reports arrive in
+// commit order); the hook must not call back into Merge.
+func (t *Table) notifyMerge(rep Report) {
+	if fn := t.mergeHook.Load(); fn != nil {
+		fn.(func(Report))(rep)
+	}
 }
 
 // runColumnMerges distributes column merges according to the strategy.

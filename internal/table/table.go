@@ -162,6 +162,13 @@ type Table struct {
 	merging   bool       // true between beginMerge and commit/abort (under mu)
 	mergeGen  int
 	lastMerge Report
+	mergeHook atomic.Value // func(Report); observer for committed/aborted merges
+
+	// Read-routing observability: how many point/range reads the handle
+	// layer served from a group-key index vs. a column scan.  Plain atomics
+	// so the read path never takes an extra lock for accounting.
+	routeIndexed atomic.Uint64
+	routeScanned atomic.Uint64
 
 	// olog, when attached, is the replication op log: mutations record
 	// their op in it and take their epoch stamp from the append (see
@@ -475,6 +482,23 @@ func (t *Table) DeltaFraction() float64 {
 		return 1
 	}
 	return float64(nd) / float64(nm)
+}
+
+// OnMerge installs fn as the merge observer: every Merge — committed or
+// aborted — delivers its Report to fn after the table locks are released,
+// in commit order.  One observer per table; passing nil uninstalls.  fn
+// must not call back into Merge (it runs while the merge mutex is held).
+func (t *Table) OnMerge(fn func(Report)) {
+	if fn == nil {
+		fn = func(Report) {}
+	}
+	t.mergeHook.Store(fn)
+}
+
+// RoutingCounts returns how many reads the handle layer served from a
+// group-key index versus a column scan (cumulative).
+func (t *Table) RoutingCounts() (indexed, scanned uint64) {
+	return t.routeIndexed.Load(), t.routeScanned.Load()
 }
 
 // Merging reports whether a merge is currently running.

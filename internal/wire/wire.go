@@ -51,12 +51,14 @@ const MaxFrame = 16 << 20
 // is the original opcode set (OpPing..OpMerge); version 2 adds the
 // hello/capability exchange, replication (OpSubscribe and the follower
 // opcodes) and epoch-addressed snapshots; version 3 adds secondary-index
-// management (OpCreateIndex, OpIndexStats).  OpHello carries the client's
-// version and returns the server's; each side then restricts itself to the
-// opcodes of min(client, server).  A version-1 server answers OpHello —
-// like any unknown opcode — with StatusErrBadRequest, which a version-2+
-// client treats as "speak version 1".
-const ProtocolVersion = 3
+// management (OpCreateIndex, OpIndexStats); version 4 adds observability
+// (OpMetrics, and the uptime + per-op counter tail of OpServerStats).
+// OpHello carries the client's version and returns the server's; each side
+// then restricts itself to the opcodes of min(client, server).  A
+// version-1 server answers OpHello — like any unknown opcode — with
+// StatusErrBadRequest, which a version-2+ client treats as "speak
+// version 1".
+const ProtocolVersion = 4
 
 // Opcodes.  The zero value is intentionally invalid.
 const (
@@ -93,7 +95,91 @@ const (
 	// Version 3 opcodes.
 	OpCreateIndex = 0x1c // col string -> empty
 	OpIndexStats  = 0x1d // -> u32 n + per column: col string, postings u64, bytes u64, builds u64, lastBuildNs u64
+
+	// Version 4 opcodes.
+	OpMetrics = 0x1e // -> u32 n + per sample: name string, float64 bits u64
 )
+
+// OpName returns the lower-case wire name of an opcode ("lookup",
+// "insert_batch", ...), or "op_0xNN" for opcodes this build does not
+// know.  The server uses it to label per-op metric series, so the names
+// are stable API: Prometheus queries reference them.
+func OpName(op uint8) string {
+	switch op {
+	case OpPing:
+		return "ping"
+	case OpSchema:
+		return "schema"
+	case OpInsert:
+		return "insert"
+	case OpInsertBatch:
+		return "insert_batch"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	case OpRow:
+		return "row"
+	case OpIsValid:
+		return "is_valid"
+	case OpSnapshot:
+		return "snapshot"
+	case OpSnapshotRelease:
+		return "snapshot_release"
+	case OpLookup:
+		return "lookup"
+	case OpRange:
+		return "range"
+	case OpScan:
+		return "scan"
+	case OpSum:
+		return "sum"
+	case OpMin:
+		return "min"
+	case OpMax:
+		return "max"
+	case OpCountEqual:
+		return "count_equal"
+	case OpQuery:
+		return "query"
+	case OpValidRows:
+		return "valid_rows"
+	case OpVisible:
+		return "visible"
+	case OpStats:
+		return "stats"
+	case OpMerge:
+		return "merge"
+	case OpHello:
+		return "hello"
+	case OpServerStats:
+		return "server_stats"
+	case OpSnapshotEpoch:
+		return "snapshot_epoch"
+	case OpPinEpoch:
+		return "pin_epoch"
+	case OpSubscribe:
+		return "subscribe"
+	case OpCreateIndex:
+		return "create_index"
+	case OpIndexStats:
+		return "index_stats"
+	case OpMetrics:
+		return "metrics"
+	default:
+		return fmt.Sprintf("op_0x%02x", op)
+	}
+}
+
+// Opcodes lists every opcode this build knows, in opcode order; the
+// server registers one metric series per entry.
+func Opcodes() []uint8 {
+	ops := make([]uint8, 0, OpMetrics)
+	for op := uint8(OpPing); op <= OpMetrics; op++ {
+		ops = append(ops, op)
+	}
+	return ops
+}
 
 // Subscribe modes (request and response).  A fresh follower requests
 // SubSnapshot; a reconnecting follower requests SubTail with the next LSN

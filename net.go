@@ -23,16 +23,18 @@ type ServerOptions = server.Options
 // local reads) while remote clients connect.  Stop with
 // DBServer.Shutdown, which drains in-flight requests, or DBServer.Close.
 // If the accept loop dies on a listener error, the failure is reported
-// through ServerOptions.Logf (run DBServer.Serve directly, as cmd/hyrised
-// does, to handle it programmatically).
+// through ServerOptions.Logger (run DBServer.Serve directly, as
+// cmd/hyrised does, to handle it programmatically).  The returned
+// server's Registry and ObsHandler expose its metrics; see the package
+// documentation's Observability section.
 func Serve(l net.Listener, s Store, opts ServerOptions) (*DBServer, error) {
 	srv, err := server.New(s, opts)
 	if err != nil {
 		return nil, err
 	}
 	go func() {
-		if err := srv.Serve(l); err != nil && !errors.Is(err, server.ErrServerClosed) && opts.Logf != nil {
-			opts.Logf("hyrise: server on %s stopped: %v", l.Addr(), err)
+		if err := srv.Serve(l); err != nil && !errors.Is(err, server.ErrServerClosed) && opts.Logger != nil {
+			opts.Logger.Error("hyrise: server stopped", "addr", l.Addr().String(), "err", err)
 		}
 	}()
 	return srv, nil

@@ -1,0 +1,65 @@
+package hyrise_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"hyrise"
+	"hyrise/client"
+)
+
+// BenchmarkServerLookupNoop is BenchmarkServerLookup with the metrics
+// registry compiled out (ServerOptions.NoMetrics): the CI obs artifact
+// compares the two to enforce the <3% instrumentation-overhead budget on
+// the read path.
+func BenchmarkServerLookupNoop(b *testing.B) {
+	const preload = 100_000
+	for _, clients := range serverClientCounts {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			addr, _ := benchServerOpts(b, preload, hyrise.ServerOptions{NoMetrics: true})
+			cs := benchClients(b, addr, clients)
+			b.ResetTimer()
+			runConcurrent(b, cs, func(c *client.Client, i int) error {
+				rows, err := c.Lookup("k", uint64(i%preload))
+				if err == nil && len(rows) != 1 {
+					err = fmt.Errorf("lookup found %d rows", len(rows))
+				}
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkMetricsScrape measures one /metrics render while lookup
+// traffic runs underneath — the cost an operator's scrape interval pays
+// on a busy server.  Allocations per scrape are part of the artifact.
+func BenchmarkMetricsScrape(b *testing.B) {
+	const preload = 10_000
+	addr, srv := benchServerOpts(b, preload, hyrise.ServerOptions{})
+	cs := benchClients(b, addr, 2)
+	stop := make(chan struct{})
+	var stopped atomic.Bool
+	for _, c := range cs {
+		go func(c *client.Client) {
+			for i := 0; !stopped.Load(); i++ {
+				if _, err := c.Lookup("k", uint64(i%preload)); err != nil {
+					return
+				}
+			}
+		}(c)
+	}
+	b.Cleanup(func() { stopped.Store(true); close(stop) })
+	h := srv.ObsHandler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("scrape status %d", rec.Code)
+		}
+	}
+}

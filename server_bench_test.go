@@ -18,6 +18,14 @@ var serverClientCounts = []int{1, 4, 8}
 // returns its address.
 func benchServer(b *testing.B, preload int) string {
 	b.Helper()
+	addr, _ := benchServerOpts(b, preload, hyrise.ServerOptions{})
+	return addr
+}
+
+// benchServerOpts is benchServer with explicit server options, also
+// returning the server (the observability benchmarks scrape it).
+func benchServerOpts(b *testing.B, preload int, opts hyrise.ServerOptions) (string, *hyrise.DBServer) {
+	b.Helper()
 	st, err := hyrise.NewShardedTable("bench", hyrise.Schema{
 		{Name: "k", Type: hyrise.Uint64},
 		{Name: "v", Type: hyrise.Uint64},
@@ -39,12 +47,12 @@ func benchServer(b *testing.B, preload int) string {
 	if err != nil {
 		b.Fatal(err)
 	}
-	srv, err := hyrise.Serve(l, st, hyrise.ServerOptions{})
+	srv, err := hyrise.Serve(l, st, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { srv.Close() })
-	return l.Addr().String()
+	return l.Addr().String(), srv
 }
 
 // benchClients dials n independent clients (each with its own pool).
