@@ -323,6 +323,15 @@ type ServerStats struct {
 	// opcode served at least once (protocol version 4+; empty on older
 	// servers or when the server runs with metrics disabled).
 	Ops []OpCount
+	// Shards is the live active shard count (1 on a flat store) and
+	// Partitions the physical partition count including sealed pre-reshard
+	// partitions; ShardMapVersion advances with every reshard and
+	// Resharding reports a migration in flight (protocol version 5+; zero
+	// values on older servers).
+	Shards          int
+	Partitions      int
+	ShardMapVersion uint64
+	Resharding      bool
 }
 
 // OpCount is one opcode's cumulative request and error totals since
@@ -402,6 +411,27 @@ func (c *Client) ServerStats() (ServerStats, error) {
 			}
 			st.Ops = append(st.Ops, oc)
 		}
+	}
+	if c.protocol >= 5 {
+		// Version 5 tail: live shard topology.
+		ns, err := r.U32()
+		if err != nil {
+			return st, err
+		}
+		st.Shards = int(ns)
+		np, err := r.U32()
+		if err != nil {
+			return st, err
+		}
+		st.Partitions = int(np)
+		if st.ShardMapVersion, err = r.U64(); err != nil {
+			return st, err
+		}
+		resharding, err := r.U8()
+		if err != nil {
+			return st, err
+		}
+		st.Resharding = resharding != 0
 	}
 	return st, nil
 }

@@ -51,6 +51,20 @@
 //	-compact         merge all deltas before the shutdown save (default true)
 //	-drain           graceful-shutdown timeout (default 10s)
 //
+// # Online resharding
+//
+// A running sharded daemon can change its active shard count without
+// stopping: start hyrised with -reshard N and it acts as an admin client
+// instead of a server — it dials -addr, asks the daemon there to reshard
+// to N active shards (reads and writes keep flowing throughout; followers
+// replay the same migration from the op log), prints the migration
+// report, and exits:
+//
+//	$ hyrised -addr 127.0.0.1:4860 -reshard 8
+//
+//	-reshard         admin mode: reshard the server at -addr to N active
+//	                 shards and exit (0 = serve normally)
+//
 // # Observability
 //
 // The daemon exposes the server's metrics registry over a private HTTP
@@ -111,6 +125,7 @@ import (
 	"time"
 
 	"hyrise"
+	"hyrise/client"
 	"hyrise/internal/server"
 )
 
@@ -130,6 +145,7 @@ type config struct {
 	maxSnapshots  int  // 0 = server.DefaultMaxSnapshots
 	compact       bool
 	drain         time.Duration
+	reshard       int
 	replicate     bool
 	oplogCap      int
 	follow        string
@@ -162,6 +178,8 @@ func main() {
 		"snapshot registry capacity (< 0 = unlimited)")
 	flag.BoolVar(&cfg.compact, "compact", true, "merge all deltas before the shutdown save")
 	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown timeout")
+	flag.IntVar(&cfg.reshard, "reshard", 0,
+		"admin mode: reshard the server at -addr to N active shards and exit (0 = serve)")
 	flag.BoolVar(&cfg.replicate, "replicate", false, "keep an op log and serve replication subscribers")
 	flag.IntVar(&cfg.oplogCap, "oplog-cap", 0, "retained op-log entries (0 = 1<<20)")
 	flag.StringVar(&cfg.follow, "follow", "", "primary address: run as a read-only follower")
@@ -198,6 +216,9 @@ func main() {
 // save.  It is the whole daemon minus flags and signals, so tests run it
 // in-process.
 func run(ctx context.Context, cfg config, logger *slog.Logger) error {
+	if cfg.reshard != 0 {
+		return reshardRemote(cfg, logger)
+	}
 	if cfg.follow != "" {
 		if cfg.replicate {
 			return errors.New("-follow excludes -replicate (followers cannot chain)")
@@ -377,6 +398,26 @@ func run(ctx context.Context, cfg config, logger *slog.Logger) error {
 		}
 		logger.Info("saved snapshot", "path", cfg.snapshot, "rows", st.Rows())
 	}
+	return nil
+}
+
+// reshardRemote is the -reshard admin mode: dial the daemon at -addr as
+// an ordinary client, ask it to reshard online, report, exit.
+func reshardRemote(cfg config, logger *slog.Logger) error {
+	c, err := client.Dial(cfg.addr)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", cfg.addr, err)
+	}
+	defer c.Close()
+	rep, err := c.Reshard(cfg.reshard)
+	if err != nil {
+		return fmt.Errorf("reshard to %d: %w", cfg.reshard, err)
+	}
+	logger.Info("resharded",
+		"from", rep.From, "to", rep.To, "rows_migrated", rep.RowsMigrated,
+		"wall", rep.Wall.Round(time.Microsecond),
+		"cutover", rep.Cutover.Round(time.Microsecond),
+		"map_version", rep.MapVersion, "cutover_epoch", rep.CutoverEpoch)
 	return nil
 }
 

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"hyrise/client"
+)
+
+// TestReshardAdminMode starts a daemon, grows it from 2 to 8 active
+// shards with the -reshard admin mode (a second run invocation acting as
+// a client), and checks the live topology and data through the protocol.
+func TestReshardAdminMode(t *testing.T) {
+	cfg := config{
+		addr:          "127.0.0.1:0",
+		table:         "sales",
+		schema:        "k:uint64,v:uint64",
+		shards:        2,
+		mergeFraction: -1,
+		compact:       false,
+		drain:         15 * time.Second,
+	}
+	addr, stopDaemon := startDaemon(t, cfg)
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const rows = 500
+	batch := make([][]any, rows)
+	for i := range batch {
+		batch[i] = []any{uint64(i), uint64(i)}
+	}
+	if _, err := c.InsertBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+
+	admin := config{addr: addr, reshard: 8, drain: time.Second}
+	if err := run(context.Background(), admin, testLogger(t)); err != nil {
+		t.Fatalf("hyrised -reshard 8: %v", err)
+	}
+
+	stats, err := c.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shards != 8 || stats.Partitions != 10 || stats.Resharding {
+		t.Fatalf("post-reshard topology = %+v", stats)
+	}
+	for _, k := range []uint64{0, 250, 499} {
+		ids, err := c.Lookup("k", k)
+		if err != nil || len(ids) != 1 {
+			t.Fatalf("Lookup(%d) = %v, %v", k, ids, err)
+		}
+	}
+	if err := stopDaemon(); err != nil {
+		t.Fatalf("daemon shutdown: %v", err)
+	}
+}

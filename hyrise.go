@@ -87,18 +87,26 @@
 // Pure insert-only storage grows without bound under a steady update
 // workload, so the merge doubles as the garbage collector (on by default;
 // Store.SetGC(false) restores keep-everything behavior).  When a merge
-// freezes its delta it computes a GC watermark — the minimum epoch of any
-// live pinned view, or the current epoch when none is pinned — and every
-// version invalidated at or below the watermark is dropped instead of
-// copied into the new main: such versions are invisible to every pinned
-// view and to every snapshot not yet captured (Larson et al., VLDB 2011,
-// use the same oldest-live-reader rule).  Dictionary values referenced
-// only by reclaimed versions are dropped with them.
+// freezes its delta it snapshots the exact set of live pinned epochs and
+// keeps a dead version only if some pin can still see it — begin <= pin
+// and (end == 0 || end > pin) for at least one pinned epoch; every other
+// invalidated version at or below the newest safe epoch is dropped
+// instead of copied into the new main.  This per-pin interval rule is
+// strictly more precise than the classic oldest-live-reader watermark
+// (Larson et al., VLDB 2011): one long-lived pin retains only the
+// versions visible at its own epoch, not every version invalidated since
+// it was taken, so history churned between an old pin and the present is
+// reclaimed rather than accumulating behind the oldest reader.
+// MergeReport.DeadAtFreeze counts the dead versions each merge saw and
+// MergeReport.LegacyReclaimable what the old watermark rule would have
+// freed — their difference against RowsReclaimed is the precision win.
+// Dictionary values referenced only by reclaimed versions are dropped
+// with them.
 //
 // The pin lifecycle: Store.Snapshot captures and pins in one step; call
-// ReadView.Release when done reading, or the watermark — and therefore
-// reclamation — cannot advance past the view.  Copies of a view share one
-// pin.  The zero ReadView and reads without a view never pin.
+// ReadView.Release when done reading, or the versions visible at the
+// view's epoch stay retained forever.  Copies of a view share one pin.
+// The zero ReadView and reads without a view never pin.
 //
 // Row ids are stable across reclamation: they are resolved through an
 // id-to-slot indirection, merges compact the physical slots underneath,
@@ -128,6 +136,38 @@
 // snapshots (see above).  Global row ids are stable and encode the owning
 // shard; they are not dense and not in global insertion order.  Updates
 // that change the key column may relocate a row to another shard.
+//
+// # Online resharding
+//
+// ShardedTable.Reshard(ctx, n) changes the active shard count while
+// readers and writers keep running.  Fresh partitions are created and
+// wired (op log, GC mode, secondary indexes), a reshard-begin op is
+// logged, and writes atomically switch to routing into the new window
+// while the old partitions are sealed against inserts.  A migration pass
+// then drains every live row from the sealed partitions into its new
+// home with MoveRow — invalidate at the old slot, re-insert at the new,
+// same global row id — so concurrent reads resolve each row exactly once
+// throughout.  Finally an epoch-stamped cutover op publishes the new map
+// version; ReshardReport carries the counts and timings.
+//
+// To a writer, a migrated row looks exactly like one relocated by a
+// concurrent key-changing update: its old global row id fails with
+// ErrRowInvalid and a key lookup finds the row under its new id.  Pinned
+// snapshots taken before the reshard keep reading bit-identical results
+// (the pre-move versions stay in the sealed partitions for as long as a
+// pin can see them), and both marker ops flow through the op log so
+// replication followers
+// replay the same migration and converge on the same topology.  Sealed
+// pre-reshard partitions stick around as empty husks (Stats and
+// ServerStats report active shards and physical partitions separately);
+// persisted snapshots record the active window and map version, and a
+// canceled migration cuts over anyway — rows not yet moved stay readable
+// in their sealed partitions and migrate on the next reshard.
+//
+// Over the network the same operation is client.Reshard (protocol
+// version 5), and a running hyrised daemon is resharded online with
+//
+//	$ hyrised -addr HOST:PORT -reshard N
 //
 // # Vectorized execution
 //
@@ -262,17 +302,23 @@
 //
 //	hyrise_server_*   per-opcode request/error counters and latency
 //	                  histograms, live connections, registered
-//	                  snapshots, pipelined requests, slow ops
+//	                  snapshots, pipelined and parallel-executed
+//	                  requests, slow ops
 //	hyrise_merge_*    merge counts, rows merged/reclaimed, per-phase
 //	                  (freeze/merge/commit) and wall durations
-//	hyrise_store_*    main/delta rows and the delta fill fraction
+//	hyrise_store_*    main/delta rows, delta fill fraction, active
+//	                  shards, physical partitions, shard-map version
 //	hyrise_epoch_*    current epoch, pins, GC watermark
-//	hyrise_gc_*       watermark, watermark age in epochs, rows retired
+//	hyrise_gc_*       watermark, watermark age in epochs, rows retired,
+//	                  dead versions seen vs. retained for live pins vs.
+//	                  what the legacy watermark rule would have freed
 //	hyrise_oplog_*    retained LSN bounds, entries, subscribers
 //	hyrise_replica_*  applied/primary epochs, lag, applied LSN
 //	hyrise_index_*    indexed vs. scanned read routing
 //	hyrise_query_*    planner seeds, estimated vs. actual driving-
 //	                  predicate rows, indexed seeds
+//	hyrise_reshard_*  reshards run, rows migrated, wall and cutover
+//	                  durations
 //
 // DBServer.Registry exposes the registry; DBServer.ObsHandler serves it
 // as /metrics (Prometheus text exposition) alongside /healthz (role- and
@@ -365,6 +411,11 @@ type ColumnStats = table.ColumnStats
 
 // ShardedStats aggregates per-shard storage statistics (ShardedTable.Stats).
 type ShardedStats = shard.Stats
+
+// ReshardReport summarizes one completed online reshard
+// (ShardedTable.Reshard): shard counts before and after, rows migrated,
+// phase timings, and the published shard-map version and cutover epoch.
+type ReshardReport = shard.ReshardReport
 
 // Merge configuration and results.
 type (

@@ -28,6 +28,7 @@ package epoch
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -162,6 +163,74 @@ func (c *Clock) Watermark() uint64 {
 		}
 	}
 	return w
+}
+
+// PinSet is a point-in-time copy of the live pin registry plus the epoch
+// the clock stood at when the copy was taken.  It drives precise per-pin
+// retention: instead of collapsing all pins into a single min-pin
+// watermark, a reclaim decision tests each dead version's [begin, end)
+// validity interval against the individual pinned epochs, so a version
+// invalidated after an old pin — and therefore never visible to it — is
+// reclaimable even while that old pin stays registered.
+//
+// The copy is consistent (taken under the pin mutex) but immediately
+// stale: pins registered after LivePins returns are not in the set.  That
+// is safe for the GC protocol because new pins are either captures (whose
+// epoch is >= now, protected by the now bound) or PinAt calls, which must
+// check the table's GCBound after pinning.
+type PinSet struct {
+	epochs []uint64 // sorted ascending, one per live pin
+	now    uint64   // clock reading at snapshot time
+}
+
+// LivePins snapshots the live pin registry and the current epoch into a
+// PinSet for one reclaim pass.
+func (c *Clock) LivePins() PinSet {
+	c.pinMu.Lock()
+	defer c.pinMu.Unlock()
+	ps := PinSet{now: c.Now()}
+	if len(c.pins) > 0 {
+		ps.epochs = make([]uint64, 0, len(c.pins))
+		for p := range c.pins {
+			ps.epochs = append(ps.epochs, p.epoch)
+		}
+		sort.Slice(ps.epochs, func(i, j int) bool { return ps.epochs[i] < ps.epochs[j] })
+	}
+	return ps
+}
+
+// Now returns the epoch the clock stood at when the set was snapshotted.
+func (ps PinSet) Now() uint64 { return ps.now }
+
+// Len returns the number of live pins in the set.
+func (ps PinSet) Len() int { return len(ps.epochs) }
+
+// Watermark returns the classic min-pin watermark over the set: the
+// minimum pinned epoch, or the snapshot epoch when nothing is pinned.
+// Retention tests keep it around to measure precise retention against the
+// coarse horizon it replaces.
+func (ps PinSet) Watermark() uint64 {
+	if len(ps.epochs) > 0 && ps.epochs[0] < ps.now {
+		return ps.epochs[0]
+	}
+	return ps.now
+}
+
+// Reclaimable reports whether a version with the given begin/end stamps is
+// invisible to every live pin and to every future capture, and may
+// therefore be reclaimed.  A version is visible at pinned epoch E iff
+// begin <= E < end (end == 0 means current, never reclaimable), so the
+// version is reclaimable iff it is dead, already invisible to the next
+// capture (end <= now), and no pinned epoch falls inside [begin, end).
+func (ps PinSet) Reclaimable(begin, end uint64) bool {
+	if end == 0 || end > ps.now {
+		return false
+	}
+	// Smallest pinned epoch >= begin; the version is visible to it iff it
+	// is also < end.  Pins below begin predate the version and never saw
+	// it; pins at or above end only saw its successors.
+	i := sort.Search(len(ps.epochs), func(i int) bool { return ps.epochs[i] >= begin })
+	return i == len(ps.epochs) || ps.epochs[i] >= end
 }
 
 // Rows holds the begin/end epoch columns of one table, indexed by row id.

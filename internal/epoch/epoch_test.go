@@ -181,3 +181,55 @@ func TestRowsCompact(t *testing.T) {
 		t.Fatal("survivors should all be alive")
 	}
 }
+
+func TestPinSetReclaimable(t *testing.T) {
+	c := NewClock()
+	// Advance to epoch 10 and pin epochs 3 and 7.
+	c.AdvanceTo(10)
+	p3 := c.PinAt(3)
+	p7 := c.PinAt(7)
+	ps := c.LivePins()
+	if ps.Len() != 2 || ps.Now() != 10 {
+		t.Fatalf("LivePins len=%d now=%d want 2/10", ps.Len(), ps.Now())
+	}
+	if w := ps.Watermark(); w != 3 {
+		t.Fatalf("watermark %d want 3", w)
+	}
+	cases := []struct {
+		begin, end uint64
+		want       bool
+	}{
+		{1, 0, false},  // current version: never reclaimable
+		{1, 2, true},   // died before every pin
+		{1, 4, false},  // visible at pin 3
+		{4, 6, true},   // between the pins: invisible to both
+		{4, 8, false},  // visible at pin 7
+		{7, 8, false},  // visible at exactly pin 7
+		{8, 9, true},   // after the last pin, dead before now
+		{8, 11, false}, // end beyond now: next capture could still see it
+		{5, 5, true},   // empty interval: visible to no reader ever
+		{3, 4, false},  // begin == pin epoch: visible to it
+	}
+	for _, tc := range cases {
+		if got := ps.Reclaimable(tc.begin, tc.end); got != tc.want {
+			t.Errorf("Reclaimable(%d, %d) = %v want %v", tc.begin, tc.end, got, tc.want)
+		}
+	}
+	// Releasing a pin changes later snapshots, not an existing PinSet.
+	p3.Release()
+	if !c.LivePins().Reclaimable(1, 4) {
+		t.Fatal("version below released pin should reclaim")
+	}
+	if ps.Reclaimable(1, 4) {
+		t.Fatal("existing PinSet must be immutable")
+	}
+	p7.Release()
+	// No pins: precise degenerates to the end <= now rule.
+	ps = c.LivePins()
+	if ps.Len() != 0 || ps.Watermark() != 10 {
+		t.Fatalf("empty set watermark %d want 10", ps.Watermark())
+	}
+	if !ps.Reclaimable(1, 10) || ps.Reclaimable(1, 11) {
+		t.Fatal("empty-set reclaim rule broken")
+	}
+}

@@ -48,9 +48,19 @@ const (
 	KindUpdate Kind = 0x02 // version ID invalidated, Rows[0] appended as ID2
 	KindDelete Kind = 0x03 // version ID invalidated
 	KindMove   Kind = 0x04 // ID invalidated on Shard, Rows[0] appended as ID2 on Dst
+	// KindReshardBegin opens an online reshard: ID new partitions exist
+	// from physical index Shard on, and subsequent ops may target them.
+	// ID2 carries the migrating shard-map version.  Appended BEFORE the
+	// primary routes any write to the new partitions, so a follower
+	// replaying in LSN order always creates them first.
+	KindReshardBegin Kind = 0x05
+	// KindReshardCutover atomically publishes the post-reshard routing:
+	// the active window becomes the ID partitions from physical index
+	// Shard, shard-map version ID2.  Its epoch stamp is the cutover epoch.
+	KindReshardCutover Kind = 0x06
 )
 
-func (k Kind) valid() bool { return k >= KindInsert && k <= KindMove }
+func (k Kind) valid() bool { return k >= KindInsert && k <= KindReshardCutover }
 
 // String names the kind for logs and errors.
 func (k Kind) String() string {
@@ -63,6 +73,10 @@ func (k Kind) String() string {
 		return "delete"
 	case KindMove:
 		return "move"
+	case KindReshardBegin:
+		return "reshard-begin"
+	case KindReshardCutover:
+		return "reshard-cutover"
 	}
 	return fmt.Sprintf("kind(0x%02x)", uint8(k))
 }
@@ -295,9 +309,9 @@ func Decode(r *wire.Reader) (Op, error) {
 		if n != 1 {
 			return o, fmt.Errorf("%w: %s op with %d rows", wire.ErrMalformed, o.Kind, n)
 		}
-	case KindDelete:
+	case KindDelete, KindReshardBegin, KindReshardCutover:
 		if n != 0 {
-			return o, fmt.Errorf("%w: delete op with %d rows", wire.ErrMalformed, n)
+			return o, fmt.Errorf("%w: %s op with %d rows", wire.ErrMalformed, o.Kind, n)
 		}
 	}
 	if n > 0 {

@@ -7,37 +7,41 @@
 // dictionary layout while the merge regenerates identical structures.
 // All integers are little-endian; strings are length-prefixed.
 //
-// Version 4 layout (current):
+// Version 5 layout (current):
 //
-//	magic "HYRS" | version u32 = 4 | topology u8 | name
+//	magic "HYRS" | version u32 = 5 | topology u8 | name
 //	ncols u32 | per column: name | type u8
-//	if sharded: key column | shard count u32
+//	if sharded: key column | partition count u32 |
+//	            active base u32 | active len u32 | shard-map version u64
 //	clock u64 (the store's epoch clock)
-//	per partition (1 for flat, shard count for sharded):
+//	per partition (1 for flat, partition count for sharded):
 //	    rows u64 | main rows u64 |
 //	    next id u64 | retired u64 | reclaimed bytes u64 | gc watermark u64 |
 //	    stable row ids (rows of u64) |
 //	    begin epochs (rows of u64) | end epochs (rows of u64) |
 //	    per column: values (rows of u32 / u64 / string)
 //
-// The header records the topology, key column and shard count, so sharded
-// tables round-trip: each shard is encoded as its own partition and global
-// row ids (local*shards + shard) are preserved exactly.  The per-partition
-// main-row count lets the loader re-merge to the saved main/delta split.
-// v4 adds the stable row-id map and garbage-collection state introduced
-// with GC merges: each physical row's stable id is recorded (ids are not
-// dense once GC has retired some), along with the next id, the cumulative
-// retired/reclaimed counters and the last applied GC watermark, so ids
-// retired before the save stay retired after a reload.  Loader merges run
-// with GC disabled so rebuilt tables are byte-exact replicas.
+// The header records the topology, key column and shard topology, so
+// sharded tables round-trip: each physical partition is encoded in
+// physical order and global row ids (local*stride + partition) are
+// preserved exactly.  The per-partition main-row count lets the loader
+// re-merge to the saved main/delta split.
 //
-// Version 3 snapshots (dense row ids, no GC state), version 2 snapshots
-// (validity bitmap instead of epochs, no clock) and version 1 snapshots
-// (flat tables only: no topology byte, no main-row count, rows reloaded
-// into the delta) still load.  v3 rows get dense ids, exactly what the
-// saved table had; v2/v1 rows are additionally stamped with load-time
-// epochs, collapsing the pre-save history — equivalent because snapshots
-// never outlive a process.
+// v5 adds the shard-map topology introduced with online resharding: the
+// physical partition count, the active window (which tail of the partition
+// list key hashing routes writes to) and the shard-map version, so a table
+// saved after — or during — a reshard restores with consistent routing.  A
+// mid-reshard save is normalized to its post-cutover topology (see
+// shard.Table.PersistTopology); rows the migration had not yet moved load
+// back into their sealed partitions, readable and consistent, and drain
+// lazily.  v4 snapshots (no shard-map state: every partition active,
+// map version 1) still load, as do version 3 snapshots (dense row ids, no
+// GC state), version 2 snapshots (validity bitmap instead of epochs, no
+// clock) and version 1 snapshots (flat tables only: no topology byte, no
+// main-row count, rows reloaded into the delta).  v3 rows get dense ids,
+// exactly what the saved table had; v2/v1 rows are additionally stamped
+// with load-time epochs, collapsing the pre-save history — equivalent
+// because snapshots never outlive a process.
 package persist
 
 import (
@@ -58,7 +62,10 @@ import (
 const Magic = "HYRS"
 
 // Version is the current format version.
-const Version uint32 = 4
+const Version uint32 = 5
+
+// VersionV4 is the pre-reshard format (no shard-map state), still readable.
+const VersionV4 uint32 = 4
 
 // VersionV3 is the dense-row-id format (no GC state), still readable.
 const VersionV3 uint32 = 3
@@ -500,11 +507,14 @@ func Save(t *table.Table, out io.Writer) error {
 	return w.w.Flush()
 }
 
-// SaveSharded writes a v4 snapshot of a sharded table: the header records
-// the key column, shard count and the shared epoch clock, then every shard
-// is encoded as its own partition, so global row ids survive the round
-// trip.
+// SaveSharded writes a v5 snapshot of a sharded table: the header records
+// the key column, the shard-map topology (physical partition count, active
+// window, map version) and the shared epoch clock, then every physical
+// partition is encoded in physical order, so global row ids survive the
+// round trip.  A mid-reshard topology is saved in its normalized
+// post-cutover form (shard.Table.PersistTopology).
 func SaveSharded(st *shard.Table, out io.Writer) error {
+	parts, activeBase, activeLen, mapVersion := st.PersistTopology()
 	w := &writer{w: bufio.NewWriter(out)}
 	w.bytes([]byte(Magic))
 	w.u32(Version)
@@ -512,9 +522,12 @@ func SaveSharded(st *shard.Table, out io.Writer) error {
 	w.str(st.Name())
 	w.writeSchema(st.Schema())
 	w.str(st.KeyColumn())
-	w.u32(uint32(st.NumShards()))
+	w.u32(uint32(len(parts)))
+	w.u32(uint32(activeBase))
+	w.u32(uint32(activeLen))
+	w.u64(mapVersion)
 	w.u64(st.Clock().Now())
-	for _, s := range st.Shards() {
+	for _, s := range parts {
 		if err := writePartition(w, s); err != nil {
 			return err
 		}
@@ -537,7 +550,7 @@ func LoadAny(in io.Reader) (*table.Table, *shard.Table, error) {
 	case VersionV1:
 		t, err := loadV1(r)
 		return t, nil, err
-	case VersionV2, VersionV3, Version:
+	case VersionV2, VersionV3, VersionV4, Version:
 		version = v
 	default:
 		return nil, nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, v)
@@ -548,13 +561,14 @@ func LoadAny(in io.Reader) (*table.Table, *shard.Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	// readPartition dispatches on version: v4 restores the id map and GC
-	// state, v3 restores epochs with dense ids, v2 stamps load-time epochs
-	// from the validity bitmap.
+	// readPartition dispatches on version: v4/v5 restore the id map and GC
+	// state (their per-partition encodings are identical), v3 restores
+	// epochs with dense ids, v2 stamps load-time epochs from the validity
+	// bitmap.
 	hasClock := version >= VersionV3
 	readPartition := func(t *table.Table) error {
 		switch version {
-		case Version:
+		case Version, VersionV4:
 			return r.readPartitionIntoV4(t, schema)
 		case VersionV3:
 			return r.readPartitionIntoV3(t, schema)
@@ -581,14 +595,25 @@ func LoadAny(in io.Reader) (*table.Table, *shard.Table, error) {
 		return t, nil, nil
 	case topoSharded:
 		key := r.str()
-		shards := int(r.u32())
+		parts := int(r.u32())
+		// Pre-v5 snapshots carry no shard-map state: every partition is
+		// active and the map is at its initial version.
+		activeBase, activeLen := 0, parts
+		mapVersion := uint64(1)
+		if version >= Version {
+			activeBase = int(r.u32())
+			activeLen = int(r.u32())
+			mapVersion = r.u64()
+		}
 		if r.err != nil {
 			return nil, nil, r.err
 		}
-		if shards <= 0 || shards > shard.MaxShards {
-			return nil, nil, fmt.Errorf("%w: shard count %d", ErrFormat, shards)
+		if parts <= 0 || parts > shard.MaxShards ||
+			activeLen <= 0 || activeBase < 0 || activeBase+activeLen != parts || mapVersion == 0 {
+			return nil, nil, fmt.Errorf("%w: shard topology %d parts, active [%d,%d), map v%d",
+				ErrFormat, parts, activeBase, activeBase+activeLen, mapVersion)
 		}
-		st, err := shard.New(name, schema, key, shards)
+		st, err := shard.NewRestored(name, schema, key, parts, activeBase, activeLen, mapVersion)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -599,14 +624,20 @@ func LoadAny(in io.Reader) (*table.Table, *shard.Table, error) {
 			}
 			st.Clock().AdvanceTo(clock)
 		}
-		// Fill each shard directly, bypassing hash routing: the partition
-		// sections already are the routed per-shard contents, and direct
-		// insertion preserves every shard-local row id (hence every
-		// global id).
-		for i := 0; i < shards; i++ {
+		// Fill each partition directly, bypassing hash routing: the
+		// partition sections already are the routed per-partition contents,
+		// and direct insertion preserves every partition-local row id
+		// (hence every global id).
+		for i := 0; i < parts; i++ {
 			if err := readPartition(st.Shard(i)); err != nil {
 				return nil, nil, err
 			}
+		}
+		// Partitions outside the active window were sealed by resharding on
+		// the saved store; seal them only now that they are populated (a
+		// sealed partition rejects the loader's inserts).
+		for i := 0; i < activeBase; i++ {
+			st.Shard(i).Seal()
 		}
 		return nil, st, nil
 	default:

@@ -462,6 +462,26 @@ func (r *Replica) stream(br *bufio.Reader) error {
 
 // apply replays one op into the local store with the primary's stamps.
 func (r *Replica) apply(op oplog.Op) error {
+	switch op.Kind {
+	case oplog.KindReshardBegin:
+		// The primary logged the begin BEFORE routing any op to the new
+		// partitions, so creating them here keeps every later op's target
+		// in range.  Idempotent by shard-map version: a begin already
+		// covered by the bootstrap snapshot's topology is skipped.
+		if r.sharded == nil {
+			return fmt.Errorf("reshard op on a flat store")
+		}
+		if err := r.sharded.ApplyReshardBegin(int(op.Shard), int(op.ID), op.ID2); err != nil {
+			return err
+		}
+		r.parts = r.sharded.Partitions()
+		return nil
+	case oplog.KindReshardCutover:
+		if r.sharded == nil {
+			return fmt.Errorf("reshard op on a flat store")
+		}
+		return r.sharded.ApplyReshardCutover(int(op.Shard), int(op.ID), op.ID2)
+	}
 	if int(op.Shard) >= len(r.parts) {
 		return fmt.Errorf("shard %d out of range (%d partitions)", op.Shard, len(r.parts))
 	}

@@ -21,17 +21,33 @@
 //
 // # Session model
 //
-// Each connection is an independent session served by one goroutine.
-// Requests on a connection are executed strictly in order and answered
-// in order, so clients may pipeline: send N requests back to back, then
-// read N responses (hyrise/client batches inserts this way).  There is
-// no per-session state beyond the connection itself — snapshot tokens
-// (below) are server-wide, so a token captured on one connection is
-// valid on every other connection of the same server, which lets a
-// pooled client spread pinned reads across its connections.
-// Concurrency across sessions is the store's own concurrency: handlers
-// call straight into Store methods, whose shard locks and epoch clock do
-// the coordination.
+// Each connection is an independent session with one reader goroutine.
+// Responses are always delivered in request order, so clients may
+// pipeline: send N requests back to back, then read N responses
+// (hyrise/client batches inserts this way).  Execution order is looser
+// than response order on a pipelined connection: read-only requests
+// (lookups, ranges, scans, aggregates, stats — anything that mutates
+// nothing) may execute concurrently on a server-wide bounded worker
+// pool, with their finished responses re-sequenced into request order by
+// a per-connection writer.  Everything else — mutations, snapshot
+// capture and release, merge, index creation, reshard, hello — is a
+// barrier: the session waits for every read dispatched ahead of it to
+// finish, executes the op alone, and only then resumes dispatching, so a
+// read pipelined after a write on the same connection always observes
+// that write, exactly as under serial execution.  Reads between two
+// barriers commute (they mutate nothing and each resolves its own
+// epoch), so the reordering is invisible: every response is
+// byte-identical to serial execution.  A connection that never pipelines
+// pays none of this — it is served on the classic one-goroutine serial
+// path.
+//
+// There is no per-session state beyond the connection itself — snapshot
+// tokens (below) are server-wide, so a token captured on one connection
+// is valid on every other connection of the same server, which lets a
+// pooled client spread pinned reads across its connections.  Concurrency
+// across sessions is the store's own concurrency: handlers call straight
+// into Store methods, whose shard locks and epoch clock do the
+// coordination.
 //
 // # Snapshots
 //
@@ -161,6 +177,22 @@
 // count and per entry opcode u8, requests u64, errors u64, listing every
 // opcode served at least once.  Pre-v4 clients stop decoding at the LSN,
 // so the tail is backward compatible.
+//
+// # Online resharding (protocol v5)
+//
+// OpReshard changes a sharded store's active shard count online (body:
+// u32 shard count; see hyrise/internal/shard for the migration
+// protocol).  The op blocks until the migration completes and answers
+// with the report: from u32, to u32, rows migrated u64, wall and cutover
+// nanoseconds u64, shard-map version u64 and cutover epoch u64.  Reads
+// and writes on every other connection keep flowing throughout — the op
+// is a barrier only on its own connection.  It fails with
+// wire.StatusErrBadRequest on a flat store and wire.StatusErrReadOnly on
+// a follower (followers converge by replaying the reshard ops from the
+// primary's op log instead).  OpServerStats gained a v5 tail after the
+// v4 per-op counts: active shards u32, physical partitions u32,
+// shard-map version u64 and a resharding-in-progress byte, so clients
+// can watch a migration land.
 //
 // # Shutdown
 //

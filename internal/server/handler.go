@@ -53,7 +53,7 @@ func (s *Server) handle(payload []byte, out *wire.Buffer, info *reqInfo) {
 	}
 	if s.opts.Replica != nil {
 		switch op {
-		case wire.OpInsert, wire.OpInsertBatch, wire.OpUpdate, wire.OpDelete:
+		case wire.OpInsert, wire.OpInsertBatch, wire.OpUpdate, wire.OpDelete, wire.OpReshard:
 			s.fail(out, fmt.Errorf("%w: route writes to the primary", errReadOnly))
 			return
 		}
@@ -129,6 +129,8 @@ func (s *Server) handle(payload []byte, out *wire.Buffer, info *reqInfo) {
 		err = s.opIndexStats(r, out)
 	case wire.OpMetrics:
 		err = s.opMetrics(r, out)
+	case wire.OpReshard:
+		err = s.opReshard(r, out)
 	default:
 		err = fmt.Errorf("%w: unknown opcode 0x%02x", wire.ErrMalformed, op)
 	}
@@ -926,6 +928,59 @@ func (s *Server) opServerStats(r *wire.Reader, out *wire.Buffer) error {
 		out.U64(c.reqs)
 		out.U64(c.errs)
 	}
+	// Version 5 tail: shard topology.  Active shard count (1 on a flat
+	// store), physical partition count including sealed pre-reshard
+	// partitions, shard-map version (0 on a flat store) and whether a
+	// reshard migration is in flight.  Pre-v5 clients stop at the per-op
+	// counts, so appending stays backward compatible.
+	var shards uint32 = 1
+	var mapVer uint64
+	var resharding bool
+	if sh := s.sharded; sh != nil {
+		shards = uint32(sh.NumShards())
+		mapVer = sh.MapVersion()
+		resharding = sh.Resharding()
+	}
+	out.U32(shards)
+	out.U32(uint32(len(s.st.Partitions())))
+	out.U64(mapVer)
+	out.U8(boolByte(resharding))
+	return nil
+}
+
+// opReshard (protocol v5) changes the active shard count of a sharded
+// store online: reads at any epoch and concurrent writes keep working
+// throughout, and the migration flows through the op log so followers
+// replay it bit-identically.  Flat stores refuse the op; followers answer
+// read-only (the reshard reaches them through replication).  The response
+// reports the migration so clients can surface it without a second
+// round-trip.
+func (s *Server) opReshard(r *wire.Reader, out *wire.Buffer) error {
+	n, err := r.U32()
+	if err != nil {
+		return err
+	}
+	if err := r.Rest(); err != nil {
+		return err
+	}
+	if s.sharded == nil {
+		return fmt.Errorf("%w: store is not sharded", wire.ErrMalformed)
+	}
+	// Under lifeCtx like merges: a force-close aborts the migration pass
+	// instead of the session outliving the server (the cutover still
+	// publishes — the store stays consistent, just lazily drained).
+	rep, err := s.sharded.Reshard(s.lifeCtx, int(n))
+	if err != nil {
+		return err
+	}
+	s.mx.observeReshard(rep)
+	out.U32(uint32(rep.From))
+	out.U32(uint32(rep.To))
+	out.U64(uint64(rep.RowsMigrated))
+	out.U64(uint64(rep.Wall.Nanoseconds()))
+	out.U64(uint64(rep.CutoverWall.Nanoseconds()))
+	out.U64(rep.Version)
+	out.U64(rep.CutoverEpoch)
 	return nil
 }
 

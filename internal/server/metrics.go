@@ -3,6 +3,7 @@ package server
 import (
 	"hyrise/internal/metrics"
 	"hyrise/internal/query"
+	"hyrise/internal/shard"
 	"hyrise/internal/table"
 	"hyrise/internal/wire"
 )
@@ -25,6 +26,7 @@ type serverMetrics struct {
 	byOp [256]opMetric
 
 	pipelined *metrics.Counter
+	parallel  *metrics.Counter
 	slowOps   *metrics.Counter
 
 	mergeTotal     *metrics.Counter
@@ -35,6 +37,22 @@ type serverMetrics struct {
 	mergeRunDur    *metrics.Histogram
 	mergeCommitDur *metrics.Histogram
 	mergeWallDur   *metrics.Histogram
+
+	// Precise-retention accounting (PR 8 tentpole): how many dead versions
+	// each GC freeze saw, how many the precise per-pin rule kept for live
+	// pins, and how many the old min-pin watermark rule would have
+	// reclaimed — rowsReclaimed vs gcLegacyReclaimable is the precise-vs-
+	// watermark comparison, and gcRetained counts what live pins cost.
+	gcDeadAtFreeze      *metrics.Counter
+	gcRetained          *metrics.Counter
+	gcLegacyReclaimable *metrics.Counter
+
+	// Online-reshard instruments, fed by observeReshard after each
+	// completed OpReshard / Table.Reshard.
+	reshardTotal   *metrics.Counter
+	reshardRows    *metrics.Counter
+	reshardWall    *metrics.Histogram
+	reshardCutover *metrics.Histogram
 }
 
 // at returns the instrument set for an opcode; nil-safe.
@@ -78,6 +96,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 	}
 	m.pipelined = reg.Counter("hyrise_server_pipelined_requests_total",
 		"Requests that arrived while a previous request on the same connection was still queued.")
+	m.parallel = reg.Counter("hyrise_server_parallel_requests_total",
+		"Pipelined read requests dispatched for concurrent execution on their connection.")
 	m.slowOps = reg.Counter("hyrise_server_slow_ops_total",
 		"Requests that exceeded the slow-op threshold.")
 	reg.GaugeFunc("hyrise_server_connections",
@@ -102,6 +122,12 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Delta rows folded into main partitions by merges.")
 	m.rowsReclaimed = reg.Counter("hyrise_merge_rows_reclaimed_total",
 		"Dead row versions dropped by garbage-collecting merges.")
+	m.gcDeadAtFreeze = reg.Counter("hyrise_gc_dead_versions_total",
+		"Dead row versions observed by GC merge freezes (reclaimed or retained).")
+	m.gcRetained = reg.Counter("hyrise_gc_versions_retained_total",
+		"Dead versions kept by precise retention because a live pin can still see them.")
+	m.gcLegacyReclaimable = reg.Counter("hyrise_gc_watermark_reclaimable_total",
+		"Dead versions the coarse min-pin watermark rule would have reclaimed; compare with hyrise_merge_rows_reclaimed_total for the precise-retention gain.")
 	m.mergeFreezeDur = reg.Histogram("hyrise_merge_phase_seconds",
 		"Merge phase durations.", "phase", "freeze")
 	m.mergeRunDur = reg.Histogram("hyrise_merge_phase_seconds",
@@ -110,12 +136,14 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Merge phase durations.", "phase", "commit")
 	m.mergeWallDur = reg.Histogram("hyrise_merge_wall_seconds",
 		"End-to-end merge duration including lock phases.")
-	parts := s.st.Partitions()
+	// Partition-dependent gauges re-resolve the partition list on every
+	// scrape: an online reshard appends partitions after construction, and
+	// a stale captured slice would silently stop covering them.
 	reg.GaugeFunc("hyrise_gc_watermark",
 		"Highest watermark a committed GC merge applied (max over partitions).",
 		func() float64 {
 			var w uint64
-			for _, p := range parts {
+			for _, p := range s.st.Partitions() {
 				if v := p.GCWatermark(); v > w {
 					w = v
 				}
@@ -126,7 +154,7 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Epochs elapsed since the last applied GC watermark (staleness of reclamation).",
 		func() float64 {
 			var w uint64
-			for _, p := range parts {
+			for _, p := range s.st.Partitions() {
 				if v := p.GCWatermark(); v > w {
 					w = v
 				}
@@ -196,7 +224,7 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Point/range reads served from a group-key index vs. a column scan.",
 		func() float64 {
 			var n uint64
-			for _, p := range parts {
+			for _, p := range s.st.Partitions() {
 				i, _ := p.RoutingCounts()
 				n += i
 			}
@@ -206,7 +234,7 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Point/range reads served from a group-key index vs. a column scan.",
 		func() float64 {
 			var n uint64
-			for _, p := range parts {
+			for _, p := range s.st.Partitions() {
 				_, sc := p.RoutingCounts()
 				n += sc
 			}
@@ -228,8 +256,39 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Seed phases served by a group-key index.",
 		func() float64 { return float64(query.Planner().IndexedSeeds) })
 
-	for _, p := range parts {
+	// Online resharding (protocol v5): migration and cutover instruments,
+	// plus live shard-topology gauges on sharded stores.
+	m.reshardTotal = reg.Counter("hyrise_reshard_total", "Completed online reshards.")
+	m.reshardRows = reg.Counter("hyrise_reshard_rows_migrated_total",
+		"Row versions relocated into new shard windows by reshard migration passes.")
+	m.reshardWall = reg.Histogram("hyrise_reshard_wall_seconds",
+		"End-to-end online reshard duration (prepare, migrate, cutover).")
+	m.reshardCutover = reg.Histogram("hyrise_reshard_cutover_seconds",
+		"Duration of the atomic cutover step publishing the new routing.")
+	if sh := s.sharded; sh != nil {
+		reg.GaugeFunc("hyrise_store_shards", "Active shard count (current routing window).",
+			func() float64 { return float64(sh.NumShards()) })
+		reg.GaugeFunc("hyrise_store_partitions",
+			"Physical partition count, including sealed pre-reshard partitions.",
+			func() float64 { return float64(sh.NumParts()) })
+		reg.GaugeFunc("hyrise_shard_map_version", "Version of the published shard map.",
+			func() float64 { return float64(sh.MapVersion()) })
+		reg.GaugeFunc("hyrise_store_resharding", "1 while a reshard migration is in flight.",
+			func() float64 {
+				if sh.Resharding() {
+					return 1
+				}
+				return 0
+			})
+	}
+
+	for _, p := range s.st.Partitions() {
 		p.OnMerge(m.observeMerge)
+	}
+	if sh := s.sharded; sh != nil {
+		// Partitions created by a later reshard must feed the same merge
+		// instruments as the originals.
+		sh.OnPartition(func(p *table.Table, phys int) { p.OnMerge(m.observeMerge) })
 	}
 	return m
 }
@@ -243,11 +302,28 @@ func (m *serverMetrics) observeMerge(rep table.Report) {
 		m.mergeTotal.Inc()
 		m.rowsMerged.Add(uint64(rep.RowsMerged))
 		m.rowsReclaimed.Add(uint64(rep.RowsReclaimed))
+		m.gcDeadAtFreeze.Add(uint64(rep.DeadAtFreeze))
+		if kept := rep.DeadAtFreeze - rep.RowsReclaimed; kept > 0 {
+			m.gcRetained.Add(uint64(kept))
+		}
+		m.gcLegacyReclaimable.Add(uint64(rep.LegacyReclaimable))
 	}
 	m.mergeFreezeDur.ObserveDuration(rep.Freeze)
 	m.mergeRunDur.ObserveDuration(rep.MergeRun)
 	m.mergeCommitDur.ObserveDuration(rep.Commit)
 	m.mergeWallDur.ObserveDuration(rep.Wall)
+}
+
+// observeReshard feeds the reshard instruments; nil-safe like every other
+// serverMetrics entry point.
+func (m *serverMetrics) observeReshard(rep shard.ReshardReport) {
+	if m == nil {
+		return
+	}
+	m.reshardTotal.Inc()
+	m.reshardRows.Add(uint64(rep.RowsMigrated))
+	m.reshardWall.ObserveDuration(rep.Wall)
+	m.reshardCutover.ObserveDuration(rep.CutoverWall)
 }
 
 // timing reports whether latency needs to be measured at all: with

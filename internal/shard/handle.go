@@ -19,15 +19,22 @@ import (
 // results back in as a sorted global row id list.  Scan visits shards
 // sequentially (shard 0 first), so row order is per-shard insertion order,
 // not global insertion order.
+//
+// A handle covers the physical partitions that existed when it was
+// resolved.  A Reshard appends partitions, so resolve a fresh handle after
+// one to see rows the migration relocated; reads At an epoch captured
+// before the handle was resolved remain complete on the old handle (row
+// versions visible at that epoch never move to newer partitions).
 type Handle[V val.Value] struct {
 	st *Table
 	hs []*table.Handle[V]
 }
 
-// ColumnOf resolves a typed handle for the named column across all shards.
+// ColumnOf resolves a typed handle for the named column across all
+// physical partitions.
 func ColumnOf[V val.Value](st *Table, name string) (*Handle[V], error) {
 	h := &Handle[V]{st: st}
-	for _, s := range st.shards {
+	for _, s := range st.Shards() {
 		sh, err := table.ColumnOf[V](s, name)
 		if err != nil {
 			return nil, err
@@ -125,7 +132,7 @@ func (h *Handle[V]) CountEqualAt(view table.View, v V) int { return len(h.Lookup
 func (h *Handle[V]) Distinct() int {
 	seen := make(map[V]struct{})
 	for i, sh := range h.hs {
-		for _, local := range h.st.shards[i].RowIDs() {
+		for _, local := range h.st.Shard(i).RowIDs() {
 			v, err := sh.Get(local)
 			if err != nil {
 				continue
@@ -149,7 +156,7 @@ func NumericColumnOf[V interface{ ~uint32 | ~uint64 }](st *Table, name string) (
 		return nil, err
 	}
 	nh := &NumericHandle[V]{Handle: h}
-	for _, s := range st.shards {
+	for _, s := range st.Shards() {
 		n, err := table.NumericColumnOf[V](s, name)
 		if err != nil {
 			return nil, err

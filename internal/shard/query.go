@@ -29,14 +29,19 @@ func QueryAt(st *Table, view table.View, filters []query.Filter, project []strin
 		view = st.Snapshot()
 		defer view.Release()
 	}
-	results := make([]*query.Result, len(st.shards))
-	errs := make([]error, len(st.shards))
+	// Snapshot the topology once: partition indices below are physical
+	// indices into this list, valid for gid encoding even if a reshard
+	// publishes a newer map mid-query (row versions visible at the view's
+	// epoch never move to partitions created after it).
+	parts := st.Shards()
+	results := make([]*query.Result, len(parts))
+	errs := make([]error, len(parts))
 	var wg sync.WaitGroup
-	for i := range st.shards {
+	for i := range parts {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = query.RunAt(st.shards[i], view, filters, project)
+			results[i], errs[i] = query.RunAt(parts[i], view, filters, project)
 		}(i)
 	}
 	wg.Wait()

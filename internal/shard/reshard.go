@@ -1,0 +1,318 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"hyrise/internal/oplog"
+	"hyrise/internal/table"
+)
+
+// This file implements online resharding: changing the active shard count
+// of a live sharded table while readers — including pinned snapshots and
+// replication followers — keep running against a consistent view
+// throughout.
+//
+// # Protocol
+//
+// Reshard(n) appends n fresh partitions to the physical partition list and
+// makes them the new active window in three phases:
+//
+//  1. Prepare: the new partitions are created, attached to the oplog,
+//     indexed like the existing ones, and announced with a
+//     KindReshardBegin op BEFORE any routing change — a follower replaying
+//     the log in LSN order therefore always creates the partitions before
+//     the first op that targets them.  Then the migrating shard map is
+//     published (writes now route to the new window) and every old
+//     partition is sealed.  Seal takes each partition's write lock, so it
+//     is a barrier: every write that routed by the old map has fully
+//     committed — and logged — before migration starts.
+//  2. Migrate: one pass over the sealed partitions relocates every current
+//     row version into the new window with table.MoveRow — an atomic
+//     invalidate-plus-insert under both partition locks with ONE epoch
+//     stamp, flowing through the oplog as an ordinary KindMove.  A row the
+//     pass cannot claim (table.ErrRowInvalid) was concurrently deleted or
+//     updated; updates relocate out of sealed partitions themselves, so
+//     either way the row needs no migration.  The pass is complete:
+//     sealed partitions gain no new versions, so one scan suffices.
+//  3. Cutover: a KindReshardCutover op is appended — its epoch stamp is
+//     the cutover epoch — and the final map (active window = the new
+//     partitions) is published atomically.
+//
+// # What readers observe
+//
+// Row versions never change content and moves are snapshot-atomic, so a
+// read at any epoch returns identical results before, during and after the
+// reshard: versions visible at pre-move epochs remain in the sealed
+// partitions (subject to the normal GC retention rules — a pinned snapshot
+// keeps them), and fan-out reads cover sealed partitions for as long as
+// they exist.  Writers racing the reshard retry transparently through the
+// republished map.  A writer whose row the migration claims first observes
+// table.ErrRowInvalid, exactly as when it loses to a concurrent updater:
+// re-locate the row by key and retry with the new global row id.
+//
+// Sealed partitions drain toward empty as GC merges reclaim their
+// invalidated versions; their storage footprint then is a few empty
+// columns.
+
+// ReshardReport describes one completed reshard.
+type ReshardReport struct {
+	// From and To are the active shard counts before and after.
+	From, To int
+	// RowsMigrated counts row versions relocated into the new window by
+	// the migration pass (rows concurrently deleted or relocated by their
+	// own updates are not counted).
+	RowsMigrated int
+	// Wall is the end-to-end duration; SealWall the write-lock barrier
+	// that quiesced old-map writes; CutoverWall the final atomic
+	// publish step.
+	Wall, SealWall, CutoverWall time.Duration
+	// Version is the shard-map version after cutover (it advanced twice:
+	// begin and cutover).
+	Version uint64
+	// CutoverEpoch is the epoch stamped on the cutover op.
+	CutoverEpoch uint64
+}
+
+// Reshard changes the active shard count to n, online.  Reads at any epoch
+// are unaffected throughout; writes keep flowing (they re-route through
+// the new map, see package comment).  Reshards are serialized with each
+// other; Reshard(current count) is a no-op.
+//
+// Cancelling ctx stops the migration pass early but still cuts over: the
+// table stays fully consistent, with not-yet-migrated rows remaining
+// readable (and updatable) in their sealed partitions until a later
+// Reshard or their own updates drain them.  ctx.Err() is returned so the
+// caller knows the drain is incomplete.
+func (st *Table) Reshard(ctx context.Context, n int) (ReshardReport, error) {
+	st.reshardMu.Lock()
+	defer st.reshardMu.Unlock()
+
+	m := st.load()
+	if n == m.n && !m.migrating {
+		return ReshardReport{From: m.n, To: n, Version: m.version}, nil
+	}
+	if n < 1 || n > MaxShards || len(m.parts)+n > MaxShards {
+		return ReshardReport{}, fmt.Errorf("%w: reshard to %d (have %d partitions)",
+			ErrNoShards, n, len(m.parts))
+	}
+
+	st.mu.Lock()
+	olog := st.olog
+	gcOn := st.gcOn
+	indexCols := append([]string(nil), st.indexCols...)
+	onPart := st.onPart
+	st.mu.Unlock()
+
+	start := time.Now()
+	rep := ReshardReport{From: m.n, To: n}
+
+	// Phase 1a: create and fully wire the new partitions before anything
+	// is published or logged, so failure here leaves the table untouched.
+	newBase := len(m.parts)
+	fresh := make([]*table.Table, n)
+	for i := range fresh {
+		phys := newBase + i
+		s, err := table.NewWithClock(fmt.Sprintf("%s/%d", st.name, phys), st.schema, st.clock)
+		if err != nil {
+			return ReshardReport{}, err
+		}
+		if olog != nil {
+			if err := s.AttachOplog(olog, phys); err != nil {
+				return ReshardReport{}, err
+			}
+		}
+		s.SetGC(gcOn)
+		for _, col := range indexCols {
+			if err := s.CreateIndex(col); err != nil {
+				return ReshardReport{}, err
+			}
+		}
+		fresh[i] = s
+	}
+
+	// Phase 1b: announce, publish the migrating map, seal.
+	if olog != nil {
+		olog.Append([]oplog.Rec{{
+			Kind: oplog.KindReshardBegin, Shard: uint32(newBase),
+			ID: uint64(n), ID2: m.version + 1,
+		}})
+	}
+	mig := &shardMap{
+		version: m.version + 1,
+		parts:   append(append([]*table.Table(nil), m.parts...), fresh...),
+		base:    m.base, n: m.n,
+		migrating: true, nextBase: newBase, nextLen: n,
+	}
+	st.smap.Store(mig)
+	if onPart != nil {
+		for i, s := range fresh {
+			onPart(s, newBase+i)
+		}
+	}
+	sealStart := time.Now()
+	for _, s := range m.parts {
+		s.Seal()
+	}
+	rep.SealWall = time.Since(sealStart)
+
+	// Phase 2: drain every sealed partition (including partitions a loaded
+	// mid-reshard snapshot left partially drained) into the new window.
+	var migErr error
+drain:
+	for src := range mig.parts[:newBase] {
+		p := mig.parts[src]
+		for _, local := range p.RowIDs() {
+			if ctx.Err() != nil {
+				migErr = ctx.Err()
+				break drain
+			}
+			if !p.IsValid(local) {
+				continue
+			}
+			values, err := p.Row(local)
+			if err != nil {
+				continue // reclaimed between RowIDs and here
+			}
+			dst, err := st.routeFor(mig, values[st.keyIdx])
+			if err != nil {
+				migErr = err
+				break drain
+			}
+			if _, err := table.MoveRow(p, local, mig.parts[dst], values); err != nil {
+				if errors.Is(err, table.ErrRowInvalid) {
+					continue // claimed by a concurrent update or delete
+				}
+				migErr = err
+				break drain
+			}
+			rep.RowsMigrated++
+		}
+	}
+
+	// Phase 3: cutover.  Even after a migration error the cutover
+	// publishes — the table is consistent either way, the drain is just
+	// incomplete (see Reshard doc).
+	cutStart := time.Now()
+	var cutoverEpoch uint64
+	if olog != nil {
+		cutoverEpoch = olog.Append([]oplog.Rec{{
+			Kind: oplog.KindReshardCutover, Shard: uint32(newBase),
+			ID: uint64(n), ID2: m.version + 2,
+		}})
+	} else {
+		cutoverEpoch = st.clock.Now()
+	}
+	st.smap.Store(&shardMap{
+		version: m.version + 2,
+		parts:   mig.parts,
+		base:    newBase, n: n,
+	})
+	rep.CutoverWall = time.Since(cutStart)
+	rep.Wall = time.Since(start)
+	rep.Version = m.version + 2
+	rep.CutoverEpoch = cutoverEpoch
+	return rep, migErr
+}
+
+// ApplyReshardBegin replays a KindReshardBegin op on a replication
+// follower: n partitions are created from physical index base on, routing
+// switches to them, and the old partitions are sealed — mirroring the
+// primary's phase 1 so that subsequent replayed ops find their target
+// partitions.  Idempotent: a begin at or below the current map version is
+// skipped (re-delivery after reconnect).
+func (st *Table) ApplyReshardBegin(base, n int, version uint64) error {
+	st.reshardMu.Lock()
+	defer st.reshardMu.Unlock()
+
+	m := st.load()
+	if version <= m.version {
+		return nil
+	}
+	if base != len(m.parts) || n < 1 || base+n > MaxShards {
+		return fmt.Errorf("%w: reshard-begin base %d count %d, have %d partitions",
+			table.ErrReplayGap, base, n, len(m.parts))
+	}
+	st.mu.Lock()
+	olog := st.olog
+	gcOn := st.gcOn
+	indexCols := append([]string(nil), st.indexCols...)
+	onPart := st.onPart
+	st.mu.Unlock()
+
+	fresh := make([]*table.Table, n)
+	for i := range fresh {
+		phys := base + i
+		s, err := table.NewWithClock(fmt.Sprintf("%s/%d", st.name, phys), st.schema, st.clock)
+		if err != nil {
+			return err
+		}
+		if olog != nil {
+			if err := s.AttachOplog(olog, phys); err != nil {
+				return err
+			}
+		}
+		s.SetGC(gcOn)
+		for _, col := range indexCols {
+			if err := s.CreateIndex(col); err != nil {
+				return err
+			}
+		}
+		fresh[i] = s
+	}
+	st.smap.Store(&shardMap{
+		version: version,
+		parts:   append(append([]*table.Table(nil), m.parts...), fresh...),
+		base:    m.base, n: m.n,
+		migrating: true, nextBase: base, nextLen: n,
+	})
+	if onPart != nil {
+		for i, s := range fresh {
+			onPart(s, base+i)
+		}
+	}
+	for _, s := range m.parts {
+		s.Seal()
+	}
+	return nil
+}
+
+// ApplyReshardCutover replays a KindReshardCutover op on a follower,
+// publishing the post-reshard routing.  Idempotent by map version.
+func (st *Table) ApplyReshardCutover(base, n int, version uint64) error {
+	st.reshardMu.Lock()
+	defer st.reshardMu.Unlock()
+
+	m := st.load()
+	if version <= m.version {
+		return nil
+	}
+	if !m.migrating || m.nextBase != base || m.nextLen != n || version != m.version+1 {
+		return fmt.Errorf("%w: reshard-cutover base %d count %d version %d (map version %d, migrating %v)",
+			table.ErrReplayGap, base, n, version, m.version, m.migrating)
+	}
+	st.smap.Store(&shardMap{
+		version: version,
+		parts:   m.parts,
+		base:    base, n: n,
+	})
+	return nil
+}
+
+// PersistTopology returns the physical partition list and routing the
+// snapshot writer records.  A mid-reshard topology is normalized to its
+// post-cutover form (the migration target becomes the active window):
+// rows not yet migrated simply remain in sealed partitions of the restored
+// store — the same lazily-drained, fully consistent state a cancelled
+// Reshard leaves behind.
+func (st *Table) PersistTopology() (parts []*table.Table, activeBase, activeLen int, version uint64) {
+	m := st.load()
+	parts = make([]*table.Table, len(m.parts))
+	copy(parts, m.parts)
+	if m.migrating {
+		return parts, m.nextBase, m.nextLen, m.version + 1
+	}
+	return parts, m.base, m.n, m.version
+}

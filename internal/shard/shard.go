@@ -10,26 +10,41 @@
 // shards as well as within columns, keeping each individual merge — and
 // its brief commit lock — small.
 //
+// # Topology
+//
+// The routing state lives in an immutable shard map published through one
+// atomic pointer: the append-only list of every physical partition ever
+// created, plus the active window — the suffix of partitions that key
+// hashing currently routes writes to.  Reshard (see reshard.go) appends a
+// new window, migrates rows into it and republishes the map; partitions
+// outside the active window are sealed (no new row versions) but keep
+// serving reads until garbage collection drains them.  Readers therefore
+// fan out over ALL physical partitions, writers route over the active
+// window only.
+//
 // Guarantees:
 //
-//   - A row lives in exactly one shard, determined by the hash of its key
-//     column value.  Updates that change the key value may relocate the
-//     row to another shard; the move invalidates the old version and
-//     inserts the new one under both shard locks with ONE epoch stamp, so
-//     it is atomic to snapshots.
-//   - Each shard's merge is individually atomic and online, exactly as in
-//     the flat table.
-//   - All shards share one epoch clock, so Snapshot() captures a single
-//     epoch that is consistent across every shard: reads through the view
-//     (LookupAt/RangeAt/ScanAt/QueryAt/ValidRowsAt) reflect one frozen
-//     state of the whole table, even while inserts, updates, deletes,
-//     cross-shard moves and per-shard merges proceed underneath.  Latest
-//     reads (no view) still acquire shard read locks one at a time and can
-//     observe shard A before and shard B after a concurrent multi-shard
-//     writer; use a snapshot when that matters.
+//   - A row lives in exactly one partition; current versions live in the
+//     active window, determined by the hash of the key column value.
+//     Updates that change the key value may relocate the row to another
+//     partition; the move invalidates the old version and inserts the new
+//     one under both partition locks with ONE epoch stamp, so it is atomic
+//     to snapshots.
+//   - Each partition's merge is individually atomic and online, exactly as
+//     in the flat table.
+//   - All partitions share one epoch clock, so Snapshot() captures a
+//     single epoch that is consistent across every partition: reads
+//     through the view (LookupAt/RangeAt/ScanAt/QueryAt/ValidRowsAt)
+//     reflect one frozen state of the whole table, even while inserts,
+//     updates, deletes, cross-shard moves, per-shard merges and online
+//     reshards proceed underneath.  Latest reads (no view) still acquire
+//     shard read locks one at a time and can observe shard A before and
+//     shard B after a concurrent multi-shard writer; use a snapshot when
+//     that matters.
 //   - Global row ids are stable for the lifetime of the row version and
-//     encode the owning shard; they are not dense and their order is not
-//     global insertion order.
+//     encode the owning physical partition with a fixed stride
+//     (independent of the shard count), so they survive resharding; they
+//     are not dense and their order is not global insertion order.
 package shard
 
 import (
@@ -38,6 +53,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hyrise/internal/epoch"
@@ -45,19 +61,54 @@ import (
 	"hyrise/internal/table"
 )
 
-// MaxShards bounds the shard count a table may be created with; the
-// snapshot loader (internal/persist) trusts the same bound, so any table
-// New accepts round-trips through Save/Load.
+// MaxShards bounds the physical partition count a table may reach across
+// its lifetime of reshards; the snapshot loader (internal/persist) trusts
+// the same bound, so any table New accepts round-trips through Save/Load.
+// It is also the global-row-id stride, which is why it is fixed rather
+// than per-table.
 const MaxShards = 1 << 16
+
+// gidStride is the global-row-id encoding stride:
+// gid = local*gidStride + physicalPartition.  Fixed at MaxShards so the
+// encoding — and therefore every handed-out row id — survives reshards.
+const gidStride = MaxShards
 
 // Errors returned by sharded-table operations.
 var (
-	// ErrNoShards is returned by New for a shard count outside
-	// [1, MaxShards].
+	// ErrNoShards is returned by New (and Reshard) for a shard count
+	// outside [1, MaxShards], or when the cumulative physical partition
+	// count would exceed MaxShards.
 	ErrNoShards = errors.New("shard: shard count must be in [1, 65536]")
 	// ErrKeyColumn is returned by New when the key column does not exist.
 	ErrKeyColumn = errors.New("shard: no such key column")
 )
+
+// shardMap is one immutable routing state.  parts is append-only across
+// map versions; the active window parts[base : base+n] is always the tail
+// (base+n == len(parts)), so "sealed" and "outside the active window" are
+// the same set.  During a reshard the map additionally carries the
+// migration target window: writes route there, while base/n still name
+// the pre-cutover active window (what NumShards reports until cutover).
+type shardMap struct {
+	version uint64
+	parts   []*table.Table
+	base, n int // active window: parts[base : base+n]
+
+	migrating         bool
+	nextBase, nextLen int // target window while migrating
+}
+
+// active returns the active window's partitions.
+func (m *shardMap) active() []*table.Table { return m.parts[m.base : m.base+m.n] }
+
+// writeWindow returns the window writes route to: the migration target
+// while a reshard is in flight, the active window otherwise.
+func (m *shardMap) writeWindow() (base, n int) {
+	if m.migrating {
+		return m.nextBase, m.nextLen
+	}
+	return m.base, m.n
+}
 
 // Table is a hash-partitioned collection of table.Table shards sharing one
 // epoch clock.
@@ -66,13 +117,38 @@ type Table struct {
 	schema table.Schema
 	keyIdx int
 	clock  *epoch.Clock // shared by all shards; one capture = one epoch everywhere
-	shards []*table.Table
+
+	smap atomic.Pointer[shardMap]
+
+	// reshardMu serializes reshards (and snapshot saves against them, via
+	// PersistTopology callers holding the map they read).
+	reshardMu sync.Mutex
+
+	// mu guards the slow-changing wiring below; never held on data paths.
+	mu        sync.Mutex
+	olog      *oplog.Log // attached replication log, nil when unattached
+	indexCols []string   // group-key indexes re-created on new partitions
+	onPart    func(p *table.Table, phys int)
+	gcOn      bool // inherited by reshard-created partitions
 }
 
 // New creates an empty sharded table partitioned by the named key column.
 func New(name string, schema table.Schema, key string, shards int) (*Table, error) {
-	if shards < 1 || shards > MaxShards {
-		return nil, fmt.Errorf("%w: %d", ErrNoShards, shards)
+	return NewRestored(name, schema, key, shards, 0, shards, 1)
+}
+
+// NewRestored creates a sharded table with an explicit physical topology:
+// parts physical partitions of which the tail window
+// [activeBase, activeBase+activeLen) is active, at shard-map version
+// version.  The snapshot loader uses it to restore a post-reshard (or
+// mid-reshard, normalized to its cutover state) topology; New is the
+// degenerate all-active case.  Partitions before activeBase are NOT
+// sealed here — the loader must populate them first and seal them itself
+// (writes never route to them either way; sealing additionally keeps
+// updates from parking new versions there).
+func NewRestored(name string, schema table.Schema, key string, parts, activeBase, activeLen int, version uint64) (*Table, error) {
+	if activeLen < 1 || parts < 1 || parts > MaxShards || activeBase+activeLen != parts {
+		return nil, fmt.Errorf("%w: %d parts, active [%d,%d)", ErrNoShards, parts, activeBase, activeBase+activeLen)
 	}
 	if err := schema.Validate(); err != nil {
 		return nil, err
@@ -86,30 +162,54 @@ func New(name string, schema table.Schema, key string, shards int) (*Table, erro
 	if keyIdx < 0 {
 		return nil, fmt.Errorf("%w: %q", ErrKeyColumn, key)
 	}
-	st := &Table{name: name, schema: schema, keyIdx: keyIdx, clock: epoch.NewClock()}
-	for i := 0; i < shards; i++ {
+	st := &Table{name: name, schema: schema, keyIdx: keyIdx, clock: epoch.NewClock(), gcOn: true}
+	m := &shardMap{version: version, base: activeBase, n: activeLen}
+	for i := 0; i < parts; i++ {
 		s, err := table.NewWithClock(fmt.Sprintf("%s/%d", name, i), schema, st.clock)
 		if err != nil {
 			return nil, err
 		}
-		st.shards = append(st.shards, s)
+		m.parts = append(m.parts, s)
 	}
+	st.smap.Store(m)
 	return st, nil
 }
+
+// OnPartition registers fn to be called once for every partition a future
+// Reshard (or replayed reshard-begin) creates, with the partition and its
+// physical index, after the partition is published in the shard map.  The
+// server uses it to wire per-partition observers (merge hooks, metrics) to
+// reshard-created partitions.  One hook; registering replaces the old one.
+func (st *Table) OnPartition(fn func(p *table.Table, phys int)) {
+	st.mu.Lock()
+	st.onPart = fn
+	st.mu.Unlock()
+}
+
+// load returns the current shard map.  Maps are immutable; a loaded map
+// stays internally consistent for as long as the caller uses it, it just
+// may no longer be the published one.
+func (st *Table) load() *shardMap { return st.smap.Load() }
 
 // Clock returns the epoch clock shared by every shard.
 func (st *Table) Clock() *epoch.Clock { return st.clock }
 
-// AttachOplog connects every shard's write path to one replication log
-// (table.Table.AttachOplog), recording each shard's index in its ops so a
-// follower replays them into the matching partition.  The log must be
-// stamped by the store's shared clock.
+// AttachOplog connects every partition's write path to one replication log
+// (table.Table.AttachOplog), recording each partition's PHYSICAL index in
+// its ops so a follower replays them into the matching partition.  The log
+// must be stamped by the store's shared clock.  Attach before serving
+// writes and before any Reshard; partitions a later reshard creates attach
+// to the same log automatically.
 func (st *Table) AttachOplog(l *oplog.Log) error {
-	for i, s := range st.shards {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	m := st.load()
+	for i, s := range m.parts {
 		if err := s.AttachOplog(l, i); err != nil {
 			return err
 		}
 	}
+	st.olog = l
 	return nil
 }
 
@@ -117,22 +217,26 @@ func (st *Table) AttachOplog(l *oplog.Log) error {
 // fetch-add on the shared clock) and returns it as a read view pinned
 // against garbage collection: reads through the view see one frozen,
 // cross-shard-consistent state, and no shard's merge reclaims a version
-// the view can see.  Release the view when done reading so the GC
-// watermark can advance.
+// the view can see.  Release the view when done reading so reclamation
+// can advance past it.
 func (st *Table) Snapshot() table.View { return table.PinnedView(st.clock) }
 
 // SetGC enables or disables garbage collection during merges on every
-// shard (on by default).
+// partition (on by default); reshard-created partitions inherit the
+// setting.
 func (st *Table) SetGC(enabled bool) {
-	for _, s := range st.shards {
+	st.mu.Lock()
+	st.gcOn = enabled
+	st.mu.Unlock()
+	for _, s := range st.load().parts {
 		s.SetGC(enabled)
 	}
 }
 
-// GCEnabled reports whether merges garbage-collect (true when every shard
-// has GC enabled).
+// GCEnabled reports whether merges garbage-collect (true when every
+// partition has GC enabled).
 func (st *Table) GCEnabled() bool {
-	for _, s := range st.shards {
+	for _, s := range st.load().parts {
 		if !s.GCEnabled() {
 			return false
 		}
@@ -143,11 +247,12 @@ func (st *Table) GCEnabled() bool {
 // VisibleAt reports whether the row exists and is visible at the view's
 // epoch.
 func (st *Table) VisibleAt(v table.View, gid int) bool {
-	s, local, err := st.Locate(gid)
+	m := st.load()
+	s, local, err := locate(m, gid)
 	if err != nil {
 		return false
 	}
-	return st.shards[s].VisibleAt(v, local)
+	return m.parts[s].VisibleAt(v, local)
 }
 
 // Name returns the table name.
@@ -156,44 +261,82 @@ func (st *Table) Name() string { return st.name }
 // Schema returns the table schema.
 func (st *Table) Schema() table.Schema { return st.schema }
 
-// NumShards returns the shard count.
-func (st *Table) NumShards() int { return len(st.shards) }
+// NumShards returns the ACTIVE shard count — the number of partitions key
+// hashing spreads writes over.  It changes at reshard cutover; see
+// NumParts for the physical partition count.
+func (st *Table) NumShards() int { return st.load().n }
+
+// NumParts returns the physical partition count, including partitions
+// retired by resharding that still hold readable history.
+func (st *Table) NumParts() int { return len(st.load().parts) }
+
+// MapVersion returns the current shard-map version.  It increments twice
+// per reshard: once when migration begins, once at cutover.
+func (st *Table) MapVersion() uint64 { return st.load().version }
+
+// Resharding reports whether a reshard is migrating rows right now.
+func (st *Table) Resharding() bool { return st.load().migrating }
+
+// ActiveWindow returns the physical index of the first active partition
+// and the active partition count; the active window is always the tail of
+// the physical partition list.
+func (st *Table) ActiveWindow() (base, n int) {
+	m := st.load()
+	return m.base, m.n
+}
 
 // KeyColumn returns the name of the hash-partitioning column.
 func (st *Table) KeyColumn() string { return st.schema[st.keyIdx].Name }
 
-// Shard returns the i-th underlying table (for inspection, per-shard
-// scheduling and tests).
-func (st *Table) Shard(i int) *table.Table { return st.shards[i] }
+// Shard returns the physical partition with index i (for inspection,
+// per-shard scheduling and tests).  Indices at or beyond NumParts are the
+// caller's error.
+func (st *Table) Shard(i int) *table.Table { return st.load().parts[i] }
 
-// Shards returns all underlying tables in shard order.
+// Shards returns ALL physical partitions in physical order — the active
+// window plus any partitions retired by earlier reshards (reads fan out
+// over all of them).
 func (st *Table) Shards() []*table.Table {
-	out := make([]*table.Table, len(st.shards))
-	copy(out, st.shards)
+	m := st.load()
+	out := make([]*table.Table, len(m.parts))
+	copy(out, m.parts)
 	return out
 }
 
-// Global row ids interleave shard-local row ids:
-// gid = local*NumShards + shard.  The encoding is stable across merges
-// (merges never renumber rows) and lets any layer route a gid back to its
-// shard without a lookup table.
+// Global row ids pack a partition-local row id with its PHYSICAL partition
+// index at a fixed stride: gid = local*gidStride + part.  The encoding is
+// stable across merges (merges never renumber rows) and across reshards
+// (the stride does not depend on the shard count, and physical partition
+// indices are never reused), and lets any layer route a gid back to its
+// partition without a lookup table.
 
-// gid encodes a shard-local row id as a global row id.
-func (st *Table) gid(shard, local int) int { return local*len(st.shards) + shard }
+// gid encodes a partition-local row id as a global row id.
+func (st *Table) gid(phys, local int) int { return local*gidStride + phys }
 
-// Locate decodes a global row id into its shard index and shard-local row
-// id.  It does not check that the local row exists.
-func (st *Table) Locate(gid int) (shard, local int, err error) {
+// locate decodes a global row id against a shard map.  It does not check
+// that the local row exists.
+func locate(m *shardMap, gid int) (phys, local int, err error) {
 	if gid < 0 {
 		return 0, 0, fmt.Errorf("%w: %d", table.ErrRowRange, gid)
 	}
-	return gid % len(st.shards), gid / len(st.shards), nil
+	phys, local = gid%gidStride, gid/gidStride
+	if phys >= len(m.parts) {
+		return 0, 0, fmt.Errorf("%w: %d (no partition %d)", table.ErrRowRange, gid, phys)
+	}
+	return phys, local, nil
 }
 
-// shardFor hashes a key value to its owning shard.  The value is first
-// normalized through table.Convert so that e.g. int literals, uint32 and
-// uint64 spellings of the same key agree.
-func (st *Table) shardFor(key any) (int, error) {
+// Locate decodes a global row id into its physical partition index and
+// partition-local row id.  It does not check that the local row exists.
+func (st *Table) Locate(gid int) (shard, local int, err error) {
+	return locate(st.load(), gid)
+}
+
+// routeFor hashes a key value to the physical index of its owning
+// partition in the map's write window.  The value is first normalized
+// through table.Convert so that e.g. int literals, uint32 and uint64
+// spellings of the same key agree.
+func (st *Table) routeFor(m *shardMap, key any) (int, error) {
 	cv, err := table.Convert(st.schema[st.keyIdx].Type, key)
 	if err != nil {
 		return 0, err
@@ -207,8 +350,14 @@ func (st *Table) shardFor(key any) (int, error) {
 	case string:
 		h = fnv1a(x)
 	}
-	return int(h % uint64(len(st.shards))), nil
+	base, n := m.writeWindow()
+	return base + int(h%uint64(n)), nil
 }
+
+// shardFor routes a key value against the current map's write window
+// (tests and diagnostics; data paths route against a map they loaded once
+// so routing and insertion agree).
+func (st *Table) shardFor(key any) (int, error) { return st.routeFor(st.load(), key) }
 
 // mix64 is the splitmix64 finalizer: a cheap, well-distributed integer
 // hash so that sequential keys spread evenly across shards.
@@ -232,131 +381,177 @@ func fnv1a(s string) uint64 {
 	return h
 }
 
-// Insert appends one row to the shard owning its key value and returns the
-// global row id.  Concurrent inserts to different shards do not contend.
+// Insert appends one row to the partition owning its key value and returns
+// the global row id.  Concurrent inserts to different partitions do not
+// contend.  An insert that races a reshard's seal simply re-routes through
+// the fresh shard map (the op is retried, never half-applied).
 func (st *Table) Insert(values []any) (int, error) {
 	if len(values) != len(st.schema) {
 		return 0, fmt.Errorf("%w: got %d want %d", table.ErrArity, len(values), len(st.schema))
 	}
-	s, err := st.shardFor(values[st.keyIdx])
-	if err != nil {
-		return 0, err
+	for {
+		m := st.load()
+		s, err := st.routeFor(m, values[st.keyIdx])
+		if err != nil {
+			return 0, err
+		}
+		local, err := m.parts[s].Insert(values)
+		if errors.Is(err, table.ErrSealed) {
+			continue // a reshard republished routing between load and insert
+		}
+		if err != nil {
+			return 0, err
+		}
+		return st.gid(s, local), nil
 	}
-	local, err := st.shards[s].Insert(values)
-	if err != nil {
-		return 0, err
-	}
-	return st.gid(s, local), nil
 }
 
 // Update applies the insert-only update protocol to a global row id and
 // returns the new version's global row id.  If the key column changes to a
-// value hashing to a different shard, the row relocates atomically
-// (table.MoveRow): the invalidation and the re-insert happen under both
-// shard locks with one epoch stamp, so concurrent updates of the same row
-// resolve to exactly one winner (the losers see table.ErrRowInvalid) and
-// any snapshot or fan-out query sees exactly one of the two versions.
+// value hashing to a different partition — or the row's current partition
+// was sealed by a reshard — the row relocates atomically (table.MoveRow):
+// the invalidation and the re-insert happen under both partition locks
+// with one epoch stamp, so concurrent updates of the same row resolve to
+// exactly one winner (the losers see table.ErrRowInvalid) and any snapshot
+// or fan-out query sees exactly one of the two versions.
 func (st *Table) Update(gid int, changes map[string]any) (int, error) {
-	s, local, err := st.Locate(gid)
-	if err != nil {
-		return 0, err
-	}
-	newKey, keyChanged := changes[st.schema[st.keyIdx].Name]
-	if !keyChanged {
-		nl, err := st.shards[s].Update(local, changes)
+	for {
+		m := st.load()
+		s, local, err := locate(m, gid)
 		if err != nil {
 			return 0, err
 		}
-		return st.gid(s, nl), nil
-	}
-	s2, err := st.shardFor(newKey)
-	if err != nil {
-		return 0, err
-	}
-	if s2 == s {
-		nl, err := st.shards[s].Update(local, changes)
-		if err != nil {
-			return 0, err
-		}
-		return st.gid(s, nl), nil
-	}
-	// Cross-shard move.  Validate every changed value against the schema
-	// before touching either shard, so a bad value cannot strand the row.
-	values, err := st.shards[s].Row(local)
-	if err != nil {
-		return 0, err
-	}
-	for name, v := range changes {
-		ci := -1
-		for i, def := range st.schema {
-			if def.Name == name {
-				ci = i
+		src := m.parts[s]
+		if !src.Sealed() {
+			// Fast path: in-place update unless the key moves the row.
+			newKey, keyChanged := changes[st.schema[st.keyIdx].Name]
+			if !keyChanged {
+				nl, err := src.Update(local, changes)
+				if errors.Is(err, table.ErrSealed) {
+					continue // sealed between the check and the update
+				}
+				if err != nil {
+					return 0, err
+				}
+				return st.gid(s, nl), nil
+			}
+			s2, err := st.routeFor(m, newKey)
+			if err != nil {
+				return 0, err
+			}
+			if s2 == s {
+				nl, err := src.Update(local, changes)
+				if errors.Is(err, table.ErrSealed) {
+					continue
+				}
+				if err != nil {
+					return 0, err
+				}
+				return st.gid(s, nl), nil
 			}
 		}
-		if ci < 0 {
-			return 0, fmt.Errorf("%w: %q", table.ErrNoColumn, name)
-		}
-		cv, err := table.Convert(st.schema[ci].Type, v)
+		// Relocation: key moved, or the row sits in a sealed partition and
+		// its new version must land in the active window.  Validate every
+		// changed value against the schema before touching either
+		// partition, so a bad value cannot strand the row.
+		values, err := src.Row(local)
 		if err != nil {
 			return 0, err
 		}
-		values[ci] = cv
+		for name, v := range changes {
+			ci := -1
+			for i, def := range st.schema {
+				if def.Name == name {
+					ci = i
+				}
+			}
+			if ci < 0 {
+				return 0, fmt.Errorf("%w: %q", table.ErrNoColumn, name)
+			}
+			cv, err := table.Convert(st.schema[ci].Type, v)
+			if err != nil {
+				return 0, err
+			}
+			values[ci] = cv
+		}
+		s2, err := st.routeFor(m, values[st.keyIdx])
+		if err != nil {
+			return 0, err
+		}
+		if s2 == s {
+			// Routing resolved to the same (unsealed) partition after all.
+			nl, err := src.Update(local, changes)
+			if errors.Is(err, table.ErrSealed) {
+				continue
+			}
+			if err != nil {
+				return 0, err
+			}
+			return st.gid(s, nl), nil
+		}
+		// MoveRow atomically claims the current version and re-inserts it
+		// into the target partition under both locks: if a concurrent
+		// update got there first this fails with ErrRowInvalid and nothing
+		// happened.  Row versions are immutable, so the values read above
+		// are the claimed version's values.
+		nl, err := table.MoveRow(src, local, m.parts[s2], values)
+		if errors.Is(err, table.ErrSealed) {
+			continue // destination sealed by a reshard racing this update
+		}
+		if err != nil {
+			return 0, err
+		}
+		return st.gid(s2, nl), nil
 	}
-	// MoveRow atomically claims the current version and re-inserts it into
-	// the target shard under both locks: if a concurrent update got there
-	// first this fails with ErrRowInvalid and nothing happened.  Row
-	// versions are immutable, so the values read above are the claimed
-	// version's values.
-	nl, err := table.MoveRow(st.shards[s], local, st.shards[s2], values)
-	if err != nil {
-		return 0, err
-	}
-	return st.gid(s2, nl), nil
 }
 
-// Delete invalidates the row with the given global row id.
+// Delete invalidates the row with the given global row id.  Invalidation
+// is allowed in sealed partitions (it creates no new version).
 func (st *Table) Delete(gid int) error {
-	s, local, err := st.Locate(gid)
+	m := st.load()
+	s, local, err := locate(m, gid)
 	if err != nil {
 		return err
 	}
-	return st.shards[s].Delete(local)
+	return m.parts[s].Delete(local)
 }
 
 // Row materializes all column values of a global row id (valid or not).
 func (st *Table) Row(gid int) ([]any, error) {
-	s, local, err := st.Locate(gid)
+	m := st.load()
+	s, local, err := locate(m, gid)
 	if err != nil {
 		return nil, err
 	}
-	return st.shards[s].Row(local)
+	return m.parts[s].Row(local)
 }
 
 // IsValid reports whether the row is the current version.
 func (st *Table) IsValid(gid int) bool {
-	s, local, err := st.Locate(gid)
+	m := st.load()
+	s, local, err := locate(m, gid)
 	if err != nil {
 		return false
 	}
-	return st.shards[s].IsValid(local)
+	return m.parts[s].IsValid(local)
 }
 
-// Rows returns the total number of stored row versions across shards.
+// Rows returns the total number of stored row versions across partitions.
 func (st *Table) Rows() int {
 	n := 0
-	for _, s := range st.shards {
+	for _, s := range st.load().parts {
 		n += s.Rows()
 	}
 	return n
 }
 
-// ValidRows returns the number of current rows across shards, counted
-// under one epoch capture: a row mid-move between shards is counted
-// exactly once, where per-shard counting could see it in both shards or
+// ValidRows returns the number of current rows across partitions, counted
+// under one epoch capture: a row mid-move between partitions is counted
+// exactly once, where per-partition counting could see it in both or
 // neither.  The capture is pinned for the duration of the count — a
 // concurrent GC merge could otherwise reclaim a version visible at the
 // captured epoch and the count would miss it — and released before
-// returning, so it never holds the watermark beyond the call.
+// returning, so it never holds retention beyond the call.
 func (st *Table) ValidRows() int {
 	v := table.PinnedView(st.clock)
 	defer v.Release()
@@ -364,10 +559,10 @@ func (st *Table) ValidRows() int {
 }
 
 // ValidRowsAt returns the number of rows visible at the view's epoch
-// across all shards.
+// across all partitions.
 func (st *Table) ValidRowsAt(v table.View) int {
 	n := 0
-	for _, s := range st.shards {
+	for _, s := range st.load().parts {
 		n += s.ValidRowsAt(v)
 	}
 	return n
@@ -376,7 +571,7 @@ func (st *Table) ValidRowsAt(v table.View) int {
 // MainRows returns the summed main-partition tuple count.
 func (st *Table) MainRows() int {
 	n := 0
-	for _, s := range st.shards {
+	for _, s := range st.load().parts {
 		n += s.MainRows()
 	}
 	return n
@@ -385,25 +580,26 @@ func (st *Table) MainRows() int {
 // DeltaRows returns the summed delta tuple count.
 func (st *Table) DeltaRows() int {
 	n := 0
-	for _, s := range st.shards {
+	for _, s := range st.load().parts {
 		n += s.DeltaRows()
 	}
 	return n
 }
 
-// DeltaFractions returns every shard's N_D/N_M merge-trigger metric; the
-// per-shard scheduler watches these independently.
+// DeltaFractions returns every physical partition's N_D/N_M merge-trigger
+// metric; the per-shard scheduler watches these independently.
 func (st *Table) DeltaFractions() []float64 {
-	out := make([]float64, len(st.shards))
-	for i, s := range st.shards {
+	parts := st.load().parts
+	out := make([]float64, len(parts))
+	for i, s := range parts {
 		out[i] = s.DeltaFraction()
 	}
 	return out
 }
 
-// Merging reports whether any shard currently runs a merge.
+// Merging reports whether any partition currently runs a merge.
 func (st *Table) Merging() bool {
-	for _, s := range st.shards {
+	for _, s := range st.load().parts {
 		if s.Merging() {
 			return true
 		}
@@ -423,7 +619,7 @@ type MergeAllOptions struct {
 
 // MergeAllReport aggregates one MergeAll run.
 type MergeAllReport struct {
-	// Shards holds per-shard merge reports in shard order.
+	// Shards holds per-partition merge reports in physical order.
 	Shards []table.Report
 	// RowsMerged is the summed delta tuple count folded into mains by the
 	// shards that committed; rows of aborted shards stay in their deltas
@@ -438,9 +634,11 @@ type MergeAllReport struct {
 	ThreadsPerShard int
 }
 
-// MergeAll runs the merge process on every shard, parallelized across
-// shards with a per-shard slice of the total thread budget.  Each shard's
-// merge is individually online and atomic (see table.Merge); there is no
+// MergeAll runs the merge process on every physical partition —
+// reshard-retired partitions included, since merging is how their dead
+// history is garbage-collected — parallelized across partitions with a
+// per-partition slice of the total thread budget.  Each partition's merge
+// is individually online and atomic (see table.Merge); there is no
 // cross-shard atomicity — queries may observe some shards merged and
 // others not, which changes no visible row content.
 //
@@ -448,9 +646,10 @@ type MergeAllReport struct {
 // returned after all in-flight shard merges settle — match with errors.Is,
 // not == — and shards that committed stay committed.
 func (st *Table) MergeAll(ctx context.Context, opts MergeAllOptions) (MergeAllReport, error) {
+	parts := st.load().parts
 	conc := opts.MaxConcurrent
-	if conc <= 0 || conc > len(st.shards) {
-		conc = len(st.shards)
+	if conc <= 0 || conc > len(parts) {
+		conc = len(parts)
 	}
 	total := opts.Merge.Threads
 	if total <= 0 {
@@ -463,13 +662,13 @@ func (st *Table) MergeAll(ctx context.Context, opts MergeAllOptions) (MergeAllRe
 
 	start := time.Now()
 	rep := MergeAllReport{
-		Shards:          make([]table.Report, len(st.shards)),
+		Shards:          make([]table.Report, len(parts)),
 		ThreadsPerShard: perShard,
 	}
-	errs := make([]error, len(st.shards))
+	errs := make([]error, len(parts))
 	sem := make(chan struct{}, conc)
 	var wg sync.WaitGroup
-	for i, s := range st.shards {
+	for i, s := range parts {
 		wg.Add(1)
 		go func(i int, s *table.Table) {
 			defer wg.Done()
@@ -493,28 +692,40 @@ func (st *Table) MergeAll(ctx context.Context, opts MergeAllOptions) (MergeAllRe
 	return rep, errors.Join(errs...)
 }
 
-// Stats aggregates storage statistics across shards.
+// Stats aggregates storage statistics across partitions.
 type Stats struct {
-	Name      string
-	Shards    int
-	Rows      int
-	ValidRows int
-	MainRows  int
-	DeltaRows int
-	SizeBytes int
+	Name string
+	// Shards is the ACTIVE shard count; Parts the physical partition count
+	// (active plus reshard-retired).
+	Shards int
+	Parts  int
+	// MapVersion is the current shard-map version; Resharding is true
+	// while a reshard migrates rows.
+	MapVersion int
+	Resharding bool
+	Rows       int
+	ValidRows  int
+	MainRows   int
+	DeltaRows  int
+	SizeBytes  int
 	// RetiredRows / ReclaimedBytes sum the shards' cumulative GC counters.
 	RetiredRows    int
 	ReclaimedBytes int
-	// PerShard holds each shard's full statistics in shard order.
+	// PerShard holds each physical partition's full statistics in
+	// physical order.
 	PerShard []table.Stats
 }
 
-// Stats returns per-shard and aggregated storage statistics.  Each shard's
-// snapshot is individually consistent; the aggregate is not a cross-shard
-// snapshot.
+// Stats returns per-partition and aggregated storage statistics.  Each
+// partition's snapshot is individually consistent; the aggregate is not a
+// cross-shard snapshot.
 func (st *Table) Stats() Stats {
-	out := Stats{Name: st.name, Shards: len(st.shards)}
-	for _, s := range st.shards {
+	m := st.load()
+	out := Stats{
+		Name: st.name, Shards: m.n, Parts: len(m.parts),
+		MapVersion: int(m.version), Resharding: m.migrating,
+	}
+	for _, s := range m.parts {
 		ts := s.Stats()
 		out.PerShard = append(out.PerShard, ts)
 		out.Rows += ts.Rows

@@ -17,7 +17,9 @@ import (
 // key value, and returns their global row ids in input order.  Rows bound
 // for the same shard are inserted under one lock acquisition.  Every row is
 // validated (arity, value types, key hashability) before any row lands, so
-// a bad value rejects the whole batch with no shard touched.
+// a bad value rejects the whole batch with no shard touched.  A batch that
+// races a reshard's seal degrades to per-row inserts for the affected
+// shard, each re-routed through the fresh shard map.
 func (st *Table) InsertRows(rows [][]any) ([]int, error) {
 	if len(rows) == 0 {
 		return nil, nil
@@ -25,12 +27,14 @@ func (st *Table) InsertRows(rows [][]any) ([]int, error) {
 	// Validate the whole batch and compute routing up front: shards
 	// re-validate on insert, but by then earlier shards would already have
 	// accepted their slice of the batch.
-	perShard := make([][]int, len(st.shards)) // input indices per shard
+	m := st.load()
+	check := m.parts[0]
+	perShard := make(map[int][]int) // input indices per physical partition
 	for i, values := range rows {
-		if err := st.shards[0].CheckRow(values); err != nil {
+		if err := check.CheckRow(values); err != nil {
 			return nil, fmt.Errorf("row %d: %w", i, err)
 		}
-		s, err := st.shardFor(values[st.keyIdx])
+		s, err := st.routeFor(m, values[st.keyIdx])
 		if err != nil {
 			return nil, fmt.Errorf("row %d: %w", i, err)
 		}
@@ -38,14 +42,25 @@ func (st *Table) InsertRows(rows [][]any) ([]int, error) {
 	}
 	ids := make([]int, len(rows))
 	for s, idxs := range perShard {
-		if len(idxs) == 0 {
-			continue
-		}
 		batch := make([][]any, len(idxs))
 		for j, i := range idxs {
 			batch[j] = rows[i]
 		}
-		locals, err := st.shards[s].InsertRows(batch)
+		locals, err := m.parts[s].InsertRows(batch)
+		if errors.Is(err, table.ErrSealed) {
+			// A reshard retired this shard between routing and insert;
+			// fall back to per-row inserts, which re-route per row.
+			for _, i := range idxs {
+				gid, err := st.Insert(rows[i])
+				if err != nil {
+					// Unreachable in practice: the row was validated above
+					// and Insert retries seals internally.
+					return nil, err
+				}
+				ids[i] = gid
+			}
+			continue
+		}
 		if err != nil {
 			// Unreachable in practice: the batch was validated above.
 			return nil, err
@@ -58,11 +73,11 @@ func (st *Table) InsertRows(rows [][]any) ([]int, error) {
 }
 
 // RequestMerge is the unified merge entry point: it fans the merge out
-// across every shard (MergeAll) with opts.Threads as the total budget and
-// condenses the per-shard reports into one table.Report.  Report.Columns is
-// nil for a sharded table — per-shard, per-column detail is available from
-// MergeAll or each shard's LastMergeReport.  Report.Threads echoes the
-// summed per-shard budget actually used.
+// across every partition (MergeAll) with opts.Threads as the total budget
+// and condenses the per-partition reports into one table.Report.
+// Report.Columns is nil for a sharded table — per-shard, per-column detail
+// is available from MergeAll or each shard's LastMergeReport.
+// Report.Threads echoes the summed per-shard budget actually used.
 //
 // Sharded merges are atomic per shard only, so Report.Aborted keeps its
 // "nothing changed" meaning: it is true only when NO shard committed.  On
@@ -85,24 +100,42 @@ func (st *Table) RequestMerge(ctx context.Context, opts table.MergeOptions) (tab
 		MainRowsAfter: st.MainRows(),
 		Wall:          rep.Wall,
 		Algorithm:     opts.Algorithm,
-		Threads:       rep.ThreadsPerShard * len(st.shards),
+		Threads:       rep.ThreadsPerShard * len(rep.Shards),
 		Strategy:      opts.Strategy,
 		Aborted:       err != nil && !committed,
 	}
 	return out, err
 }
 
-// Partitions returns the underlying physical tables in shard order.
+// Partitions returns the underlying physical tables in physical order
+// (active window plus reshard-retired partitions).
 func (st *Table) Partitions() []*table.Table { return st.Shards() }
 
 // CreateIndex builds a group-key index over the named column on every
-// shard, in parallel (each shard's build excludes that shard's merges but
-// never blocks reads).  The first error wins; already-indexed shards are
-// skipped, so a partially failed call can simply be retried.
+// physical partition, in parallel (each partition's build excludes that
+// partition's merges but never blocks reads).  The column is recorded so
+// partitions created by a later Reshard are indexed the same way.  The
+// first error wins; already-indexed shards are skipped, so a partially
+// failed call can simply be retried.
 func (st *Table) CreateIndex(column string) error {
-	errs := make([]error, len(st.shards))
+	// Record first, under the wiring lock, so a concurrent reshard either
+	// sees the recorded column or gets indexed by the loop below.
+	st.mu.Lock()
+	known := false
+	for _, c := range st.indexCols {
+		if c == column {
+			known = true
+		}
+	}
+	if !known {
+		st.indexCols = append(st.indexCols, column)
+	}
+	parts := st.load().parts
+	st.mu.Unlock()
+
+	errs := make([]error, len(parts))
 	var wg sync.WaitGroup
-	for i, s := range st.shards {
+	for i, s := range parts {
 		wg.Add(1)
 		go func(i int, s *table.Table) {
 			defer wg.Done()
@@ -110,17 +143,29 @@ func (st *Table) CreateIndex(column string) error {
 		}(i, s)
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	err := errors.Join(errs...)
+	if err != nil {
+		// Don't re-apply a bad column to future reshard partitions.
+		st.mu.Lock()
+		for i, c := range st.indexCols {
+			if c == column {
+				st.indexCols = append(st.indexCols[:i], st.indexCols[i+1:]...)
+				break
+			}
+		}
+		st.mu.Unlock()
+	}
+	return err
 }
 
-// IndexStats aggregates per-column index statistics across shards: one
+// IndexStats aggregates per-column index statistics across partitions: one
 // entry per indexed column with postings, bytes and builds summed, and
 // LastBuild the per-shard maximum (the slowest shard bounds a merge's
 // index overhead).
 func (st *Table) IndexStats() []table.IndexStats {
 	byCol := make(map[string]*table.IndexStats)
 	var order []string
-	for _, s := range st.shards {
+	for _, s := range st.load().parts {
 		for _, is := range s.IndexStats() {
 			agg := byCol[is.Column]
 			if agg == nil {
@@ -145,7 +190,9 @@ func (st *Table) IndexStats() []table.IndexStats {
 }
 
 // StoreStats returns the unified statistics snapshot: aggregate counts
-// plus every shard's table.Stats as a partition entry.
+// plus every physical partition's table.Stats as a partition entry.
+// Shards reports the ACTIVE shard count; len(Partitions) is the physical
+// partition count.
 func (st *Table) StoreStats() table.StoreStats {
 	s := st.Stats()
 	return table.StoreStats{

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"hyrise/internal/core"
@@ -61,11 +62,29 @@ type Report struct {
 	// RowsMerged is the delta tuple count folded into the main partitions.
 	RowsMerged int
 	// RowsReclaimed is the number of dead versions the merge dropped
-	// instead of copying (0 with GC off or nothing reclaimable).
+	// instead of copying (0 with GC off or nothing reclaimable).  The
+	// decision is per-pin precise: a version is dropped when its
+	// [begin, end) validity interval contains no live pinned epoch and end
+	// is at or below the freeze-time clock reading.
 	RowsReclaimed int
-	// GCWatermark is the watermark the reclamation used (0 when
-	// RowsReclaimed is 0).
+	// GCWatermark is the reclamation floor the merge committed: the clock
+	// reading at freeze (0 when RowsReclaimed is 0).  After the commit,
+	// pinning a new epoch below it is unsafe — precise retention may have
+	// reclaimed versions anywhere below the floor that no then-live pin
+	// covered — so Table.GCBound ratchets to it.
 	GCWatermark uint64
+	// DeadAtFreeze is the number of stored dead versions when the freeze
+	// decision ran (reclaimed + retained).
+	DeadAtFreeze int
+	// LegacyReclaimable counts the dead versions the coarse min-pin
+	// watermark rule (end <= min pinned epoch) would have reclaimed.  The
+	// precise-retention win of this merge is RowsReclaimed −
+	// LegacyReclaimable; versions retained for live pins are DeadAtFreeze −
+	// RowsReclaimed (precise) vs DeadAtFreeze − LegacyReclaimable (coarse).
+	LegacyReclaimable int
+	// LivePins is the number of pins registered when the freeze decision
+	// ran.
+	LivePins int
 	// MainRowsAfter is N'_M.
 	MainRowsAfter int
 	// Wall is the end-to-end merge duration including lock phases.
@@ -146,27 +165,41 @@ func (t *Table) Merge(ctx context.Context, opts MergeOptions) (Report, error) {
 		rowsMerged = t.cols[0].deltaLen() // second deltas are nil here
 	}
 	// Decide what this merge reclaims while the freeze lock pins the row
-	// set: versions invalidated at or below the watermark are invisible to
-	// every pinned view and to every future capture, so the columns can
-	// drop them instead of copying.  The mask covers exactly the frozen
-	// main+delta slots; rows landing in the second delta afterwards are
-	// beyond it and always kept.
+	// set: a version is reclaimable when its [begin, end) validity interval
+	// is invisible to every live pin and to every future capture
+	// (epoch.PinSet.Reclaimable) — precise per-pin retention, not the
+	// coarse min-pin watermark, so one old analytical pin no longer
+	// retains every version invalidated after it.  The mask covers exactly
+	// the frozen main+delta slots; rows landing in the second delta
+	// afterwards are beyond it and always kept.
 	t.gcDrop, t.gcDropCount, t.gcMark = nil, 0, 0
+	var deadAtFreeze, legacyReclaimable, livePins int
 	// t.dead counts stored versions with end != 0: when it is zero there
 	// is nothing to reclaim and the freeze stays O(columns) — the end-
 	// epoch scan below only runs when garbage can actually exist.
 	if t.gcOn && !opts.DisableGC && t.dead > 0 {
-		w := t.clock.Watermark()
-		for i := 0; i < t.rows; i++ {
-			if e := t.epochs.End(i); e != 0 && e <= w {
-				if t.gcDrop == nil {
-					t.gcDrop = make([]bool, t.rows)
+		deadAtFreeze = t.dead
+		ps := t.clock.LivePins()
+		livePins = ps.Len()
+		w := ps.Watermark()
+		var legacy atomic.Int64
+		begin, end := t.epochs.Raw()
+		drop, dropped := core.DropMask(begin[:t.rows], end[:t.rows],
+			func(b, e uint64) bool {
+				if e != 0 && e <= w {
+					legacy.Add(1)
 				}
-				t.gcDrop[i] = true
-				t.gcDropCount++
-			}
+				return ps.Reclaimable(b, e)
+			}, threads)
+		legacyReclaimable = int(legacy.Load())
+		if dropped > 0 {
+			t.gcDrop, t.gcDropCount = drop, dropped
+			// The reclamation floor is the freeze-time clock reading, not
+			// the min pin: precise retention may punch holes anywhere below
+			// it that no live pin covered, so no later pin below the floor
+			// can be trusted to see complete history.
+			t.gcMark = ps.Now()
 		}
-		t.gcMark = w
 	}
 	drop := t.gcDrop
 	for _, c := range t.cols {
@@ -183,12 +216,15 @@ func (t *Table) Merge(ctx context.Context, opts MergeOptions) (Report, error) {
 	t.mu.Lock()
 	t.merging = false
 	rep := Report{
-		RowsMerged: rowsMerged,
-		Algorithm:  opts.Algorithm,
-		Threads:    threads,
-		Strategy:   strategy,
-		Freeze:     frozen.Sub(start),
-		MergeRun:   merged.Sub(frozen),
+		RowsMerged:        rowsMerged,
+		Algorithm:         opts.Algorithm,
+		Threads:           threads,
+		Strategy:          strategy,
+		Freeze:            frozen.Sub(start),
+		MergeRun:          merged.Sub(frozen),
+		DeadAtFreeze:      deadAtFreeze,
+		LegacyReclaimable: legacyReclaimable,
+		LivePins:          livePins,
 	}
 	if err != nil {
 		for _, c := range t.cols {

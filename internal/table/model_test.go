@@ -222,77 +222,139 @@ func TestModelBasedRandomOps(t *testing.T) {
 	}
 }
 
-// TestModelBasedHistory verifies the two version-history regimes: while a
-// view pinned below the whole history is held, superseded row versions
-// remain materializable with their original values after arbitrary merges
-// (paper §3: the insert-only approach keeps the history of data); once the
-// pin is released, a merge reclaims every superseded version and their ids
-// stay retired.
+// TestModelBasedHistory verifies precise per-pin retention over a version
+// chain: a merge keeps exactly the versions some live pin can see — each
+// pinned epoch's visible version stays materializable with its original
+// values after arbitrary merges — while versions whose [begin, end)
+// interval contains no pinned epoch are reclaimed even though an older pin
+// is still registered (the coarse min-pin watermark would have retained
+// all of them).  Releasing pins then lets successive merges reclaim the
+// versions only those pins protected.
 func TestModelBasedHistory(t *testing.T) {
 	tb, _ := New("h", Schema{{Name: "k", Type: Uint64}})
 	rng := rand.New(rand.NewSource(9))
-	history := map[int]uint64{}
-	row, _ := tb.Insert([]any{uint64(0)})
-	history[row] = 0
-	cur := row
-	// Pinning before the first update holds the GC watermark below every
-	// invalidation that follows, so merges must keep the full history.
+	row0, _ := tb.Insert([]any{uint64(0)})
+	cur := row0
+	// guard pins the epoch at which row0 is current: every merge below
+	// must keep row0 materializable while guard is held.
 	guard := tb.Snapshot()
+
+	// 200 updates with a pinned snapshot every 25: the pinned versions
+	// (plus row0 and the final current version) are the only survivors a
+	// precise merge may keep.
+	type pinned struct {
+		view View
+		row  int
+		want uint64
+	}
+	var mids []pinned
+	vals := map[int]uint64{row0: 0}
 	for i := 1; i <= 200; i++ {
 		v := rng.Uint64() % 1000
 		nr, err := tb.Update(cur, map[string]any{"k": v})
 		if err != nil {
 			t.Fatal(err)
 		}
-		history[nr] = v
+		vals[nr] = v
 		cur = nr
-		if i%50 == 0 {
-			if _, err := tb.Merge(context.Background(), MergeOptions{}); err != nil {
-				t.Fatal(err)
-			}
+		if i%25 == 0 {
+			mids = append(mids, pinned{view: tb.Snapshot(), row: cur, want: v})
 		}
-	}
-	h, _ := ColumnOf[uint64](tb, "k")
-	for row, want := range history {
-		got, err := h.Get(row)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got != want {
-			t.Fatalf("history row %d = %d want %d", row, got, want)
-		}
-		if row != cur && tb.IsValid(row) {
-			t.Fatalf("superseded row %d still valid", row)
-		}
-	}
-	if !tb.IsValid(cur) {
-		t.Fatal("current version invalid")
-	}
-	if tb.ValidRows() != 1 {
-		t.Fatalf("ValidRows=%d want 1", tb.ValidRows())
 	}
 
-	// Release the pin: the next merge reclaims all 200 dead versions.
-	guard.Release()
+	// One merge under all 9 pins (guard + 8 mids).  Dead versions: 200.
+	// Kept dead: row0 (guard sees it) and the 7 superseded mid versions
+	// (the 8th pinned version is the live current row) — so 192 reclaim
+	// precisely.  The min-pin watermark sits at guard's epoch, below every
+	// invalidation, so the old rule would have reclaimed nothing.
 	rep, err := tb.Merge(context.Background(), MergeOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.RowsReclaimed != 200 {
-		t.Fatalf("RowsReclaimed=%d want 200", rep.RowsReclaimed)
+	if rep.DeadAtFreeze != 200 || rep.LivePins != 9 {
+		t.Fatalf("DeadAtFreeze=%d LivePins=%d want 200/9", rep.DeadAtFreeze, rep.LivePins)
+	}
+	if rep.LegacyReclaimable != 0 {
+		t.Fatalf("LegacyReclaimable=%d want 0", rep.LegacyReclaimable)
+	}
+	if rep.RowsReclaimed != 192 {
+		t.Fatalf("RowsReclaimed=%d want 192", rep.RowsReclaimed)
+	}
+
+	h, _ := ColumnOf[uint64](tb, "k")
+	checkPinnedVisible := func() {
+		t.Helper()
+		if got, err := h.Get(row0); err != nil || got != 0 {
+			t.Fatalf("guarded row0: %d, %v", got, err)
+		}
+		if n := tb.ValidRowsAt(guard); n != 1 {
+			t.Fatalf("ValidRowsAt(guard)=%d want 1", n)
+		}
+		for _, m := range mids {
+			if got, err := h.Get(m.row); err != nil || got != m.want {
+				t.Fatalf("pinned row %d: %d, %v (want %d)", m.row, got, err, m.want)
+			}
+			if n := tb.ValidRowsAt(m.view); n != 1 {
+				t.Fatalf("ValidRowsAt(mid)=%d want 1", n)
+			}
+		}
+	}
+	checkPinnedVisible()
+
+	// Unpinned versions are gone: their ids are retired for good.
+	reclaimed := 0
+	for row := range vals {
+		if _, err := h.Get(row); errors.Is(err, ErrRowInvalid) {
+			reclaimed++
+		}
+	}
+	if reclaimed != 192 {
+		t.Fatalf("reclaimed ids=%d want 192", reclaimed)
+	}
+	if tb.ValidRows() != 1 || !tb.IsValid(cur) {
+		t.Fatalf("ValidRows=%d IsValid(cur)=%v want 1/true", tb.ValidRows(), tb.IsValid(cur))
+	}
+
+	// A second merge with the same pin set has nothing more to reclaim:
+	// precise retention is stable, not monotone-forgetful.
+	rep, err = tb.Merge(context.Background(), MergeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsReclaimed != 0 {
+		t.Fatalf("idempotent merge reclaimed %d", rep.RowsReclaimed)
+	}
+	checkPinnedVisible()
+
+	// Releasing the mid pins frees their 7 superseded versions; guard
+	// still protects row0.
+	for _, m := range mids {
+		m.view.Release()
+	}
+	rep, err = tb.Merge(context.Background(), MergeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsReclaimed != 7 {
+		t.Fatalf("after mid release: RowsReclaimed=%d want 7", rep.RowsReclaimed)
+	}
+	if got, err := h.Get(row0); err != nil || got != 0 {
+		t.Fatalf("guarded row0 after mid release: %d, %v", got, err)
+	}
+
+	// Releasing guard frees the last dead version.
+	guard.Release()
+	rep, err = tb.Merge(context.Background(), MergeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsReclaimed != 1 {
+		t.Fatalf("after guard release: RowsReclaimed=%d want 1", rep.RowsReclaimed)
 	}
 	if tb.Rows() != 1 || tb.RetiredRows() != 200 {
 		t.Fatalf("rows=%d retired=%d want 1/200", tb.Rows(), tb.RetiredRows())
 	}
-	for row := range history {
-		if row == cur {
-			continue
-		}
-		if _, err := h.Get(row); !errors.Is(err, ErrRowInvalid) {
-			t.Fatalf("reclaimed row %d: err=%v want ErrRowInvalid", row, err)
-		}
-	}
-	if got, err := h.Get(cur); err != nil || got != history[cur] {
+	if got, err := h.Get(cur); err != nil || got != vals[cur] {
 		t.Fatalf("current row after GC: %d, %v", got, err)
 	}
 }

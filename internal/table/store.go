@@ -37,6 +37,9 @@ func (t *Table) InsertRows(rows [][]any) ([]int, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.sealed {
+		return nil, ErrSealed
+	}
 	at := t.clock.Now()
 	if t.olog != nil && len(rows) > 0 {
 		at = t.olog.Append(t.insertRecs(rows))

@@ -118,6 +118,11 @@ var (
 	ErrMergeInProgress = errors.New("table: merge already in progress")
 	ErrNoColumn        = errors.New("table: no such column")
 	ErrArity           = errors.New("table: value count does not match schema")
+	// ErrSealed rejects writes that would create a new row version in a
+	// partition retired by online resharding.  Invalidation (Delete) and
+	// moving rows OUT remain allowed; the sharded router reacts to
+	// ErrSealed by re-routing the write through the current shard map.
+	ErrSealed = errors.New("table: partition sealed for resharding")
 )
 
 // lockSeq hands every table a unique id; MoveRow orders its two lock
@@ -150,6 +155,7 @@ type Table struct {
 
 	gcOn        bool   // garbage-collect during merges (default true)
 	gcWatermark uint64 // highest watermark a committed GC merge applied
+	sealed      bool   // retired by resharding: no new row versions
 
 	// gcDrop marks the physical slots the in-flight merge reclaims
 	// (computed at freeze under mu, applied at commit); nil when the merge
@@ -248,6 +254,26 @@ func (t *Table) GCWatermark() uint64 {
 	return t.gcWatermark
 }
 
+// Seal marks the partition as retired by online resharding: every write
+// that would create a new row version here (Insert, InsertRows, in-place
+// Update, MoveRow in) fails with ErrSealed from now on.  Reads, Delete,
+// moving rows out, merges and replica Apply* replay are unaffected —
+// sealed partitions keep serving pinned history until GC drains them.
+// Sealing is idempotent and permanent; it acquires the write lock, so
+// when Seal returns no in-flight write can still land a version here.
+func (t *Table) Seal() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sealed = true
+}
+
+// Sealed reports whether the partition was retired by resharding.
+func (t *Table) Sealed() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.sealed
+}
+
 // NextRowID returns the next stable row id the table will assign.
 func (t *Table) NextRowID() int {
 	t.mu.RLock()
@@ -305,6 +331,9 @@ func (t *Table) Insert(values []any) (int, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.sealed {
+		return 0, ErrSealed
+	}
 	at := t.clock.Now()
 	if t.olog != nil {
 		at = t.olog.Append([]oplog.Rec{{
@@ -348,6 +377,9 @@ func (t *Table) Update(row int, changes map[string]any) (int, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.sealed {
+		return 0, ErrSealed
+	}
 	slot, err := t.slotFor(row)
 	if err != nil {
 		return 0, err

@@ -130,6 +130,11 @@ func MoveRow(src *Table, row int, dst *Table, values []any) (int, error) {
 	defer first.mu.Unlock()
 	second.mu.Lock()
 	defer second.mu.Unlock()
+	// A sealed source still releases rows (that is how resharding drains
+	// it); a sealed destination must not gain any.
+	if dst.sealed {
+		return 0, ErrSealed
+	}
 	slot, err := src.slotFor(row)
 	if err != nil {
 		return 0, err

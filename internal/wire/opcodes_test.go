@@ -1,0 +1,44 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOpcodesCoverEveryOp pins the opcode registry to the protocol: every
+// opcode in Opcodes() must have a real OpName (adding an opcode without
+// naming it breaks per-op metrics and ServerStats rendering), the range
+// must be dense up to opLast, names must be unique, and the current tail
+// (OpReshard) must be included.  A new opcode that forgets to bump opLast
+// or extend OpName fails here.
+func TestOpcodesCoverEveryOp(t *testing.T) {
+	ops := Opcodes()
+	if len(ops) == 0 {
+		t.Fatal("Opcodes() returned nothing")
+	}
+	if ops[0] != OpPing {
+		t.Fatalf("Opcodes() starts at 0x%02x, want OpPing (0x%02x)", ops[0], OpPing)
+	}
+	if last := ops[len(ops)-1]; last != OpReshard {
+		t.Fatalf("Opcodes() ends at 0x%02x, want OpReshard (0x%02x)", last, OpReshard)
+	}
+	seen := make(map[string]uint8, len(ops))
+	for i, op := range ops {
+		if i > 0 && op != ops[i-1]+1 {
+			t.Fatalf("Opcodes() not dense: 0x%02x follows 0x%02x", op, ops[i-1])
+		}
+		name := OpName(op)
+		if name == "" || strings.HasPrefix(name, "op_0x") {
+			t.Errorf("opcode 0x%02x has no OpName (got %q)", op, name)
+			continue
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("opcodes 0x%02x and 0x%02x share name %q", prev, op, name)
+		}
+		seen[name] = op
+	}
+	// The fallback rendering is reserved for genuinely unknown opcodes.
+	if got := OpName(0xfe); !strings.HasPrefix(got, "op_0x") {
+		t.Errorf("OpName(0xfe) = %q, want op_0x fallback", got)
+	}
+}

@@ -52,13 +52,17 @@ const MaxFrame = 16 << 20
 // hello/capability exchange, replication (OpSubscribe and the follower
 // opcodes) and epoch-addressed snapshots; version 3 adds secondary-index
 // management (OpCreateIndex, OpIndexStats); version 4 adds observability
-// (OpMetrics, and the uptime + per-op counter tail of OpServerStats).
+// (OpMetrics, and the uptime + per-op counter tail of OpServerStats);
+// version 5 adds online resharding (OpReshard, and the shard-topology tail
+// of OpServerStats) and parallel dispatch of pipelined reads (a
+// server-side change — responses stay in request order, so it needs no
+// client support).
 // OpHello carries the client's version and returns the server's; each side
 // then restricts itself to the opcodes of min(client, server).  A
 // version-1 server answers OpHello — like any unknown opcode — with
 // StatusErrBadRequest, which a version-2+ client treats as "speak
 // version 1".
-const ProtocolVersion = 4
+const ProtocolVersion = 5
 
 // Opcodes.  The zero value is intentionally invalid.
 const (
@@ -98,7 +102,14 @@ const (
 
 	// Version 4 opcodes.
 	OpMetrics = 0x1e // -> u32 n + per sample: name string, float64 bits u64
+
+	// Version 5 opcodes.
+	OpReshard = 0x1f // shards u32 -> from u32, to u32, migrated u64, wallNs u64, cutoverNs u64, mapVersion u64, cutoverEpoch u64
 )
+
+// opLast is the highest opcode this build knows; Opcodes() iterates up to
+// it, and the opcode-coverage test pins OpName against it.
+const opLast = OpReshard
 
 // OpName returns the lower-case wire name of an opcode ("lookup",
 // "insert_batch", ...), or "op_0xNN" for opcodes this build does not
@@ -166,6 +177,8 @@ func OpName(op uint8) string {
 		return "index_stats"
 	case OpMetrics:
 		return "metrics"
+	case OpReshard:
+		return "reshard"
 	default:
 		return fmt.Sprintf("op_0x%02x", op)
 	}
@@ -174,8 +187,8 @@ func OpName(op uint8) string {
 // Opcodes lists every opcode this build knows, in opcode order; the
 // server registers one metric series per entry.
 func Opcodes() []uint8 {
-	ops := make([]uint8, 0, OpMetrics)
-	for op := uint8(OpPing); op <= OpMetrics; op++ {
+	ops := make([]uint8, 0, opLast)
+	for op := uint8(OpPing); op <= opLast; op++ {
 		ops = append(ops, op)
 	}
 	return ops

@@ -1,0 +1,136 @@
+// BenchmarkReshard is the perf-trajectory artifact behind
+// BENCH_reshard.json: an online reshard of a 1M-row store from 1/4/8
+// active shards to twice that count, with snapshot readers hammering the
+// table throughout the migration.  ns/op is the end-to-end reshard wall
+// time; the reported metrics expose what "online" costs the read path:
+//
+//	rows_migrated/op  row versions the migration pass relocated
+//	seal_ns/op        the write-lock barrier that quiesced old-map writes
+//	cutover_ns/op     the atomic routing publish
+//	read_p50_ns/op    median pinned-read latency during the migration
+//	read_p99_ns/op    p99 pinned-read latency during the migration
+//	reads/op          pinned reads completed while the migration ran
+//	failed_reads/op   reads that returned the wrong row count (must be 0)
+package hyrise_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hyrise"
+)
+
+func BenchmarkReshard(b *testing.B) {
+	const rows = 1_000_000
+	const readers = 4
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d/rows=%d", shards, rows), func(b *testing.B) {
+			var (
+				totalSeal, totalCutover     time.Duration
+				rowsMigrated, reads, failed int64
+				lats                        []time.Duration
+				latMu                       sync.Mutex
+			)
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, err := hyrise.NewShardedTable("b", hyrise.Schema{
+					{Name: "k", Type: hyrise.Uint64},
+					{Name: "v", Type: hyrise.Uint64},
+				}, "k", shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				batch := make([][]any, 0, 10_000)
+				for r := 0; r < rows; r++ {
+					batch = append(batch, []any{uint64(r), uint64(r)})
+					if len(batch) == cap(batch) {
+						if _, err := s.InsertRows(batch); err != nil {
+							b.Fatal(err)
+						}
+						batch = batch[:0]
+					}
+				}
+				// Index the key so reader probes are posting-list copies,
+				// not full column scans: an unindexed probe holds the
+				// partition read lock for a whole vectorized scan, which
+				// starves the migration's per-row write locks.  Reshard
+				// re-creates the index on the fresh partitions, so probes
+				// stay indexed through the cutover.
+				if err := s.CreateIndex("k"); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.RequestMerge(context.Background(), hyrise.MergeOptions{}); err != nil {
+					b.Fatal(err)
+				}
+
+				stop := make(chan struct{})
+				var wg sync.WaitGroup
+				for rd := 0; rd < readers; rd++ {
+					wg.Add(1)
+					go func(rd int) {
+						defer wg.Done()
+						for probe := 0; ; probe++ {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							key := uint64((rd*999_983 + probe*104_729) % rows)
+							t0 := time.Now()
+							snap := s.Snapshot()
+							h, err := hyrise.ColumnOf[uint64](s, "k")
+							if err != nil {
+								b.Error(err)
+								snap.Release()
+								return
+							}
+							n := len(h.LookupAt(snap, key))
+							snap.Release()
+							d := time.Since(t0)
+							atomic.AddInt64(&reads, 1)
+							if n != 1 {
+								atomic.AddInt64(&failed, 1)
+							}
+							latMu.Lock()
+							lats = append(lats, d)
+							latMu.Unlock()
+						}
+					}(rd)
+				}
+
+				b.StartTimer()
+				rep, err := s.Reshard(context.Background(), shards*2)
+				b.StopTimer()
+				close(stop)
+				wg.Wait()
+				if err != nil {
+					b.Fatal(err)
+				}
+				rowsMigrated += int64(rep.RowsMigrated)
+				totalSeal += rep.SealWall
+				totalCutover += rep.CutoverWall
+				b.StartTimer()
+			}
+			b.StopTimer()
+
+			n := float64(b.N)
+			b.ReportMetric(float64(rowsMigrated)/n, "rows_migrated/op")
+			b.ReportMetric(float64(totalSeal.Nanoseconds())/n, "seal_ns/op")
+			b.ReportMetric(float64(totalCutover.Nanoseconds())/n, "cutover_ns/op")
+			b.ReportMetric(float64(reads)/n, "reads/op")
+			b.ReportMetric(float64(failed)/n, "failed_reads/op")
+			if len(lats) > 0 {
+				sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+				p50 := lats[len(lats)/2]
+				p99 := lats[len(lats)*99/100]
+				b.ReportMetric(float64(p50.Nanoseconds()), "read_p50_ns/op")
+				b.ReportMetric(float64(p99.Nanoseconds()), "read_p99_ns/op")
+			}
+		})
+	}
+}
